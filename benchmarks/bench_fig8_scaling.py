@@ -1,0 +1,89 @@
+"""Figure 8: analytic scaling to tens of billions of documents.
+
+The paper sweeps the cost model from 1B to 10B documents and marks
+three reference corpora: tweets per week (~2B), Google Knowledge
+Graph entities (8B), and Library of Congress items.  Headline claim
+(SS8.5): at 8B documents a query needs roughly 1,900 core-seconds and
+140 MiB of communication; compute scales ~linearly and communication
+~sqrt with corpus size.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evalx.costmodel import TiptoeCostModel
+
+BILLION = 10**9
+GOOGLE_KG_DOCS = 8 * BILLION
+
+
+def test_fig8_scaling_series(benchmark):
+    model = TiptoeCostModel()
+    doc_counts = [n * BILLION for n in range(1, 11)]
+    series = benchmark.pedantic(
+        model.figure8_series, args=(doc_counts,), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'docs (B)':>9s} {'compute core-s':>15s} {'token MiB':>10s}"
+        f" {'online MiB':>11s}"
+    ]
+    for row in series:
+        lines.append(
+            f"{row['docs'] / BILLION:9.0f} {row['computation_core_s']:15.0f}"
+            f" {row['token_comm_mib']:10.1f} {row['online_comm_mib']:11.1f}"
+        )
+    kg = model.figure8_series([GOOGLE_KG_DOCS])[0]
+    lines.append(
+        f"google-kg (8B): {kg['computation_core_s']:.0f} core-s,"
+        f" {kg['token_comm_mib'] + kg['online_comm_mib']:.0f} MiB total"
+    )
+    measured = model.figure8_series([364_000_000])[0]
+    lines.append(
+        f"measured cross (364M): {measured['computation_core_s']:.0f} core-s,"
+        f" {measured['token_comm_mib'] + measured['online_comm_mib']:.0f} MiB"
+    )
+    from repro.evalx.figures import ascii_chart
+
+    lines.append("")
+    lines.append(
+        ascii_chart(
+            {
+                "compute core-s": [
+                    (r["docs"] / BILLION, r["computation_core_s"])
+                    for r in series
+                ],
+                "token MiB": [
+                    (r["docs"] / BILLION, r["token_comm_mib"]) for r in series
+                ],
+                "online MiB": [
+                    (r["docs"] / BILLION, r["online_comm_mib"]) for r in series
+                ],
+            },
+            width=60,
+            height=14,
+            x_label="billions of documents",
+            log_y=True,
+        )
+    )
+    emit("fig8_scaling", lines)
+
+    # SS8.5 headline: ~1,900 core-s and ~140 MiB at 8B docs.
+    total_kg_mib = kg["token_comm_mib"] + kg["online_comm_mib"]
+    assert kg["computation_core_s"] == pytest.approx(1900, rel=0.45)
+    assert total_kg_mib == pytest.approx(140, rel=0.3)
+    # Compute ~linear in corpus size: the online part is exactly
+    # linear; token generation scales as sqrt, so the total sits just
+    # below linear.
+    model_only_online = TiptoeCostModel()
+    online_ratio = model_only_online.online_core_seconds(
+        doc_counts[-1]
+    ) / model_only_online.online_core_seconds(doc_counts[0])
+    assert online_ratio == pytest.approx(10, rel=0.1)
+    total_ratio = (
+        series[-1]["computation_core_s"] / series[0]["computation_core_s"]
+    )
+    assert 5 < total_ratio <= 10
+    comm_ratio = (
+        series[-1]["online_comm_mib"] / series[0]["online_comm_mib"]
+    )
+    assert comm_ratio < 6  # roughly sqrt(10) ~ 3.2, plus linear URL upload

@@ -1,0 +1,91 @@
+"""Extension experiment: multi-cluster probing (SS8.2's hypothetical).
+
+"Querying more clusters could improve search quality, but would
+substantially increase Tiptoe's costs."  This bench quantifies that
+trade on the benchmark corpus: MRR@100 and cluster-hit rate versus the
+number of probed clusters, with the per-query online cost scaling
+linearly in the probe count (each probe is a full ranking query plus a
+URL fetch).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.config import TiptoeConfig
+from repro.evalx.costmodel import MIB, TiptoeCostModel
+from repro.evalx.metrics import mrr_at_k
+from repro.evalx.quality import TiptoeQualitySim
+
+PAPER_DOCS = 364_000_000
+
+
+def test_multiprobe_quality_cost_tradeoff(
+    benchmark, bench_corpus, bench_queries, bench_embedder, bench_embeddings
+):
+    cfg = TiptoeConfig(
+        embedding_dim=64, pca_dim=24, target_cluster_size=8, url_batch_size=10
+    )
+    base = TiptoeQualitySim.build(
+        bench_corpus.texts(),
+        bench_corpus.urls(),
+        cfg,
+        embedder=bench_embedder,
+        embeddings=bench_embeddings,
+        rng=np.random.default_rng(1),
+    )
+    targets = [q.target_doc_id for q in bench_queries.queries]
+    model = TiptoeCostModel()
+    online_mib = model.online_bytes(PAPER_DOCS) / MIB
+    online_core_s = (
+        model.ranking_word_ops(PAPER_DOCS) + model.url_word_ops(PAPER_DOCS)
+    ) / model.ops_per_core_second
+
+    def sweep():
+        rows = []
+        for probes in (1, 2, 4, 8):
+            sim = TiptoeQualitySim(
+                index=base.index, mode="cluster+batch", probes=probes
+            )
+            ranked = [sim.rank(q.text) for q in bench_queries.queries]
+            hit = np.mean(
+                [
+                    any(
+                        c
+                        in sim.index.clusters.doc_to_clusters[t]
+                        for c in sim.index.clusters.nearest_clusters(
+                            sim._embed(q.text)[0], probes
+                        )
+                    )
+                    for q, t in zip(bench_queries.queries, targets)
+                ]
+            )
+            rows.append(
+                {
+                    "probes": probes,
+                    "mrr": mrr_at_k(ranked, targets),
+                    "hit_rate": float(hit),
+                    "online_mib": online_mib * probes,
+                    "core_s": online_core_s * probes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'probes':>7s} {'MRR@100':>8s} {'hit rate':>9s}"
+        f" {'online MiB':>11s} {'core-s':>8s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['probes']:7d} {r['mrr']:8.3f} {r['hit_rate']:9.2f}"
+            f" {r['online_mib']:11.1f} {r['core_s']:8.1f}"
+        )
+    emit("multiprobe_tradeoff", lines)
+
+    # Quality and hit rate improve with probes; cost scales linearly.
+    assert rows[-1]["mrr"] >= rows[0]["mrr"]
+    assert rows[-1]["hit_rate"] > rows[0]["hit_rate"]
+    assert rows[-1]["online_mib"] == pytest.approx(
+        8 * rows[0]["online_mib"]
+    )

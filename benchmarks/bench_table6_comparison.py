@@ -1,0 +1,97 @@
+"""Table 6: Tiptoe vs. private-search alternatives.
+
+Paper rows (per query):
+
+  system                 storage  comm       compute      latency  cost
+  Coeus (5M docs)        0 GiB    50 MiB     12,900 c-s   2.8 s    $0.059
+  client-side index      48 GiB   0          0            0        0
+  Tiptoe text (360M)     0.3 GiB  42+15 MiB  145 c-s      2.7 s    $0.003
+  client-side (image)    98 GiB   0          0            0        0
+  Tiptoe image (400M)    0.7 GiB  50+21 MiB  339 c-s      3.5 s    $0.008
+
+The Tiptoe rows come from the calibrated analytic model (the measured
+system runs at simulation scale; a measured small-scale row is printed
+alongside for grounding).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import TiptoeConfig, TiptoeEngine
+from repro.evalx.baselines import CoeusModel, client_side_index_bytes
+from repro.evalx.costmodel import GIB, MIB, PaperScaleModel
+
+TEXT_DOCS = 364_000_000
+IMAGE_DOCS = 400_000_000
+
+
+def build_rows(bench_corpus):
+    model = PaperScaleModel()
+    coeus = CoeusModel()
+    text = model.text.summary(TEXT_DOCS)
+    image = model.image.summary(IMAGE_DOCS, ranking_vcpus=320, url_vcpus=32)
+    storage = client_side_index_bytes(TEXT_DOCS)
+    storage_img = client_side_index_bytes(IMAGE_DOCS, dim=384)
+
+    # A measured row at simulation scale for grounding.
+    engine = TiptoeEngine.build(
+        bench_corpus.texts()[:400],
+        bench_corpus.urls()[:400],
+        TiptoeConfig(),
+        rng=np.random.default_rng(0),
+    )
+    result = engine.search(
+        bench_corpus.documents[0].text, np.random.default_rng(1)
+    )
+    measured = {
+        "docs": 400,
+        "comm_mib": result.traffic.total_bytes() / MIB,
+        "latency_s": result.perceived_latency,
+    }
+    return coeus, text, image, storage, storage_img, measured
+
+
+def test_table6_comparison(benchmark, bench_corpus):
+    coeus, text, image, storage, storage_img, measured = benchmark.pedantic(
+        build_rows, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    coeus_row = coeus.summary(5_000_000)
+    lines = [
+        f"{'system':26s} {'storageGiB':>10s} {'comm MiB':>10s}"
+        f" {'core-s':>10s} {'latency':>8s} {'$/query':>8s}",
+        f"{'coeus (5M docs)':26s} {0:10.1f} {coeus_row['comm_mib']:10.1f}"
+        f" {coeus_row['core_seconds']:10.0f} {'2.8':>8s}"
+        f" {coeus_row['aws_cost']:8.3f}",
+        f"{'client-side index (text)':26s}"
+        f" {storage['tiptoe_index_bytes'] / GIB:10.1f} {0:10.1f} {0:10.0f}"
+        f" {'0':>8s} {0:8.3f}",
+        f"{'tiptoe text (364M)':26s} {0.3:10.1f} {text['total_mib']:10.1f}"
+        f" {text['core_seconds']:10.0f} {text['perceived_latency_s']:8.1f}"
+        f" {text['aws_cost']:8.3f}",
+        f"{'client-side index (image)':26s}"
+        f" {storage_img['tiptoe_index_bytes'] / GIB:10.1f} {0:10.1f}"
+        f" {0:10.0f} {'0':>8s} {0:8.3f}",
+        f"{'tiptoe image (400M)':26s} {0.7:10.1f} {image['total_mib']:10.1f}"
+        f" {image['core_seconds']:10.0f} {image['perceived_latency_s']:8.1f}"
+        f" {image['aws_cost']:8.3f}",
+        "",
+        f"measured (simulation, {measured['docs']} docs):"
+        f" {measured['comm_mib']:.2f} MiB/query,"
+        f" {measured['latency_s']:.2f} s perceived latency",
+        "",
+        f"coeus-at-C4-scale estimate: {coeus.communication_bytes(TEXT_DOCS) / GIB:.1f} GiB,"
+        f" {coeus.core_seconds(TEXT_DOCS):,.0f} core-s,"
+        f" ${coeus.aws_cost(TEXT_DOCS):.2f}/query",
+    ]
+    emit("table6_comparison", lines)
+
+    # Shape assertions from SS8.3.
+    assert text["total_mib"] == pytest.approx(56.9, rel=0.1)
+    assert coeus.core_seconds(TEXT_DOCS) / text["core_seconds"] > 1000
+    assert coeus.aws_cost(TEXT_DOCS) / text["aws_cost"] > 1000
+    assert storage["tiptoe_index_bytes"] / GIB == pytest.approx(48, rel=0.15)
+    assert image["core_seconds"] > text["core_seconds"]
+    # The measured small-scale system really is private *and* cheap:
+    # well under a MiB of online traffic at this corpus size.
+    assert measured["comm_mib"] < 5

@@ -1,0 +1,50 @@
+"""Shared fixtures and table printing for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and
+prints the corresponding rows/series (run with ``-s`` to see them
+inline; a copy is also written under ``benchmarks/out/``).
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.corpus import QueryBenchmark, SyntheticCorpus, SyntheticCorpusConfig
+from repro.embeddings import LsaEmbedder
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a report block and persist it for later inspection."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The C4 stand-in used by the quality benchmarks."""
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(
+            num_docs=1500, num_topics=30, vocab_size=2500, seed=5
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_corpus):
+    """The MS MARCO stand-in benchmark queries."""
+    return QueryBenchmark.generate(bench_corpus, 200, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def bench_embedder(bench_corpus):
+    return LsaEmbedder.fit(bench_corpus.texts(), dim=64)
+
+
+@pytest.fixture(scope="session")
+def bench_embeddings(bench_corpus, bench_embedder):
+    return bench_embedder.embed_batch(bench_corpus.texts())

@@ -1,0 +1,56 @@
+"""Deployment planner: what would Tiptoe cost at your corpus size?
+
+Uses the calibrated analytic cost model (SS8.5, Fig. 8) to print a
+capacity plan -- per-query communication, compute, latency, AWS cost,
+and a suggested server allocation -- for a corpus size given on the
+command line (default: the paper's 364M-page C4 crawl).
+
+Run:  python examples/deployment_planner.py [num_docs]
+"""
+
+import sys
+
+from repro.evalx.baselines import CoeusModel
+from repro.evalx.costmodel import GIB, TiptoeCostModel
+
+
+def main() -> None:
+    num_docs = int(float(sys.argv[1])) if len(sys.argv) > 1 else 364_000_000
+    model = TiptoeCostModel()
+
+    # Size the fleet like the paper: enough vCPUs to keep each online
+    # phase under ~a second of compute, and every shard within ~10 GiB
+    # of RAM (SS8.1) -- whichever needs more machines.
+    index_bytes = num_docs * model.duplication * (
+        model.dim / 2 + model.url_bytes_per_entry
+    )
+    rank_core_s = model.ranking_word_ops(num_docs) / model.ops_per_core_second
+    url_core_s = model.url_word_ops(num_docs) / model.ops_per_core_second
+    ranking_vcpus = max(4, 4 * round(rank_core_s / 0.9 / 4 + 0.5))
+    url_vcpus = max(4, 4 * round(url_core_s / 0.3 / 4 + 0.5))
+    servers = max(
+        (ranking_vcpus + url_vcpus) // 4, round(index_bytes / (10 * GIB))
+    )
+
+    row = model.summary(
+        num_docs, ranking_vcpus=ranking_vcpus, url_vcpus=url_vcpus
+    )
+    print(f"Tiptoe deployment plan for {num_docs:,} documents")
+    print(f"  index size:          {index_bytes / GIB:8.1f} GiB")
+    print(f"  suggested servers:   {servers:8,d} (r5.xlarge-class)")
+    print(f"  clusters:            {row['clusters']:8,d} of ~{row['cluster_size']:,} docs")
+    print("Per query:")
+    print(f"  ahead-of-time comm:  {row['up_token_mib'] + row['down_token_mib']:8.1f} MiB")
+    print(f"  online comm:         {row['online_mib']:8.1f} MiB")
+    print(f"  server compute:      {row['core_seconds']:8.1f} core-s")
+    print(f"  perceived latency:   {row['perceived_latency_s']:8.2f} s")
+    print(f"  AWS cost:            ${row['aws_cost']:8.4f}")
+    coeus = CoeusModel()
+    print("For comparison, Coeus at the same scale would need:")
+    print(f"  {coeus.communication_bytes(num_docs) / GIB:.1f} GiB of traffic,"
+          f" {coeus.core_seconds(num_docs):,.0f} core-s,"
+          f" ${coeus.aws_cost(num_docs):.2f}/query")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro -- a from-scratch reproduction of Tiptoe (SOSP 2023).
+
+Tiptoe is a private web search engine: clients search a server-held
+corpus while the servers learn nothing about the query, under standard
+lattice assumptions.  See README.md for the architecture overview and
+DESIGN.md for the system inventory and experiment index.
+
+Quickstart::
+
+    from repro import TiptoeConfig, TiptoeEngine
+
+    engine = TiptoeEngine.build(texts, urls, TiptoeConfig())
+    result = engine.new_client().search("knee pain")
+    print(result.urls()[:10])
+"""
+
+from repro.core import (
+    SearchResult,
+    TiptoeClient,
+    TiptoeConfig,
+    TiptoeEngine,
+    TiptoeIndex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SearchResult",
+    "TiptoeClient",
+    "TiptoeConfig",
+    "TiptoeEngine",
+    "TiptoeIndex",
+    "__version__",
+]

@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+demo
+    Build a synthetic deployment and run one private query.
+plan
+    Print the analytic cost plan for a corpus size (SS8.5).
+quality
+    Quick search-quality evaluation (a small Fig. 4).
+params
+    Print the LWE parameter table for a ciphertext modulus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import TiptoeConfig, TiptoeEngine
+    from repro.corpus import SyntheticCorpus, SyntheticCorpusConfig
+
+    corpus = SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=args.docs, seed=args.seed)
+    )
+    engine = TiptoeEngine.build(
+        corpus.texts(),
+        corpus.urls(),
+        TiptoeConfig(),
+        rng=np.random.default_rng(args.seed),
+    )
+    query = args.query or corpus.documents[0].text[:60]
+    result = engine.search(query, np.random.default_rng(args.seed + 1))
+    print(f"query: {query!r}")
+    for r in result.results[:args.top]:
+        print(f"  score={r.score:6d}  {r.url or '(outside fetched batch)'}")
+    up, down = result.traffic.bytes_up(), result.traffic.bytes_down()
+    print(f"traffic: {up:,} B up / {down:,} B down"
+          f"  latency: {result.perceived_latency:.2f} s")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.evalx.costmodel import TiptoeCostModel
+
+    model = TiptoeCostModel(dim=args.dim)
+    row = model.summary(args.docs)
+    for key, value in row.items():
+        print(f"{key:24s} {value:,.3f}" if isinstance(value, float)
+              else f"{key:24s} {value:,}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.core.config import TiptoeConfig
+    from repro.corpus import QueryBenchmark, SyntheticCorpus, SyntheticCorpusConfig
+    from repro.embeddings import TfidfRetriever
+    from repro.evalx.quality import TiptoeQualitySim, evaluate_systems
+
+    corpus = SyntheticCorpus.generate(
+        SyntheticCorpusConfig(
+            num_docs=args.docs, num_topics=max(6, args.docs // 50),
+            vocab_size=max(600, args.docs), seed=args.seed,
+        )
+    )
+    bench = QueryBenchmark.generate(
+        corpus, args.queries, np.random.default_rng(args.seed)
+    )
+    tiptoe = TiptoeQualitySim.build(
+        corpus.texts(), corpus.urls(),
+        TiptoeConfig(target_cluster_size=max(6, args.docs // 80)),
+        rng=np.random.default_rng(args.seed),
+    )
+    report = evaluate_systems(
+        bench,
+        {"tiptoe": tiptoe, "tfidf": TfidfRetriever(corpus.texts())},
+    )
+    for name in report.ordering():
+        print(f"{name:10s} MRR@100 = {report.mrr[name]:.3f}")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.lwe.params import (
+        PAPER_TABLE_11,
+        PAPER_TABLE_12,
+        max_plaintext_modulus,
+    )
+
+    table = PAPER_TABLE_11 if args.q_bits == 32 else PAPER_TABLE_12
+    print(f"{'m':>10s} {'p (ours)':>10s} {'p (paper)':>10s}")
+    for m in sorted(table):
+        p_paper, _, sigma = table[m]
+        print(f"{m:10,d} {max_plaintext_modulus(m, args.q_bits, sigma):10,d}"
+              f" {p_paper:10,d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tiptoe private-search reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one private query")
+    demo.add_argument("--docs", type=int, default=400)
+    demo.add_argument("--query", type=str, default=None)
+    demo.add_argument("--top", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    plan = sub.add_parser("plan", help="analytic cost plan (SS8.5)")
+    plan.add_argument("docs", type=int)
+    plan.add_argument("--dim", type=int, default=192)
+    plan.set_defaults(func=_cmd_plan)
+
+    quality = sub.add_parser("quality", help="quick quality evaluation")
+    quality.add_argument("--docs", type=int, default=500)
+    quality.add_argument("--queries", type=int, default=50)
+    quality.add_argument("--seed", type=int, default=0)
+    quality.set_defaults(func=_cmd_quality)
+
+    params = sub.add_parser("params", help="LWE parameter table")
+    params.add_argument("--q-bits", type=int, choices=(32, 64), default=32)
+    params.set_defaults(func=_cmd_params)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer (head, less) that closed early.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

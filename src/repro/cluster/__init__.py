@@ -1,0 +1,21 @@
+"""Document clustering for the ranking service (SS3.1, SS7).
+
+Clustering is what makes Tiptoe's communication scale as sqrt(N): the
+client downloads cluster centroids ahead of time, then privately asks
+for the scores of just one cluster's documents.  The paper clusters
+with a k-means variant (trained on a corpus sample), recursively
+splits oversized clusters, and assigns the 20% of documents nearest a
+cluster boundary to two clusters.
+"""
+
+from repro.cluster.assign import ClusterIndex
+from repro.cluster.balance import split_oversized
+from repro.cluster.kmeans import KmeansResult, kmeans_plus_plus_init, spherical_kmeans
+
+__all__ = [
+    "ClusterIndex",
+    "KmeansResult",
+    "kmeans_plus_plus_init",
+    "spherical_kmeans",
+    "split_oversized",
+]

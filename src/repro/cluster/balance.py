@@ -1,0 +1,88 @@
+"""Recursive splitting of oversized clusters (SS7).
+
+The private-ranking matrix is padded to the *largest* cluster, so one
+giant cluster inflates everyone's cost.  The paper "recursively
+split[s] large clusters into multiple smaller ones"; this module does
+exactly that: any cluster above ``max_size`` is re-clustered with
+spherical k-means into enough parts to fit, recursing until all
+clusters comply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import spherical_kmeans
+
+
+def split_oversized(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    max_size: int,
+    rng: np.random.Generator,
+    max_depth: int = 16,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (new_centroids, new_labels) with every cluster <= max_size.
+
+    Clusters already within bounds keep their centroid; oversized ones
+    are replaced by their sub-cluster centroids.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be positive")
+    data = np.asarray(data, dtype=np.float64)
+    new_centroids: list[np.ndarray] = []
+    new_labels = np.empty(len(labels), dtype=np.int64)
+    for c in range(centroids.shape[0]):
+        member_ids = np.nonzero(labels == c)[0]
+        _assign_split(
+            data,
+            member_ids,
+            centroids[c],
+            max_size,
+            rng,
+            new_centroids,
+            new_labels,
+            max_depth,
+        )
+    return np.stack(new_centroids), new_labels
+
+
+def _assign_split(
+    data: np.ndarray,
+    member_ids: np.ndarray,
+    centroid: np.ndarray,
+    max_size: int,
+    rng: np.random.Generator,
+    out_centroids: list[np.ndarray],
+    out_labels: np.ndarray,
+    depth: int,
+) -> None:
+    if len(member_ids) == 0:
+        return
+    if len(member_ids) <= max_size or depth == 0:
+        if depth == 0 and len(member_ids) > max_size:
+            # Degenerate data (e.g., many identical points): fall back
+            # to arbitrary chunking so the size bound still holds.
+            for start in range(0, len(member_ids), max_size):
+                chunk = member_ids[start : start + max_size]
+                out_labels[chunk] = len(out_centroids)
+                out_centroids.append(centroid)
+            return
+        out_labels[member_ids] = len(out_centroids)
+        out_centroids.append(centroid)
+        return
+    parts = min(len(member_ids), -(-len(member_ids) // max_size))
+    sub = spherical_kmeans(data[member_ids], parts, rng)
+    for sub_c in range(sub.k):
+        sub_ids = member_ids[sub.labels == sub_c]
+        _assign_split(
+            data,
+            sub_ids,
+            sub.centroids[sub_c],
+            max_size,
+            rng,
+            out_centroids,
+            out_labels,
+            depth - 1,
+        )

@@ -1,0 +1,92 @@
+"""IVF (inverted-file) approximate nearest-neighbor search.
+
+The paper's batch jobs use Faiss for clustering and nearest-neighbor
+search (SS7); this is the equivalent substrate built on our spherical
+k-means: an inverted file of cluster -> member vectors, searched by
+probing the ``nprobe`` closest centroids.  ``nprobe = 1`` is exactly
+the retrieval behavior Tiptoe's private protocol implements; larger
+``nprobe`` is the non-private headroom the paper alludes to when it
+notes that "querying more clusters could improve search quality, but
+would substantially increase Tiptoe's costs" (SS8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.assign import ClusterIndex
+
+
+@dataclass
+class IvfIndex:
+    """An inverted-file index over unit-norm embeddings."""
+
+    clusters: ClusterIndex
+    embeddings: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        embeddings: np.ndarray,
+        target_cluster_size: int,
+        rng: np.random.Generator,
+        boundary_fraction: float = 0.0,
+    ) -> "IvfIndex":
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        clusters = ClusterIndex.build(
+            embeddings,
+            target_cluster_size=target_cluster_size,
+            rng=rng,
+            boundary_fraction=boundary_fraction,
+        )
+        return cls(clusters=clusters, embeddings=embeddings)
+
+    @property
+    def nlist(self) -> int:
+        """Number of inverted lists (clusters)."""
+        return self.clusters.num_clusters
+
+    def search(
+        self, query: np.ndarray, k: int = 10, nprobe: int = 1
+    ) -> list[int]:
+        """Top-k document ids from the ``nprobe`` closest lists."""
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError(f"nprobe must be in [1, {self.nlist}]")
+        query = np.asarray(query, dtype=np.float64)
+        probed = self.clusters.nearest_clusters(query, nprobe)
+        candidates: list[int] = []
+        seen: set[int] = set()
+        for cluster in probed:
+            for doc in self.clusters.assignments[cluster]:
+                if doc not in seen:
+                    seen.add(doc)
+                    candidates.append(doc)
+        if not candidates:
+            return []
+        scores = self.embeddings[candidates] @ query
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [candidates[int(i)] for i in order]
+
+    def exhaustive_search(self, query: np.ndarray, k: int = 10) -> list[int]:
+        """Ground truth: scan every vector."""
+        scores = self.embeddings @ np.asarray(query, dtype=np.float64)
+        return [int(i) for i in np.argsort(-scores, kind="stable")[:k]]
+
+    def recall_at_k(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: int = 1,
+    ) -> float:
+        """Fraction of exhaustive top-k recovered by probed search."""
+        queries = np.atleast_2d(queries)
+        hits = 0
+        total = 0
+        for q in queries:
+            truth = set(self.exhaustive_search(q, k))
+            got = set(self.search(q, k, nprobe))
+            hits += len(truth & got)
+            total += len(truth)
+        return hits / max(1, total)

@@ -1,0 +1,104 @@
+"""Spherical k-means with k-means++ initialization, from scratch.
+
+Embeddings are unit vectors compared by inner product (SS3.1), so the
+natural clustering is spherical k-means: assign points to the centroid
+with the largest dot product, recompute centroids as normalized means.
+The paper computes centroids on a ~10M-document sample of the corpus
+and then assigns every document to its nearest centroid (SS7);
+:func:`spherical_kmeans` takes an optional ``sample_size`` for the
+same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(matrix, norms, out=np.zeros_like(matrix), where=norms > 0)
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart.
+
+    Uses squared cosine distance (1 - x . c) as the sampling weight.
+    """
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[rng.integers(n)]
+    best_sim = data @ centroids[0]
+    for i in range(1, k):
+        weights = np.maximum(1.0 - best_sim, 0.0) ** 2
+        total = weights.sum()
+        if total <= 0:
+            idx = rng.integers(n)
+        else:
+            idx = rng.choice(n, p=weights / total)
+        centroids[i] = data[idx]
+        best_sim = np.maximum(best_sim, data @ centroids[i])
+    return centroids
+
+
+@dataclass
+class KmeansResult:
+    """Unit-norm centroids plus the per-point cluster labels."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def spherical_kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int = 50,
+    sample_size: int | None = None,
+) -> KmeansResult:
+    """Cluster unit vectors by inner-product similarity.
+
+    When ``sample_size`` is given, centroids are trained on a random
+    sample and then every point is assigned to its nearest centroid --
+    the paper's large-corpus procedure (SS7).
+    """
+    data = _normalize_rows(np.asarray(data, dtype=np.float64))
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} must be in [1, {n}]")
+    train = data
+    if sample_size is not None and sample_size < n:
+        train = data[rng.choice(n, size=sample_size, replace=False)]
+    centroids = kmeans_plus_plus_init(train, k, rng)
+    iterations = 0
+    prev_labels = None
+    for iterations in range(1, max_iter + 1):
+        sims = train @ centroids.T
+        labels = np.argmax(sims, axis=1)
+        if prev_labels is not None and np.array_equal(labels, prev_labels):
+            break
+        prev_labels = labels
+        for c in range(k):
+            members = train[labels == c]
+            if len(members) == 0:
+                # Reseed an empty cluster at the worst-served point.
+                worst = np.argmin(np.max(sims, axis=1))
+                centroids[c] = train[worst]
+            else:
+                centroids[c] = members.mean(axis=0)
+        centroids = _normalize_rows(centroids)
+    final_labels = np.argmax(data @ centroids.T, axis=1)
+    return KmeansResult(
+        centroids=centroids, labels=final_labels, iterations=iterations
+    )

@@ -1,0 +1,196 @@
+"""The Tiptoe client (SS3.2).
+
+One search runs the three numbered steps of the architecture figure:
+embed the query locally, rank privately within the nearest cluster,
+and fetch the winning URL batch privately.  Every byte that crosses
+the (simulated) network is logged with its phase, and each search
+consumes exactly one query token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ranking import RankingAnswer, RankingClient
+from repro.core.url_service import UrlServiceClient
+from repro.embeddings.quantize import quantize
+from repro.homenc.token import QueryToken
+from repro.lwe import sampling
+from repro.net import wire
+from repro.net.rpc import RpcChannel
+from repro.net.transport import LinkModel, TrafficLog
+from repro.pir.simplepir import PirAnswer
+
+
+@dataclass(frozen=True)
+class ScoredResult:
+    """One ranked search result."""
+
+    position: int  # global layout position (what the URL service keys on)
+    cluster: int
+    row: int
+    score: int  # quantized inner-product score
+    url: str | None  # None if outside the fetched batch
+
+
+@dataclass
+class SearchResult:
+    """Everything one private search produced."""
+
+    query: str
+    cluster: int
+    results: list[ScoredResult]
+    traffic: TrafficLog
+    perceived_latency: float
+    token_latency: float
+
+    def urls(self) -> list[str]:
+        return [r.url for r in self.results if r.url]
+
+    def top_positions(self) -> list[int]:
+        return [r.position for r in self.results]
+
+
+class TiptoeClient:
+    """A stateful client bound to one Tiptoe deployment."""
+
+    def __init__(
+        self,
+        engine,
+        rng: np.random.Generator | None = None,
+    ):
+        self.engine = engine
+        self.rng = rng if rng is not None else sampling.system_rng()
+        meta = engine.index.client_metadata()
+        self.metadata = meta
+        self.ranking = RankingClient(
+            engine.index.ranking_scheme,
+            dim=meta.dim,
+            num_clusters=len(meta.cluster_sizes),
+        )
+        self.url_client = UrlServiceClient(
+            scheme=engine.index.url_scheme,
+            db_meta=engine.index.url_db,
+            batch_size=meta.url_batch_size,
+        )
+        self._tokens: list[QueryToken] = []
+
+    # -- token management (the ahead-of-time phase, SS6.3) -------------------
+
+    def fetch_tokens(self, count: int = 1) -> None:
+        """Stockpile query tokens before deciding on any query."""
+        for _ in range(count):
+            self._tokens.append(self.engine.mint_token(self.rng))
+
+    def tokens_available(self) -> int:
+        return len(self._tokens)
+
+    # -- the query path -------------------------------------------------------
+
+    def embed_query(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Local query embedding: model, PCA, quantization."""
+        vec = self.engine.embed_query(text)
+        gain = self.metadata.quantization_gain
+        quantized = quantize(vec * gain, self.engine.index.config.quantization())
+        return vec, quantized
+
+    def search(self, text: str) -> SearchResult:
+        """One full private search; consumes one token (fetched lazily)."""
+        if not self._tokens:
+            self.fetch_tokens(1)
+        token = self._tokens.pop(0)
+        traffic = TrafficLog()
+        traffic.record("token", "up", token.upload_bytes)
+        traffic.record("token", "down", token.download_bytes)
+        keys, hint_products = token.consume()
+
+        # Step 1: embed locally; pick the nearest cached centroid.
+        vec, quantized = self.embed_query(text)
+        cluster = int(np.argmax(self.metadata.centroids @ vec))
+
+        # Step 2: private ranking within that cluster.  Queries travel
+        # as serialized RPC messages; the channel logs real wire sizes.
+        channel = RpcChannel(traffic)
+        rank_query = self.ranking.build_query(
+            keys["ranking"], quantized, cluster, self.rng
+        )
+        body = channel.call(
+            self.engine.ranking_endpoint,
+            "ranking",
+            "answer",
+            wire.encode_ciphertext(rank_query.ciphertext),
+        )
+        values, q_bits = wire.decode_answer(body)
+        rank_answer = RankingAnswer(
+            values=values, bytes_per_element=q_bits // 8
+        )
+        scores = self.ranking.decode_scores(
+            keys["ranking"], rank_answer, hint_products["ranking"]
+        )
+        real_rows = int(self.metadata.cluster_sizes[cluster])
+        scores = scores[:real_rows]
+        order = np.argsort(-scores, kind="stable")
+        k = self.metadata.results_per_query
+        top_rows = [int(r) for r in order[:k]]
+
+        # Step 3: private URL fetch for the batch of the best match.
+        offset = int(self.metadata.cluster_offsets[cluster])
+        best_storage = self.engine.storage_position(offset + top_rows[0])
+        batch_index = self.url_client.batch_of_position(best_storage)
+        url_query = self.url_client.build_query(
+            keys["url"], batch_index, self.rng
+        )
+        body = channel.call(
+            self.engine.url_endpoint,
+            "url",
+            "answer",
+            wire.encode_ciphertext(url_query.ciphertext),
+        )
+        values, q_bits = wire.decode_answer(body)
+        url_answer = PirAnswer(values=values, bytes_per_element=q_bits // 8)
+        batch_urls = self.url_client.recover_batch(
+            keys["url"], url_answer, hint_products["url"]
+        )
+
+        results = []
+        for row in top_rows:
+            position = offset + row
+            storage = self.engine.storage_position(position)
+            url = batch_urls.get(storage) or None
+            results.append(
+                ScoredResult(
+                    position=position,
+                    cluster=cluster,
+                    row=row,
+                    score=int(scores[row]),
+                    url=url,
+                )
+            )
+        link = self.engine.link
+        return SearchResult(
+            query=text,
+            cluster=cluster,
+            results=results,
+            traffic=traffic,
+            perceived_latency=traffic.simulated_latency(
+                link, ["ranking", "url"]
+            ),
+            token_latency=traffic.simulated_latency(link, ["token"]),
+        )
+
+    def search_hybrid(self, text: str) -> tuple[SearchResult, list[int]]:
+        """Semantic search plus the SS9 exact-keyword backends.
+
+        Returns the normal semantic result and the merged doc-id
+        ranking (exact hits first).  Requires the engine to have an
+        attached :class:`~repro.core.exact_backend.ExactSearchSuite`;
+        without one this is identical to :meth:`search`.
+        """
+        result = self.search(text)
+        semantic_ids = self.engine.result_doc_ids(result)
+        suite = getattr(self.engine, "exact_suite", None)
+        if suite is None:
+            return result, semantic_ids
+        return result, suite.merge_results(text, semantic_ids, self.rng)

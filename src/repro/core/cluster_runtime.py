@@ -1,0 +1,262 @@
+"""Coordinator and sharded workers (SS4.3).
+
+The ranking matrix is vertically partitioned by cluster across W
+workers: worker i holds the column blocks of its clusters.  The
+coordinator splits the client's ciphertext -- the ciphertext is a
+vector over the same columns, so the split is a plain slice -- ships
+chunk i to worker i, and sums the partial answers mod q.  If any
+worker fails mid-query the coordinator cannot reply (the paper notes
+the same limitation and the replication remedy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostLedger
+from repro.core.ranking import RankingAnswer, RankingQuery
+from repro.homenc.double import DoubleLheScheme
+from repro.lwe import modular
+
+
+class WorkerFailure(RuntimeError):
+    """A worker shard did not answer; the query cannot complete."""
+
+
+@dataclass
+class RankingWorker:
+    """One shard: a contiguous range of cluster column-blocks."""
+
+    worker_id: int
+    matrix_slice: np.ndarray  # (rows, cols of this shard)
+    col_start: int
+    q_bits: int
+    alive: bool = True
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    def answer_chunk(self, ct_chunk: np.ndarray) -> np.ndarray:
+        if not self.alive:
+            raise WorkerFailure(f"worker {self.worker_id} is down")
+        if len(ct_chunk) != self.matrix_slice.shape[1]:
+            raise ValueError("ciphertext chunk does not match shard width")
+        self.ledger.add(
+            "ranking", 2 * self.matrix_slice.shape[0] * self.matrix_slice.shape[1]
+        )
+        return modular.matmul(self.matrix_slice, ct_chunk, self.q_bits)
+
+    def storage_bytes(self) -> int:
+        """Shard size at 4-bit entries (what bounds RAM per machine)."""
+        return self.matrix_slice.size // 2
+
+
+@dataclass
+class ShardedRankingService:
+    """The coordinator plus its worker fleet.
+
+    With ``parallel=True`` the coordinator fans chunks out to a thread
+    pool -- NumPy's integer matmul releases the GIL, so shards really
+    do run concurrently, mirroring the paper's parallel workers.
+    """
+
+    workers: list[RankingWorker]
+    scheme: DoubleLheScheme
+    ledger: CostLedger = field(default_factory=CostLedger)
+    parallel: bool = False
+    _pool: object = field(default=None, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        scheme: DoubleLheScheme,
+        matrix: np.ndarray,
+        dim: int,
+        num_workers: int,
+    ) -> "ShardedRankingService":
+        """Partition the matrix by cluster across workers."""
+        num_clusters = matrix.shape[1] // dim
+        num_workers = min(num_workers, num_clusters)
+        bounds = np.linspace(0, num_clusters, num_workers + 1).astype(int)
+        workers = []
+        q_bits = scheme.params.inner.q_bits
+        for w in range(num_workers):
+            col_start = bounds[w] * dim
+            col_end = bounds[w + 1] * dim
+            # Shards are stored pre-lifted into the ring so the online
+            # hot loop is a bare integer matmul.
+            workers.append(
+                RankingWorker(
+                    worker_id=w,
+                    matrix_slice=modular.to_ring(
+                        matrix[:, col_start:col_end], q_bits
+                    ),
+                    col_start=col_start,
+                    q_bits=q_bits,
+                )
+            )
+        return cls(workers=workers, scheme=scheme)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def answer(self, query: RankingQuery) -> RankingAnswer:
+        """Fan out the ciphertext, sum the partial answers."""
+        q_bits = self.scheme.params.inner.q_bits
+        ct = query.ciphertext.c
+
+        def run(worker: RankingWorker) -> np.ndarray:
+            width = worker.matrix_slice.shape[1]
+            chunk = ct[worker.col_start : worker.col_start + width]
+            return worker.answer_chunk(chunk)
+
+        if self.parallel and len(self.workers) > 1:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self.workers)
+                )
+            partials = list(self._pool.map(run, self.workers))
+        else:
+            partials = [run(w) for w in self.workers]
+        total = partials[0]
+        for partial in partials[1:]:
+            total = modular.add(total, partial, q_bits)
+        for worker in self.workers:
+            self.ledger.merge(worker.ledger)
+            worker.ledger = CostLedger()
+        return RankingAnswer(
+            values=total,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )
+
+    def answer_batch(self, queries: list[RankingQuery]) -> list[RankingAnswer]:
+        """Answer several queries in one pass over the index.
+
+        Stacking the ciphertexts into a matrix turns B matrix-vector
+        products into one matrix-matrix product -- the standard
+        server-side batching that lifts sustained throughput (the
+        index is streamed from memory once per batch instead of once
+        per query).  Answers are bit-identical to individual calls.
+        """
+        if not queries:
+            return []
+        q_bits = self.scheme.params.inner.q_bits
+        stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
+        total = None
+        for worker in self.workers:
+            if not worker.alive:
+                raise WorkerFailure(f"worker {worker.worker_id} is down")
+            width = worker.matrix_slice.shape[1]
+            chunk = stacked[worker.col_start : worker.col_start + width]
+            partial = modular.matmul(worker.matrix_slice, chunk, q_bits)
+            worker.ledger.add(
+                "ranking", 2 * worker.matrix_slice.size * len(queries)
+            )
+            total = partial if total is None else modular.add(
+                total, partial, q_bits
+            )
+            self.ledger.merge(worker.ledger)
+            worker.ledger = CostLedger()
+        per_element = self.scheme.params.inner.bytes_per_element
+        return [
+            RankingAnswer(values=total[:, i], bytes_per_element=per_element)
+            for i in range(len(queries))
+        ]
+
+    def fail_worker(self, worker_id: int) -> None:
+        """Failure injection for tests/benchmarks."""
+        self.workers[worker_id].alive = False
+
+    def revive_worker(self, worker_id: int) -> None:
+        self.workers[worker_id].alive = True
+
+    def max_shard_bytes(self) -> int:
+        return max(w.storage_bytes() for w in self.workers)
+
+
+@dataclass
+class ReplicatedRankingService:
+    """Sharded ranking with per-shard replication (SS4.3).
+
+    "To improve latency and fault-tolerance at some operating cost,
+    the coordinator could farm out each task to multiple machines."
+    Each shard is served by ``replicas`` identical workers; a query
+    survives any failure pattern that leaves one live replica per
+    shard.  Storage cost is ``replicas`` times the base deployment.
+    """
+
+    replica_groups: list[list[RankingWorker]]
+    scheme: DoubleLheScheme
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    @classmethod
+    def build(
+        cls,
+        scheme: DoubleLheScheme,
+        matrix: np.ndarray,
+        dim: int,
+        num_workers: int,
+        replicas: int = 2,
+    ) -> "ReplicatedRankingService":
+        if replicas < 1:
+            raise ValueError("need at least one replica per shard")
+        base = ShardedRankingService.build(scheme, matrix, dim, num_workers)
+        groups = []
+        for worker in base.workers:
+            groups.append(
+                [
+                    RankingWorker(
+                        worker_id=worker.worker_id * replicas + r,
+                        matrix_slice=worker.matrix_slice,
+                        col_start=worker.col_start,
+                        q_bits=worker.q_bits,
+                    )
+                    for r in range(replicas)
+                ]
+            )
+        return cls(replica_groups=groups, scheme=scheme)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.replica_groups[0])
+
+    def answer(self, query: RankingQuery) -> RankingAnswer:
+        """Fan out each chunk to the first live replica of its shard."""
+        q_bits = self.scheme.params.inner.q_bits
+        ct = query.ciphertext.c
+        total = None
+        for group in self.replica_groups:
+            partial = None
+            for worker in group:
+                if not worker.alive:
+                    continue
+                width = worker.matrix_slice.shape[1]
+                chunk = ct[worker.col_start : worker.col_start + width]
+                partial = worker.answer_chunk(chunk)
+                self.ledger.merge(worker.ledger)
+                worker.ledger = CostLedger()
+                break
+            if partial is None:
+                raise WorkerFailure(
+                    f"all replicas of shard at column {group[0].col_start}"
+                    " are down"
+                )
+            total = partial if total is None else modular.add(
+                total, partial, q_bits
+            )
+        return RankingAnswer(
+            values=total,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )
+
+    def fail_worker(self, shard: int, replica: int) -> None:
+        self.replica_groups[shard][replica].alive = False
+
+    def storage_bytes(self) -> int:
+        """Total fleet storage -- ``replicas`` times the base index."""
+        return sum(
+            w.storage_bytes() for group in self.replica_groups for w in group
+        )

@@ -1,0 +1,51 @@
+"""Compute-cost accounting in word operations and core-seconds.
+
+The paper reports server compute in core-seconds of r5.xlarge vCPUs
+(SS8.1) and models the crypto cost as ~2 word operations per matrix
+entry (SS6.1).  The simulation counts word operations exactly and
+converts with a calibrated throughput constant; benches can substitute
+a machine-measured constant.
+
+Calibration of the default: Table 7 reports ranking throughput of 2.9
+queries/s on 160 vCPUs over 364M documents with 192-dim embeddings and
+1.2x duplication -- ~1.7e11 word ops in 55 core-seconds, i.e. ~3.0e9
+word-ops per core-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Word-ops per core-second implied by the paper's reported numbers.
+PAPER_WORD_OPS_PER_CORE_SECOND = 3.0e9
+
+
+@dataclass
+class CostLedger:
+    """Accumulates per-component server work for one query or job."""
+
+    word_ops: dict[str, int] = field(default_factory=dict)
+
+    def add(self, component: str, ops: int) -> None:
+        if ops < 0:
+            raise ValueError("operation counts cannot be negative")
+        self.word_ops[component] = self.word_ops.get(component, 0) + int(ops)
+
+    def total_ops(self, component: str | None = None) -> int:
+        if component is not None:
+            return self.word_ops.get(component, 0)
+        return sum(self.word_ops.values())
+
+    def core_seconds(
+        self,
+        component: str | None = None,
+        ops_per_core_second: float = PAPER_WORD_OPS_PER_CORE_SECOND,
+    ) -> float:
+        """Convert counted ops to core-seconds at a given throughput."""
+        if ops_per_core_second <= 0:
+            raise ValueError("throughput must be positive")
+        return self.total_ops(component) / ops_per_core_second
+
+    def merge(self, other: "CostLedger") -> None:
+        for component, ops in other.word_ops.items():
+            self.add(component, ops)

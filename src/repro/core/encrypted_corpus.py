@@ -1,0 +1,159 @@
+"""Private search over client-encrypted documents (SS9).
+
+The client processes its own corpus exactly as Tiptoe's batch jobs
+process a public one -- embed, cluster, keep the centroids -- but
+uploads *encrypted* embeddings to the server.  At query time the
+ranking step must multiply the client's encrypted query with each
+encrypted document vector, which needs the degree-two scheme of
+:mod:`repro.homenc.degree2`.  The server learns neither the query nor
+anything about the corpus beyond its size; the client learns the
+scores for its chosen cluster.
+
+URLs (or any per-document metadata) are stored encrypted under a
+stream cipher derived from the client key and fetched exactly as in
+the public pipeline (PIR hides *which*, encryption hides *what*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import ClusterIndex
+from repro.embeddings.quantize import QuantizationConfig, quantize
+from repro.homenc.degree2 import (
+    Degree2Ciphertext,
+    Degree2Params,
+    Degree2Scheme,
+)
+
+
+def _keystream(key: bytes, index: int, length: int) -> bytes:
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hashlib.blake2b(
+            key + index.to_bytes(4, "little") + counter.to_bytes(4, "little"),
+            digest_size=64,
+        ).digest()
+        counter += 1
+    return out[:length]
+
+
+def seal_metadata(key: bytes, index: int, plaintext: bytes) -> bytes:
+    """Encrypt one metadata record with a per-record keystream."""
+    stream = _keystream(key, index, len(plaintext))
+    return bytes(x ^ y for x, y in zip(plaintext, stream))
+
+
+def open_metadata(key: bytes, index: int, sealed: bytes) -> bytes:
+    return seal_metadata(key, index, sealed)  # XOR is its own inverse
+
+
+@dataclass
+class EncryptedCorpusServer:
+    """The oblivious server: encrypted vectors + sealed metadata."""
+
+    encrypted_docs: list[Degree2Ciphertext]
+    sealed_metadata: list[bytes]
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.encrypted_docs)
+
+    def score_cluster(
+        self, query: Degree2Ciphertext, doc_ids: list[int]
+    ) -> list:
+        """Degree-two inner products for the requested documents.
+
+        In the full protocol the client hides the cluster with the
+        same augmented-vector trick as SS4 (padded to every cluster);
+        this reference implementation exposes the per-cluster
+        computation the paper describes, scoring the listed rows.
+        """
+        return [
+            Degree2Scheme.inner_product(query, self.encrypted_docs[d])
+            for d in doc_ids
+        ]
+
+
+@dataclass
+class EncryptedCorpusClient:
+    """The data owner: keys, centroids, and the local batch jobs."""
+
+    scheme: Degree2Scheme
+    secret: np.ndarray
+    metadata_key: bytes
+    clusters: ClusterIndex
+    quantization: QuantizationConfig
+
+    @classmethod
+    def build(
+        cls,
+        embeddings: np.ndarray,
+        metadata: list[bytes],
+        target_cluster_size: int,
+        rng: np.random.Generator,
+        params: Degree2Params | None = None,
+        precision_bits: int = 4,
+    ) -> tuple["EncryptedCorpusClient", EncryptedCorpusServer]:
+        """Run the client-side batch jobs and produce the server state."""
+        if len(metadata) != embeddings.shape[0]:
+            raise ValueError("need one metadata record per document")
+        scheme = Degree2Scheme(params)
+        secret = scheme.gen_secret(rng)
+        metadata_key = rng.bytes(32)
+        quant_cfg = QuantizationConfig(precision_bits=precision_bits)
+        clusters = ClusterIndex.build(
+            embeddings,
+            target_cluster_size=target_cluster_size,
+            rng=rng,
+            boundary_fraction=0.0,
+        )
+        quantized = quantize(embeddings, quant_cfg)
+        encrypted = [
+            scheme.encrypt_vector(secret, quantized[i], rng)
+            for i in range(embeddings.shape[0])
+        ]
+        sealed = [
+            seal_metadata(metadata_key, i, record)
+            for i, record in enumerate(metadata)
+        ]
+        client = cls(
+            scheme=scheme,
+            secret=secret,
+            metadata_key=metadata_key,
+            clusters=clusters,
+            quantization=quant_cfg,
+        )
+        server = EncryptedCorpusServer(
+            encrypted_docs=encrypted, sealed_metadata=sealed
+        )
+        return client, server
+
+    def search(
+        self,
+        server: EncryptedCorpusServer,
+        query_embedding: np.ndarray,
+        rng: np.random.Generator,
+        k: int = 5,
+    ) -> list[tuple[int, int, bytes]]:
+        """One private search: (doc_id, score, metadata) best-first."""
+        cluster = self.clusters.nearest_cluster(query_embedding)
+        doc_ids = self.clusters.assignments[cluster]
+        q = quantize(query_embedding, self.quantization)
+        enc_query = self.scheme.encrypt_vector(self.secret, q, rng)
+        answers = server.score_cluster(enc_query, doc_ids)
+        scored = [
+            (doc, self.scheme.decrypt_score(self.secret, ans))
+            for doc, ans in zip(doc_ids, answers)
+        ]
+        scored.sort(key=lambda pair: -pair[1])
+        return [
+            (doc, score, open_metadata(
+                self.metadata_key, doc, server.sealed_metadata[doc]
+            ))
+            for doc, score in scored[:k]
+        ]

@@ -1,0 +1,247 @@
+"""Top-level assembly: index + services + clients (the public API).
+
+    from repro import TiptoeEngine, TiptoeConfig
+    engine = TiptoeEngine.build(texts, urls, TiptoeConfig())
+    client = engine.new_client()
+    result = client.search("knee pain")
+    print(result.urls()[:10])
+
+The engine owns the two client-facing services (sharded ranking + URL
+PIR), the token factory, and the simulated client link.  For
+text-to-image search, pass precomputed image embeddings and a query
+embedder (see :func:`TiptoeEngine.build_from_embeddings`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.client import TiptoeClient
+from repro.core.cluster_runtime import ShardedRankingService
+from repro.core.config import TiptoeConfig
+from repro.core.indexer import TiptoeIndex
+from repro.core.ranking import RankingQuery
+from repro.core.url_service import UrlService
+from repro.homenc.token import QueryToken
+from repro.homenc.token import make_client_keys
+from repro.lwe import sampling
+from repro.lwe.regev import Ciphertext
+from repro.net import wire
+from repro.net.rpc import RpcChannel, ServiceEndpoint
+from repro.net.transport import LinkModel, TrafficLog
+from repro.pir.simplepir import PirQuery
+
+
+class TiptoeEngine:
+    """One Tiptoe deployment: batch-job output plus running services."""
+
+    def __init__(
+        self,
+        index: TiptoeIndex,
+        link: LinkModel | None = None,
+        query_embedder=None,
+    ):
+        self.index = index
+        self.link = link if link is not None else LinkModel()
+        self.ranking_service = ShardedRankingService.build(
+            index.ranking_scheme,
+            index.layout.matrix,
+            dim=index.layout.dim,
+            num_workers=index.config.num_workers,
+        )
+        self.url_service = UrlService(index.url_db, index.url_scheme)
+        self._query_embedder = query_embedder
+        self._build_endpoints()
+
+    def _build_endpoints(self) -> None:
+        """Serialized service interfaces -- what the network carries."""
+        self.ranking_endpoint = ServiceEndpoint("ranking")
+        self.ranking_endpoint.register("answer", self._handle_ranking)
+        self.url_endpoint = ServiceEndpoint("url")
+        self.url_endpoint.register("answer", self._handle_url)
+        self.token_endpoint = ServiceEndpoint("token")
+        self.token_endpoint.register("mint", self._handle_mint)
+        self.hint_endpoint = ServiceEndpoint("hint")
+        self.hint_endpoint.register("ranking", self._handle_ranking_hint)
+        self.hint_endpoint.register("url", self._handle_url_hint)
+
+    def _handle_ranking_hint(self, payload: bytes) -> bytes:
+        return wire.encode_matrix(
+            self.index.ranking_prep.hint,
+            self.index.ranking_scheme.params.inner.q_bits,
+        )
+
+    def _handle_url_hint(self, payload: bytes) -> bytes:
+        return wire.encode_matrix(
+            self.index.url_prep.hint,
+            self.index.url_scheme.params.inner.q_bits,
+        )
+
+    def _handle_ranking(self, payload: bytes) -> bytes:
+        ct = wire.decode_ciphertext(
+            payload, self.index.ranking_scheme.params.inner
+        )
+        answer = self.ranking_service.answer(RankingQuery(ciphertext=ct))
+        return wire.encode_answer(
+            answer.values, self.index.ranking_scheme.params.inner.q_bits
+        )
+
+    def _handle_url(self, payload: bytes) -> bytes:
+        ct = wire.decode_ciphertext(payload, self.index.url_scheme.params.inner)
+        answer = self.url_service.answer(PirQuery(ciphertext=ct))
+        return wire.encode_answer(
+            answer.values, self.index.url_scheme.params.inner.q_bits
+        )
+
+    def _handle_mint(self, payload: bytes) -> bytes:
+        enc_keys = wire.decode_mint_request(payload)
+        minted = self.index.token_factory.mint(enc_keys)
+        return wire.encode_token_payload(minted)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        texts: list[str],
+        urls: list[str],
+        config: TiptoeConfig | None = None,
+        embedder=None,
+        link: LinkModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "TiptoeEngine":
+        """Index a text corpus and stand up the services."""
+        config = config if config is not None else TiptoeConfig()
+        index = TiptoeIndex.build(
+            texts, urls, config, embedder=embedder, rng=rng
+        )
+        return cls(index=index, link=link)
+
+    @classmethod
+    def build_from_embeddings(
+        cls,
+        embeddings: np.ndarray,
+        urls: list[str],
+        query_embedder,
+        config: TiptoeConfig | None = None,
+        link: LinkModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "TiptoeEngine":
+        """Index precomputed embeddings (the text-to-image path, SS8.3).
+
+        ``query_embedder`` must expose ``embed(text) -> vector`` in the
+        same space as ``embeddings``.
+        """
+        config = config if config is not None else TiptoeConfig()
+        placeholder_texts = [""] * len(urls)
+        index = TiptoeIndex.build(
+            placeholder_texts,
+            urls,
+            config,
+            embedder=query_embedder,
+            embeddings=embeddings,
+            rng=rng,
+        )
+        return cls(index=index, link=link, query_embedder=query_embedder)
+
+    # -- service dispatch (what the network would carry) -------------------------
+
+    def ranking_answer(self, query):
+        return self.ranking_service.answer(query)
+
+    def url_answer(self, query):
+        return self.url_service.answer(query)
+
+    def mint_token(self, rng: np.random.Generator | None = None) -> QueryToken:
+        """Client-side token acquisition over the serialized RPC path.
+
+        This is the ahead-of-time phase of SS6.3: nothing here depends
+        on the eventual query string, and the recorded byte counts are
+        lengths of real message encodings.
+        """
+        schemes = {
+            "ranking": self.index.ranking_scheme,
+            "url": self.index.url_scheme,
+        }
+        keys, enc_keys, _ = make_client_keys(schemes, rng)
+        log = TrafficLog()
+        channel = RpcChannel(log)
+        body = channel.call(
+            self.token_endpoint,
+            "token",
+            "mint",
+            wire.encode_mint_request(enc_keys),
+        )
+        payload = wire.decode_token_payload(body)
+        hint_products = {
+            name: schemes[name].decrypt_hint_product(
+                keys[name], payload.hints[name]
+            )
+            for name in schemes
+        }
+        return QueryToken(
+            keys=keys,
+            hint_products=hint_products,
+            upload_bytes=log.bytes_up("token"),
+            download_bytes=log.bytes_down("token"),
+        )
+
+    # -- optional exact-keyword backends (SS9) ------------------------------------
+
+    exact_suite = None
+
+    def attach_exact_backends(self, documents) -> None:
+        """Build and attach the SS9 typed keyword backends.
+
+        ``documents`` is an iterable with ``doc_id`` / ``text``
+        attributes (usually the corpus the index was built from).
+        Clients then use :meth:`TiptoeClient.search_hybrid`.
+        """
+        from repro.core.exact_backend import ExactSearchSuite
+
+        self.exact_suite = ExactSearchSuite.build(documents)
+
+    # -- client-side helpers -------------------------------------------------------
+
+    def embed_query(self, text: str) -> np.ndarray:
+        embedder = self._query_embedder or self.index.embedder
+        if hasattr(embedder, "embed_text"):
+            vec = embedder.embed_text(text)
+        else:
+            vec = embedder.embed(text)
+        if self.index.pca is not None:
+            vec = self.index.pca.transform(vec)
+        return np.asarray(vec, dtype=np.float64)
+
+    def storage_position(self, layout_position: int) -> int:
+        """Map a layout position to its URL storage position."""
+        if self.index.url_position_map is None:
+            return layout_position
+        return int(self.index.url_position_map[layout_position])
+
+    def new_client(
+        self, rng: np.random.Generator | None = None
+    ) -> TiptoeClient:
+        return TiptoeClient(engine=self, rng=rng)
+
+    def search(
+        self, text: str, rng: np.random.Generator | None = None
+    ):
+        """One-shot convenience: new client, one token, one search."""
+        return self.new_client(rng).search(text)
+
+    # -- evaluation helpers (server-side ground truth; not client data) -----------
+
+    def doc_id_of_position(self, position: int) -> int:
+        layout = self.index.layout
+        cluster = int(
+            np.searchsorted(layout.cluster_offsets, position, side="right") - 1
+        )
+        row = position - int(layout.cluster_offsets[cluster])
+        return layout.doc_id_of(cluster, row)
+
+    def result_doc_ids(self, result) -> list[int]:
+        """Map a SearchResult's positions back to corpus doc ids."""
+        return [self.doc_id_of_position(r.position) for r in result.results]

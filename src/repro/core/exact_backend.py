@@ -1,0 +1,174 @@
+"""Exact keyword-search backends (SS9).
+
+Embedding search handles "knee pain" well but "123 Main Street, New
+York" poorly.  SS9's remedy is a suite of typed backends: for each
+common exact-string query type (phone numbers, addresses, ...), a
+private key-value store maps each canonicalized string in the corpus
+to the documents containing it.  The client software extracts a string
+of each supported type from the query, canonicalizes it, and performs
+a keyword-PIR lookup against the matching backend -- revealing neither
+the string nor even which backend had a hit.
+
+This module provides the extractors/canonicalizers, the backend
+builder, and the router that merges exact hits with semantic results.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lwe.params import SecurityLevel
+from repro.pir.keyword import KeywordPir
+
+#: Recognizers for the supported entity types.  Patterns cover both
+#: the synthetic corpus's canonical forms and common free-text forms.
+_PHONE_FREETEXT = re.compile(r"\b(?:\+?\d[\s().-]{0,2}){10,13}\b")
+_PHONE_CANONICAL = re.compile(r"\bph(\d{10})\b")
+_ADDRESS_CANONICAL = re.compile(r"\b(\d{1,3}mainst\d{5})\b")
+_ADDRESS_FREETEXT = re.compile(
+    r"\b(\d{1,4})\s+main\s+st(?:reet)?\.?\s*#?\s*(\d{4,6})\b", re.IGNORECASE
+)
+
+
+def canonicalize_phone(text: str) -> str | None:
+    """Extract and canonicalize a phone number, if one is present."""
+    match = _PHONE_CANONICAL.search(text)
+    if match:
+        return f"ph{match.group(1)}"
+    match = _PHONE_FREETEXT.search(text)
+    if match:
+        digits = re.sub(r"\D", "", match.group(0))
+        if len(digits) >= 10:
+            return f"ph{digits[-10:]}"
+    return None
+
+
+def canonicalize_address(text: str) -> str | None:
+    """Extract and canonicalize a street address, if one is present."""
+    match = _ADDRESS_CANONICAL.search(text)
+    if match:
+        return match.group(1)
+    match = _ADDRESS_FREETEXT.search(text)
+    if match:
+        return f"{int(match.group(1))}mainst{match.group(2)}"
+    return None
+
+
+EXTRACTORS = {
+    "phone": canonicalize_phone,
+    "address": canonicalize_address,
+}
+
+
+def classify_entity(entity: str) -> str | None:
+    """Which backend an already-canonical entity string belongs to."""
+    if _PHONE_CANONICAL.fullmatch(entity):
+        return "phone"
+    if _ADDRESS_CANONICAL.fullmatch(entity):
+        return "address"
+    return None
+
+
+def _encode_doc_ids(doc_ids: list[int]) -> bytes:
+    return b"".join(d.to_bytes(4, "little") for d in sorted(set(doc_ids)))
+
+
+def _decode_doc_ids(blob: bytes) -> list[int]:
+    return [
+        int.from_bytes(blob[i : i + 4], "little")
+        for i in range(0, len(blob), 4)
+    ]
+
+
+@dataclass
+class ExactBackend:
+    """One typed backend: a keyword-PIR store of entity -> doc ids."""
+
+    entity_type: str
+    store: KeywordPir
+    num_keys: int
+
+    def lookup(
+        self, entity: str, rng: np.random.Generator | None = None
+    ) -> list[int]:
+        blob = self.store.lookup_with_hint(entity, rng)
+        return _decode_doc_ids(blob) if blob else []
+
+
+@dataclass
+class ExactSearchSuite:
+    """The full suite: one backend per supported entity type."""
+
+    backends: dict[str, ExactBackend] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        documents,
+        level: SecurityLevel = SecurityLevel.TOY,
+    ) -> "ExactSearchSuite":
+        """Index every recognized entity from a document collection.
+
+        ``documents`` is any iterable of objects with ``doc_id`` and
+        ``text`` attributes (e.g. :class:`repro.corpus.Document`).
+        """
+        tables: dict[str, dict[str, list[int]]] = {
+            name: {} for name in EXTRACTORS
+        }
+        for doc in documents:
+            for name, extractor in EXTRACTORS.items():
+                entity = extractor(doc.text)
+                if entity is not None:
+                    tables[name].setdefault(entity, []).append(doc.doc_id)
+        backends = {}
+        for name, table in tables.items():
+            if not table:
+                continue
+            encoded = {k: _encode_doc_ids(v) for k, v in table.items()}
+            backends[name] = ExactBackend(
+                entity_type=name,
+                store=KeywordPir.build(encoded, level=level),
+                num_keys=len(table),
+            )
+        return cls(backends=backends)
+
+    def supported_types(self) -> list[str]:
+        return sorted(self.backends)
+
+    def route(
+        self, query: str, rng: np.random.Generator | None = None
+    ) -> dict[str, list[int]]:
+        """Extract entities from the query and look each up privately.
+
+        Returns entity-type -> matching doc ids (possibly empty).  The
+        traffic pattern depends only on which entity *types* the query
+        syntactically contains, never on the strings themselves.
+        """
+        hits: dict[str, list[int]] = {}
+        for name, backend in self.backends.items():
+            entity = EXTRACTORS[name](query)
+            if entity is not None:
+                hits[name] = backend.lookup(entity, rng)
+        return hits
+
+    def merge_results(
+        self,
+        query: str,
+        semantic_doc_ids: list[int],
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        """Exact hits first (they are definitionally best), then the
+        semantic ranking, deduplicated."""
+        exact: list[int] = []
+        for doc_ids in self.route(query, rng).values():
+            exact.extend(doc_ids)
+        seen = set()
+        merged = []
+        for doc in exact + list(semantic_doc_ids):
+            if doc not in seen:
+                seen.add(doc)
+                merged.append(doc)
+        return merged

@@ -1,0 +1,122 @@
+"""Load generation: sustained query throughput (SS8.1, Table 7).
+
+The paper measures throughput by simulating up to 19 clients against
+each service until the servers saturate, then reports queries/second
+per phase (text search: 0.5 q/s token generation, 2.9 q/s ranking,
+5.0 q/s URL retrieval).  This module drives the simulated services the
+same way: a batch of pre-built queries per phase, timed end to end on
+the server side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ranking import RankingClient
+from repro.embeddings.quantize import quantize
+
+
+@dataclass(frozen=True)
+class PhaseThroughput:
+    """Measured throughput of one protocol phase."""
+
+    phase: str
+    queries: int
+    wall_seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / max(self.wall_seconds, 1e-12)
+
+
+@dataclass
+class ThroughputReport:
+    """Throughput of all three phases, Table 7 style."""
+
+    token: PhaseThroughput
+    ranking: PhaseThroughput
+    url: PhaseThroughput
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            (p.phase, p.queries_per_second)
+            for p in (self.token, self.ranking, self.url)
+        ]
+
+
+def measure_throughput(
+    engine,
+    num_queries: int = 8,
+    rng: np.random.Generator | None = None,
+) -> ThroughputReport:
+    """Saturate each service with pre-built queries and time it.
+
+    Client-side work (embedding, encryption, decryption) is excluded,
+    matching the paper's server-throughput methodology.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    index = engine.index
+
+    # Phase 1: token generation (the coordinator's offline work).
+    from repro.homenc.token import make_client_keys
+
+    schemes = {
+        "ranking": index.ranking_scheme,
+        "url": index.url_scheme,
+    }
+    key_batches = [
+        make_client_keys(schemes, rng)[1] for _ in range(max(2, num_queries // 4))
+    ]
+    start = time.perf_counter()
+    for enc_keys in key_batches:
+        index.token_factory.mint(enc_keys)
+    token = PhaseThroughput(
+        "token", len(key_batches), time.perf_counter() - start
+    )
+
+    # Phase 2: ranking answers.
+    client = RankingClient(
+        index.ranking_scheme,
+        dim=index.layout.dim,
+        num_clusters=index.layout.num_clusters,
+    )
+    keys = index.ranking_scheme.gen_keys(rng)
+    queries = [
+        client.build_query(
+            keys,
+            quantize(
+                index.embeddings[i % index.num_docs]
+                * index.quantization_gain,
+                index.config.quantization(),
+            ),
+            i % index.layout.num_clusters,
+            rng,
+        )
+        for i in range(num_queries)
+    ]
+    start = time.perf_counter()
+    for query in queries:
+        engine.ranking_service.answer(query)
+    ranking = PhaseThroughput(
+        "ranking", num_queries, time.perf_counter() - start
+    )
+
+    # Phase 3: URL answers.
+    url_keys = index.url_scheme.gen_keys(rng)
+    from repro.pir.simplepir import PirQuery
+
+    url_queries = []
+    for i in range(num_queries):
+        sel = index.url_db.selection_vector(i % index.url_db.num_records)
+        url_queries.append(
+            PirQuery(ciphertext=index.url_scheme.encrypt(url_keys, sel, rng))
+        )
+    start = time.perf_counter()
+    for query in url_queries:
+        engine.url_service.answer(query)
+    url = PhaseThroughput("url", num_queries, time.perf_counter() - start)
+
+    return ThroughputReport(token=token, ranking=ranking, url=url)

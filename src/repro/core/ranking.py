@@ -1,0 +1,112 @@
+"""The private nearest-neighbor ranking protocol (SS4, Fig. 10).
+
+Client side: build the augmented query vector q-tilde -- zero
+everywhere except the chosen cluster's block, which holds the
+quantized query embedding -- and encrypt it.  Server side: one big
+matrix-vector product over the Fig. 3 matrix.  The server touches
+every cluster (privacy demands the full linear scan); the layout makes
+the answer contain exactly the chosen cluster's inner-product scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostLedger
+from repro.homenc.double import DoubleLheScheme
+from repro.lwe.regev import Ciphertext
+
+
+@dataclass
+class RankingQuery:
+    """One ranking query: a single fixed-size inner ciphertext."""
+
+    ciphertext: Ciphertext
+
+    def wire_bytes(self) -> int:
+        return self.ciphertext.upload_bytes
+
+
+@dataclass
+class RankingAnswer:
+    """Encrypted inner-product scores for the (hidden) chosen cluster."""
+
+    values: np.ndarray
+    bytes_per_element: int
+
+    def wire_bytes(self) -> int:
+        return len(self.values) * self.bytes_per_element
+
+
+def build_query_vector(
+    query_embedding: np.ndarray, cluster_index: int, num_clusters: int
+) -> np.ndarray:
+    """The augmented vector q-tilde of Fig. 10 (step 1).
+
+    ``query_embedding`` is the quantized (integer) query vector.
+    """
+    dim = len(query_embedding)
+    if not 0 <= cluster_index < num_clusters:
+        raise IndexError(f"cluster index {cluster_index} out of range")
+    q_tilde = np.zeros(dim * num_clusters, dtype=np.int64)
+    block = slice(cluster_index * dim, (cluster_index + 1) * dim)
+    q_tilde[block] = query_embedding
+    return q_tilde
+
+
+class RankingClient:
+    """Client-side query construction and score recovery."""
+
+    def __init__(self, scheme: DoubleLheScheme, dim: int, num_clusters: int):
+        self.scheme = scheme
+        self.dim = dim
+        self.num_clusters = num_clusters
+        if scheme.params.inner.m != dim * num_clusters:
+            raise ValueError(
+                "scheme upload dimension does not match dim * clusters"
+            )
+
+    def build_query(
+        self,
+        keys,
+        query_embedding: np.ndarray,
+        cluster_index: int,
+        rng: np.random.Generator | None = None,
+    ) -> RankingQuery:
+        q_tilde = build_query_vector(
+            query_embedding, cluster_index, self.num_clusters
+        )
+        return RankingQuery(ciphertext=self.scheme.encrypt(keys, q_tilde, rng))
+
+    def decode_scores(
+        self, keys, answer: RankingAnswer, hint_product: np.ndarray
+    ) -> np.ndarray:
+        """Centered inner-product scores, one per cluster row."""
+        return self.scheme.decrypt_centered(keys, answer.values, hint_product)
+
+
+class RankingService:
+    """Single-node reference ranking server.
+
+    The sharded deployment of SS4.3 lives in
+    :mod:`repro.core.cluster_runtime`; this reference implementation
+    answers the same queries on one node and is what the sharded
+    version is tested against.
+    """
+
+    def __init__(self, scheme: DoubleLheScheme, matrix: np.ndarray):
+        self.scheme = scheme
+        self.matrix = matrix
+        self.ledger = CostLedger()
+
+    def answer(self, query: RankingQuery) -> RankingAnswer:
+        values = self.scheme.apply(self.matrix, query.ciphertext)
+        self.ledger.add(
+            "ranking", self.scheme.inner.apply_word_ops(self.matrix.shape[0])
+        )
+        return RankingAnswer(
+            values=values,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )

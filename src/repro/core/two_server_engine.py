@@ -1,0 +1,152 @@
+"""A complete two-server (non-colluding) Tiptoe deployment (SS9).
+
+API parity with :class:`repro.core.engine.TiptoeEngine`: build over a
+corpus, create clients, run searches with per-phase traffic accounting
+-- but the cryptography is replaced by DPF secret sharing between two
+services that must not collude.  There is no token phase (no
+encryption keys to pre-share), no hint, and ~50x less traffic; the
+price is the stronger trust assumption.
+
+Both servers are instantiated from the same index; the client sends
+each its DPF key share and sums the answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TiptoeConfig
+from repro.core.indexer import TiptoeIndex
+from repro.corpus.urls import UrlBatch
+from repro.dpf.dpf import DpfKey, gen_keys
+from repro.dpf.twoserver import TwoServerPir, TwoServerRankingService
+from repro.embeddings.quantize import quantize
+from repro.net.transport import LinkModel, TrafficLog
+
+
+@dataclass
+class TwoServerSearchResult:
+    """One two-server search: ranked results plus traffic."""
+
+    query: str
+    cluster: int
+    doc_scores: list[tuple[int, int]]  # (position, score), best first
+    urls: dict[int, str]  # position -> URL for the fetched batch
+    traffic: TrafficLog
+    perceived_latency: float
+
+    def top_urls(self, k: int = 10) -> list[str]:
+        out = []
+        for position, _ in self.doc_scores:
+            url = self.urls.get(position)
+            if url:
+                out.append(url)
+            if len(out) == k:
+                break
+        return out
+
+
+class TwoServerEngine:
+    """Two replicas of the plaintext index behind a DPF front door."""
+
+    def __init__(self, index: TiptoeIndex, link: LinkModel | None = None):
+        self.index = index
+        self.link = link if link is not None else LinkModel()
+        layout = index.layout
+        # Server A and server B each hold the full plaintext structures.
+        self.ranking_servers = [
+            TwoServerRankingService(layout.matrix, layout.dim)
+            for _ in range(2)
+        ]
+        payloads = [b.payload for b in index.url_batches]
+        self.url_servers = [TwoServerPir(payloads) for _ in range(2)]
+
+    @classmethod
+    def build(
+        cls,
+        texts: list[str],
+        urls: list[str],
+        config: TiptoeConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "TwoServerEngine":
+        config = config if config is not None else TiptoeConfig()
+        index = TiptoeIndex.build(texts, urls, config, rng=rng)
+        return cls(index=index)
+
+    @classmethod
+    def from_index(cls, index: TiptoeIndex) -> "TwoServerEngine":
+        """Reuse an index built for the single-server deployment."""
+        return cls(index=index)
+
+    def search(
+        self, text: str, rng: np.random.Generator | None = None
+    ) -> TwoServerSearchResult:
+        """One private two-server search, with byte accounting."""
+        rng = rng if rng is not None else np.random.default_rng()
+        index = self.index
+        traffic = TrafficLog()
+
+        # Embed locally; pick the cluster from cached centroids.
+        embedder = index.embedder
+        vec = embedder.embed(text)
+        if index.pca is not None:
+            vec = index.pca.transform(vec)
+        q = quantize(vec * index.quantization_gain, index.config.quantization())
+        cluster = index.clusters.nearest_cluster(vec)
+
+        # Ranking: one DPF key per server, shares summed mod 2^64.
+        layout = index.layout
+        k0, k1 = gen_keys(cluster, q, layout.num_clusters, rng)
+        partials = []
+        for server, key in zip(self.ranking_servers, (k0, k1)):
+            traffic.record("ranking", "up", key.wire_bytes())
+            answer = server.answer(key)
+            traffic.record("ranking", "down", answer.wire_bytes())
+            partials.append(answer.share)
+        with np.errstate(over="ignore"):
+            scores = (partials[0] + partials[1]).astype(np.int64)
+        real = int(layout.cluster_sizes[cluster])
+        order = np.argsort(-scores[:real], kind="stable")
+        offset = int(layout.cluster_offsets[cluster])
+        doc_scores = [
+            (offset + int(r), int(scores[int(r)])) for r in order
+        ][: index.config.results_per_query]
+
+        # URL fetch: two-server PIR for the best match's batch.
+        batch_index = doc_scores[0][0] // index.config.url_batch_size
+        kb0, kb1 = gen_keys(
+            batch_index, np.array([1]), len(index.url_batches), rng
+        )
+        shares = []
+        for server, key in zip(self.url_servers, (kb0, kb1)):
+            traffic.record("url", "up", key.wire_bytes())
+            answer = server.answer(key)
+            traffic.record("url", "down", answer.wire_bytes())
+            shares.append(answer.share)
+        with np.errstate(over="ignore"):
+            payload_words = (shares[0] + shares[1]).astype(np.uint8)
+        length = self.url_servers[0].record_lengths[batch_index]
+        payload = payload_words[:length].tobytes()
+        urls = UrlBatch(payload=payload, doc_ids=()).decompress()
+
+        return TwoServerSearchResult(
+            query=text,
+            cluster=cluster,
+            doc_scores=doc_scores,
+            urls=urls,
+            traffic=traffic,
+            perceived_latency=traffic.simulated_latency(
+                self.link, ["ranking", "url"]
+            ),
+        )
+
+    def doc_id_of_position(self, position: int) -> int:
+        layout = self.index.layout
+        cluster = int(
+            np.searchsorted(layout.cluster_offsets, position, side="right") - 1
+        )
+        return layout.doc_id_of(
+            cluster, position - int(layout.cluster_offsets[cluster])
+        )

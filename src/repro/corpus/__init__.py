@@ -1,0 +1,30 @@
+"""Corpora and benchmarks (DESIGN.md substitutions 2-5).
+
+The paper evaluates on the C4 web crawl, the MS MARCO benchmark, and
+LAION-400M -- none of which are available offline.  This subpackage
+generates synthetic stand-ins that exercise the same code paths:
+
+* :mod:`synthetic` -- a topic-model web corpus with realistic URLs and
+  rare exact-match entities (phone numbers, addresses);
+* :mod:`benchmark` -- query/answer pairs in three families
+  (conceptual, lexical, exact-string), mirroring the query mix the
+  paper discusses in SS1 and SS8.2;
+* :mod:`urls` -- URL batching, content grouping, zlib compression (SS5);
+* :mod:`images` -- a caption/image corpus for text-to-image search.
+"""
+
+from repro.corpus.benchmark import Query, QueryBenchmark
+from repro.corpus.images import ImageCorpus
+from repro.corpus.synthetic import Document, SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.urls import UrlBatcher, UrlBatch
+
+__all__ = [
+    "Document",
+    "ImageCorpus",
+    "Query",
+    "QueryBenchmark",
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+    "UrlBatch",
+    "UrlBatcher",
+]

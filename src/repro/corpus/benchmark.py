@@ -1,0 +1,121 @@
+"""Query/answer benchmark generation (the MS MARCO stand-in).
+
+The paper scores search quality on MS MARCO: real queries, each with a
+human-chosen best document, measured by MRR@100 (SS8.1-8.2).  We
+generate the analogous artifact from the synthetic corpus: each query
+targets a known document and belongs to one of three families that
+mirror the paper's qualitative findings:
+
+* ``conceptual`` -- words sampled from the target's *topics* (mostly
+  not verbatim from the document): where embeddings shine;
+* ``lexical`` -- words sampled from the document itself: where exact
+  matching (tf-idf / BM25) is strongest;
+* ``exact`` -- the document's unique entity string (phone number or
+  address): where the paper says Tiptoe performs worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.synthetic import SyntheticCorpus
+
+FAMILIES = ("conceptual", "lexical", "exact")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One benchmark query with its ground-truth best document."""
+
+    text: str
+    target_doc_id: int
+    family: str
+
+
+@dataclass
+class QueryBenchmark:
+    """A set of labeled queries over one corpus."""
+
+    queries: list[Query]
+
+    @classmethod
+    def generate(
+        cls,
+        corpus: SyntheticCorpus,
+        num_queries: int,
+        rng: np.random.Generator,
+        family_weights: dict[str, float] | None = None,
+        query_length: tuple[int, int] = (4, 9),
+    ) -> "QueryBenchmark":
+        """Sample queries; the target is always a real corpus document."""
+        # MS MARCO queries are mostly natural-language questions --
+        # topical paraphrases of their answer document -- with a
+        # minority of verbatim-keyword and exact-string lookups.
+        weights = family_weights or {
+            "conceptual": 0.75,
+            "lexical": 0.15,
+            "exact": 0.1,
+        }
+        unknown = set(weights) - set(FAMILIES)
+        if unknown:
+            raise ValueError(f"unknown query families: {unknown}")
+        names = list(weights)
+        probs = np.array([weights[n] for n in names], dtype=np.float64)
+        probs /= probs.sum()
+        with_entities = corpus.documents_with_entities()
+        queries: list[Query] = []
+        while len(queries) < num_queries:
+            family = names[int(rng.choice(len(names), p=probs))]
+            if family == "exact":
+                if not with_entities:
+                    continue
+                doc = with_entities[int(rng.integers(len(with_entities)))]
+                queries.append(
+                    Query(text=doc.entity, target_doc_id=doc.doc_id, family="exact")
+                )
+                continue
+            doc = corpus.documents[int(rng.integers(corpus.num_docs))]
+            length = int(rng.integers(*query_length))
+            if family == "conceptual":
+                text = cls._conceptual_text(corpus, doc, length, rng)
+            else:
+                text = cls._lexical_text(doc, length, rng)
+            if not text:
+                continue
+            queries.append(
+                Query(text=text, target_doc_id=doc.doc_id, family=family)
+            )
+        return cls(queries=queries)
+
+    @staticmethod
+    def _conceptual_text(corpus, doc, length, rng) -> str:
+        """Paraphrase: sample fresh words from the document's topics."""
+        word_dist = doc.topic_mixture @ corpus.topic_word_dists
+        total = word_dist.sum()
+        if total <= 0:
+            return ""
+        ids = rng.choice(len(corpus.vocabulary), size=length, p=word_dist / total)
+        return " ".join(corpus.vocabulary[i] for i in ids)
+
+    @staticmethod
+    def _lexical_text(doc, length, rng) -> str:
+        """Sample words verbatim from the document."""
+        words = [w for w in doc.text.split() if len(w) > 1]
+        if not words:
+            return ""
+        picks = rng.choice(len(words), size=min(length, len(words)), replace=False)
+        return " ".join(words[i] for i in sorted(picks))
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def by_family(self, family: str) -> list[Query]:
+        return [q for q in self.queries if q.family == family]
+
+    def family_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for q in self.queries:
+            counts[q.family] = counts.get(q.family, 0) + 1
+        return counts

@@ -1,0 +1,90 @@
+"""TREC-style export/import of corpora and benchmarks.
+
+MS MARCO ships as TSV files (queries.tsv, qrels); exporting our
+synthetic stand-in in the same shape lets external IR tooling consume
+it, and lets a benchmark run be frozen to disk and reloaded
+bit-identically.  Formats:
+
+* ``docs.tsv``   -- ``doc_id \\t url \\t text``
+* ``queries.tsv`` -- ``query_id \\t family \\t text``
+* ``qrels.tsv``  -- ``query_id \\t 0 \\t doc_id \\t 1`` (TREC qrels)
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.corpus.benchmark import Query, QueryBenchmark
+
+_TAB = "\t"
+
+
+def _clean(field: str) -> str:
+    return field.replace("\t", " ").replace("\n", " ")
+
+
+def export_documents(path, texts: list[str], urls: list[str]) -> None:
+    """Write docs.tsv."""
+    if len(texts) != len(urls):
+        raise ValueError("need one URL per document")
+    lines = [
+        f"{i}{_TAB}{_clean(url)}{_TAB}{_clean(text)}"
+        for i, (text, url) in enumerate(zip(texts, urls))
+    ]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def import_documents(path) -> tuple[list[str], list[str]]:
+    """Read docs.tsv back as (texts, urls), ordered by doc id."""
+    rows = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        doc_id, url, text = line.split(_TAB, 2)
+        rows.append((int(doc_id), url, text))
+    rows.sort()
+    if [r[0] for r in rows] != list(range(len(rows))):
+        raise ValueError("docs.tsv ids must be dense and zero-based")
+    return [r[2] for r in rows], [r[1] for r in rows]
+
+
+def export_benchmark(
+    queries_path, qrels_path, benchmark: QueryBenchmark
+) -> None:
+    """Write queries.tsv and TREC qrels."""
+    q_lines = []
+    rel_lines = []
+    for qid, query in enumerate(benchmark.queries):
+        q_lines.append(f"{qid}{_TAB}{query.family}{_TAB}{_clean(query.text)}")
+        rel_lines.append(f"{qid}{_TAB}0{_TAB}{query.target_doc_id}{_TAB}1")
+    pathlib.Path(queries_path).write_text("\n".join(q_lines) + "\n")
+    pathlib.Path(qrels_path).write_text("\n".join(rel_lines) + "\n")
+
+
+def import_benchmark(queries_path, qrels_path) -> QueryBenchmark:
+    """Read queries.tsv + qrels back into a QueryBenchmark."""
+    texts: dict[int, tuple[str, str]] = {}
+    for line in pathlib.Path(queries_path).read_text().splitlines():
+        if not line.strip():
+            continue
+        qid, family, text = line.split(_TAB, 2)
+        texts[int(qid)] = (family, text)
+    targets: dict[int, int] = {}
+    for line in pathlib.Path(qrels_path).read_text().splitlines():
+        if not line.strip():
+            continue
+        qid, _, doc_id, rel = line.split(_TAB)
+        if int(rel) > 0:
+            targets[int(qid)] = int(doc_id)
+    missing = set(texts) - set(targets)
+    if missing:
+        raise ValueError(f"queries without relevant documents: {missing}")
+    queries = [
+        Query(
+            text=texts[qid][1],
+            target_doc_id=targets[qid],
+            family=texts[qid][0],
+        )
+        for qid in sorted(texts)
+    ]
+    return QueryBenchmark(queries=queries)

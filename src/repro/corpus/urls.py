@@ -1,0 +1,117 @@
+"""URL batching, content grouping, and compression (SS5).
+
+SimplePIR serves ~40 KiB chunks, so Tiptoe packs ~880 URLs into each
+record: URLs are *grouped by content* (documents from the same cluster
+land in the same batch), overlong URLs (> 500 chars) are dropped, and
+each batch is zlib-compressed -- bringing the average URL down to ~22
+bytes.  Retrieving the single batch containing the best match then
+usually also yields the other top matches' URLs (Fig. 9, steps 3-4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+MAX_URL_CHARS = 500
+
+
+@dataclass(frozen=True)
+class UrlBatch:
+    """One compressed batch of (doc_id, url) pairs."""
+
+    payload: bytes
+    doc_ids: tuple[int, ...]
+
+    def decompress(self) -> dict[int, str]:
+        lines = zlib.decompress(self.payload).decode().splitlines()
+        out: dict[int, str] = {}
+        for line in lines:
+            doc_id, url = line.split(" ", 1)
+            out[int(doc_id)] = url
+        return out
+
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class UrlBatcher:
+    """Builds content-grouped, compressed URL batches."""
+
+    batch_size: int = 880
+
+    def build_batches(
+        self,
+        urls: list[str],
+        grouping: list[list[int]] | None = None,
+    ) -> tuple[list[UrlBatch], list[int]]:
+        """Return (batches, doc_to_batch).
+
+        ``grouping`` is an ordered partition of document ids (e.g. the
+        ranking service's cluster assignments); consecutive documents
+        of one group go to the same batch.  Without it, documents are
+        batched in id order (the Fig. 9 step-3 ablation).  Documents
+        whose URL exceeds 500 characters are dropped from batches (the
+        paper drops them outright); their ``doc_to_batch`` entry is -1.
+        Documents appearing in several groups are batched once, at
+        their first occurrence.
+        """
+        order: list[int] = []
+        seen: set[int] = set()
+        if grouping is None:
+            order = list(range(len(urls)))
+        else:
+            for group in grouping:
+                for doc in group:
+                    if doc not in seen:
+                        seen.add(doc)
+                        order.append(doc)
+            if len(order) != len(urls):
+                missing = set(range(len(urls))) - set(order)
+                order.extend(sorted(missing))
+        kept = [d for d in order if len(urls[d]) <= MAX_URL_CHARS]
+        doc_to_batch = [-1] * len(urls)
+        batches: list[UrlBatch] = []
+        for start in range(0, len(kept), self.batch_size):
+            chunk = kept[start : start + self.batch_size]
+            lines = "\n".join(f"{d} {urls[d]}" for d in chunk)
+            payload = zlib.compress(lines.encode(), level=9)
+            for d in chunk:
+                doc_to_batch[d] = len(batches)
+            batches.append(UrlBatch(payload=payload, doc_ids=tuple(chunk)))
+        return batches, doc_to_batch
+
+    def build_positional_batches(
+        self, urls_in_layout_order: list[str]
+    ) -> list[UrlBatch]:
+        """Batch URLs keyed by their *position* in a fixed layout.
+
+        Tiptoe's client never learns global document ids from the
+        ranking step -- only (cluster, row) positions.  Because the URL
+        layout mirrors the ranking layout, position ``i`` always lands
+        in batch ``i // batch_size``, which the client can compute from
+        the cluster-size metadata alone.  Overlong URLs are blanked
+        (not removed) so positions stay stable.
+        """
+        batches: list[UrlBatch] = []
+        for start in range(0, len(urls_in_layout_order), self.batch_size):
+            chunk = urls_in_layout_order[start : start + self.batch_size]
+            lines = "\n".join(
+                f"{start + i} {url if len(url) <= MAX_URL_CHARS else ''}"
+                for i, url in enumerate(chunk)
+            )
+            payload = zlib.compress(lines.encode(), level=9)
+            batches.append(
+                UrlBatch(
+                    payload=payload,
+                    doc_ids=tuple(range(start, start + len(chunk))),
+                )
+            )
+        return batches
+
+    @staticmethod
+    def average_bytes_per_url(batches: list[UrlBatch]) -> float:
+        total_urls = sum(len(b.doc_ids) for b in batches)
+        total_bytes = sum(b.compressed_bytes() for b in batches)
+        return total_bytes / max(1, total_urls)

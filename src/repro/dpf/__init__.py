@@ -1,0 +1,33 @@
+"""Distributed point functions and the two-server deployment (SS9).
+
+SS9 sketches a variant of Tiptoe for two *non-colluding* services: the
+client secret-shares its augmented query vector with a distributed
+point function (DPF), the servers run the SS4 linear scan on their
+shares (no encryption needed -- the operations are linear), and the
+client sums the two answer shares.  Communication drops from ~57 MiB
+to ~1 MiB per query.
+
+This subpackage implements that variant from scratch:
+
+* :mod:`prg` -- a length-doubling PRG from BLAKE2b;
+* :mod:`dpf` -- the tree-based DPF of Boyle-Gilboa-Ishai, with
+  vector-valued payloads (the query embedding);
+* :mod:`twoserver` -- the two-server ranking service and PIR.
+"""
+
+from repro.dpf.dpf import DpfKey, eval_all, eval_point, gen_keys
+from repro.dpf.twoserver import (
+    TwoServerPir,
+    TwoServerRankingService,
+    two_server_query_bytes,
+)
+
+__all__ = [
+    "DpfKey",
+    "TwoServerPir",
+    "TwoServerRankingService",
+    "eval_all",
+    "eval_point",
+    "gen_keys",
+    "two_server_query_bytes",
+]

@@ -1,0 +1,53 @@
+"""A length-doubling PRG for the DPF tree, built on BLAKE2b.
+
+Each 16-byte seed expands to two child seeds plus two control bits
+(the GGM construction).  A second "convert" mode stretches a leaf seed
+into a vector of 64-bit group elements for the DPF payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+SEED_BYTES = 16
+
+_EXPAND_PERSON = b"tiptoe-dpf-ex"
+_CONVERT_PERSON = b"tiptoe-dpf-cv"
+
+
+def expand(seed: bytes) -> tuple[bytes, int, bytes, int]:
+    """seed -> (left seed, left bit, right seed, right bit)."""
+    if len(seed) != SEED_BYTES:
+        raise ValueError(f"seeds must be {SEED_BYTES} bytes")
+    digest = hashlib.blake2b(
+        seed, digest_size=SEED_BYTES * 2 + 1, person=_EXPAND_PERSON
+    ).digest()
+    left = digest[:SEED_BYTES]
+    right = digest[SEED_BYTES : 2 * SEED_BYTES]
+    bits = digest[-1]
+    return left, bits & 1, right, (bits >> 1) & 1
+
+
+def convert(seed: bytes, length: int) -> np.ndarray:
+    """Stretch a leaf seed into ``length`` uniform Z_{2^64} elements."""
+    out = np.empty(length, dtype=np.uint64)
+    counter = 0
+    filled = 0
+    while filled < length:
+        block = hashlib.blake2b(
+            seed + counter.to_bytes(4, "little"),
+            digest_size=64,
+            person=_CONVERT_PERSON,
+        ).digest()
+        words = np.frombuffer(block, dtype=np.uint64)
+        take = min(len(words), length - filled)
+        out[filled : filled + take] = words[:take]
+        filled += take
+        counter += 1
+    return out
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,146 @@
+"""The two-server (non-colluding) Tiptoe variant of SS9.
+
+Both servers hold the same plaintext data structures as the
+single-server deployment.  The client DPF-shares its augmented query;
+each server expands its share into a full q-tilde share and runs the
+identical linear scan of SS4 *on plaintext integers* -- no encryption,
+no hints, no tokens.  Summing the two answers (mod 2^64) yields the
+same inner-product scores the encrypted protocol produces.  No
+server-to-server communication happens; privacy holds as long as the
+two providers do not collude.
+
+The same machinery gives two-server PIR for the URL step (payload 1,
+domain = batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpf.dpf import DpfKey, eval_all, gen_keys
+
+
+@dataclass
+class TwoServerAnswer:
+    """One server's additive share of the scores."""
+
+    share: np.ndarray
+
+    def wire_bytes(self) -> int:
+        return self.share.nbytes
+
+
+class TwoServerRankingService:
+    """One of the two ranking servers."""
+
+    def __init__(self, matrix: np.ndarray, dim: int):
+        """``matrix`` is the Fig. 3 layout: (rows, dim * clusters)."""
+        if matrix.shape[1] % dim != 0:
+            raise ValueError("matrix width must be a multiple of dim")
+        self.matrix = matrix.astype(np.int64)
+        self.dim = dim
+        self.num_clusters = matrix.shape[1] // dim
+
+    def answer(self, key: DpfKey) -> TwoServerAnswer:
+        """Expand the DPF share and run the SS4 linear scan on it."""
+        shares = eval_all(key, self.num_clusters, self.dim)  # (C, dim)
+        q_tilde_share = shares.reshape(-1)
+        with np.errstate(over="ignore"):
+            partial = self.matrix.astype(np.uint64) @ q_tilde_share
+        return TwoServerAnswer(share=partial)
+
+
+def two_server_rank(
+    matrix: np.ndarray,
+    dim: int,
+    query_embedding: np.ndarray,
+    cluster_index: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Client-side driver: share, query both servers, reconstruct.
+
+    Returns (signed scores for the chosen cluster's rows, total query
+    bytes uploaded).
+    """
+    servers = [
+        TwoServerRankingService(matrix, dim),
+        TwoServerRankingService(matrix, dim),
+    ]
+    num_clusters = matrix.shape[1] // dim
+    k0, k1 = gen_keys(cluster_index, query_embedding, num_clusters, rng)
+    a0 = servers[0].answer(k0)
+    a1 = servers[1].answer(k1)
+    with np.errstate(over="ignore"):
+        combined = a0.share + a1.share
+    scores = combined.astype(np.int64)  # centered mod 2^64
+    return scores, k0.wire_bytes() + k1.wire_bytes()
+
+
+class TwoServerPir:
+    """Two-server PIR over byte records via scalar DPFs."""
+
+    def __init__(self, records: list[bytes]):
+        if not records:
+            raise ValueError("cannot serve an empty database")
+        width = max(len(r) for r in records)
+        self.matrix = np.zeros((len(records), width), dtype=np.uint64)
+        for i, rec in enumerate(records):
+            self.matrix[i, : len(rec)] = np.frombuffer(rec, dtype=np.uint8)
+        self.record_lengths = [len(r) for r in records]
+
+    @property
+    def num_records(self) -> int:
+        return self.matrix.shape[0]
+
+    def answer(self, key: DpfKey) -> TwoServerAnswer:
+        selector = eval_all(key, self.num_records, 1).reshape(-1)
+        with np.errstate(over="ignore"):
+            share = selector @ self.matrix
+        return TwoServerAnswer(share=share)
+
+    def retrieve(
+        self, index: int, rng: np.random.Generator
+    ) -> tuple[bytes, int]:
+        """Client-side driver: returns (record bytes, query bytes)."""
+        k0, k1 = gen_keys(index, np.array([1]), self.num_records, rng)
+        a0 = self.answer(k0)
+        a1 = self.answer(k1)
+        with np.errstate(over="ignore"):
+            combined = (a0.share + a1.share).astype(np.uint8)
+        return (
+            combined[: self.record_lengths[index]].tobytes(),
+            k0.wire_bytes() + k1.wire_bytes(),
+        )
+
+
+def two_server_query_bytes(
+    num_clusters: int,
+    dim: int,
+    cluster_size: int,
+    num_batches: int,
+    batch_bytes: int,
+    score_bytes: int = 8,
+) -> dict:
+    """Analytic per-query communication for the two-server variant.
+
+    SS9 estimates ~1 MiB on the C4 corpus (vs. Tiptoe's 56.9 MiB).
+    """
+    import math
+
+    def key_bytes(domain: int, payload_words: int) -> int:
+        bits = max(1, (domain - 1).bit_length())
+        return 16 + bits * 17 + payload_words * 8 + 2
+
+    rank_up = 2 * key_bytes(num_clusters, dim)
+    rank_down = 2 * cluster_size * score_bytes
+    url_up = 2 * key_bytes(num_batches, 1)
+    url_down = 2 * batch_bytes
+    return {
+        "ranking_up": rank_up,
+        "ranking_down": rank_down,
+        "url_up": url_up,
+        "url_down": url_down,
+        "total": rank_up + rank_down + url_up + url_down,
+    }

@@ -1,0 +1,41 @@
+"""Text analysis, retrieval baselines, and semantic embeddings.
+
+Tiptoe treats the embedding model as a black box (SS3.1): any function
+mapping text to vectors whose inner products track semantic similarity
+works.  The paper uses a pretrained transformer; this reproduction
+builds the full substrate from scratch (see DESIGN.md substitution 1):
+
+* :mod:`tokenizer` / :mod:`stemmer` / :mod:`vocab` -- text analysis;
+* :mod:`tfidf` and :mod:`bm25` -- the paper's retrieval baselines;
+* :mod:`lsa` -- the semantic embedder (truncated SVD over tf-idf);
+* :mod:`hashing` -- a cheaper feature-hashing embedder;
+* :mod:`pca` -- dimensionality reduction (SS7);
+* :mod:`quantize` -- fixed-precision integer embeddings (App. B.1);
+* :mod:`joint` -- a simulated CLIP-style text-image joint space.
+"""
+
+from repro.embeddings.bm25 import Bm25Retriever
+from repro.embeddings.hashing import HashingEmbedder
+from repro.embeddings.lsa import LsaEmbedder
+from repro.embeddings.pca import PcaReducer
+from repro.embeddings.quantize import QuantizationConfig, dequantize, quantize
+from repro.embeddings.stemmer import porter_stem
+from repro.embeddings.tfidf import TfidfModel, TfidfRetriever
+from repro.embeddings.tokenizer import analyze, tokenize
+from repro.embeddings.vocab import Vocabulary
+
+__all__ = [
+    "Bm25Retriever",
+    "HashingEmbedder",
+    "LsaEmbedder",
+    "PcaReducer",
+    "QuantizationConfig",
+    "TfidfModel",
+    "TfidfRetriever",
+    "Vocabulary",
+    "analyze",
+    "dequantize",
+    "porter_stem",
+    "quantize",
+    "tokenize",
+]

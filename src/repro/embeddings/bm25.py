@@ -1,0 +1,80 @@
+"""Okapi BM25 retrieval (the Anserini baseline of SS8.2).
+
+The paper reports BM25 with the Anserini defaults k1 = 0.9, b = 0.4;
+those are the defaults here too.  Scoring runs over an inverted index
+so the baseline's own cost profile (query-dependent lookups -- the
+very thing Tiptoe cannot do privately) is honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embeddings.tokenizer import analyze
+
+
+@dataclass
+class Bm25Retriever:
+    """Inverted-index BM25 ranking."""
+
+    k1: float = 0.9
+    b: float = 0.4
+    _postings: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    _doc_lengths: list[int] = field(default_factory=list)
+    _avg_len: float = 0.0
+
+    @classmethod
+    def from_documents(
+        cls, documents: list[str], k1: float = 0.9, b: float = 0.4
+    ) -> "Bm25Retriever":
+        retriever = cls(k1=k1, b=b)
+        for doc_id, doc in enumerate(documents):
+            tokens = analyze(doc)
+            retriever._doc_lengths.append(len(tokens))
+            counts: dict[str, int] = {}
+            for tok in tokens:
+                counts[tok] = counts.get(tok, 0) + 1
+            for term, count in counts.items():
+                retriever._postings.setdefault(term, []).append((doc_id, count))
+        total = sum(retriever._doc_lengths)
+        retriever._avg_len = total / max(1, len(retriever._doc_lengths))
+        return retriever
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    def _idf(self, term: str) -> float:
+        n = len(self._postings.get(term, ()))
+        if n == 0:
+            return 0.0
+        # The Robertson-Sparck Jones IDF with +1 smoothing (Lucene's).
+        return math.log(1.0 + (self.num_documents - n + 0.5) / (n + 0.5))
+
+    def scores(self, query: str) -> np.ndarray:
+        out = np.zeros(self.num_documents)
+        for term in analyze(query):
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self._postings[term]:
+                denom = tf + self.k1 * (
+                    1.0
+                    - self.b
+                    + self.b * self._doc_lengths[doc_id] / self._avg_len
+                )
+                out[doc_id] += idf * tf * (self.k1 + 1.0) / denom
+        return out
+
+    def rank(self, query: str, k: int = 100) -> list[int]:
+        scores = self.scores(query)
+        top = np.argsort(-scores, kind="stable")[:k]
+        return [int(i) for i in top]
+
+    def index_bytes(self) -> int:
+        """Approximate inverted-index size, for Table 6 comparisons."""
+        entries = sum(len(p) for p in self._postings.values())
+        return entries * 8 + sum(len(t) for t in self._postings)

@@ -1,0 +1,64 @@
+"""Feature-hashing embedder: a trainingless alternative embedding.
+
+Maps each term (and, for robustness to morphology, its character
+trigrams) to a pseudo-random signed direction in the embedding space;
+a text embeds as the IDF-free weighted sum of its features.  Cheaper
+than LSA and usable before any corpus statistics exist -- the
+benchmarks use it to show the Tiptoe protocol is embedder-agnostic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.tokenizer import analyze
+
+
+def _feature_vector(feature: str, dim: int, salt: bytes) -> np.ndarray:
+    """A deterministic pseudo-random unit direction for one feature."""
+    digest = hashlib.blake2b(feature.encode(), key=salt, digest_size=8).digest()
+    rng = np.random.Generator(
+        np.random.Philox(int.from_bytes(digest, "little"))
+    )
+    vec = rng.standard_normal(dim)
+    return vec / np.linalg.norm(vec)
+
+
+def _char_trigrams(token: str) -> list[str]:
+    padded = f"#{token}#"
+    return [padded[i : i + 3] for i in range(len(padded) - 2)]
+
+
+@dataclass
+class HashingEmbedder:
+    """A stateless, deterministic text embedder."""
+
+    dim: int = 64
+    salt: bytes = b"tiptoe-hash-embed"
+    trigram_weight: float = 0.35
+    _cache: dict | None = None
+
+    def __post_init__(self) -> None:
+        self._cache = {}
+
+    def _direction(self, feature: str) -> np.ndarray:
+        cached = self._cache.get(feature)
+        if cached is None:
+            cached = _feature_vector(feature, self.dim, self.salt)
+            self._cache[feature] = cached
+        return cached
+
+    def embed(self, text: str) -> np.ndarray:
+        vec = np.zeros(self.dim)
+        for token in analyze(text, stem=False):
+            vec += self._direction(token)
+            for tri in _char_trigrams(token):
+                vec += self.trigram_weight * self._direction(f"3:{tri}")
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        return np.stack([self.embed(t) for t in texts])

@@ -1,0 +1,69 @@
+"""A simulated CLIP-style joint text-image embedding space (SS7, SS8.3).
+
+The paper's text-to-image search embeds captions and images into one
+512-dimensional space with CLIP.  Offline, we simulate the property
+Tiptoe actually relies on -- *text queries and images are comparable
+by inner product* -- as follows (DESIGN.md substitution 5):
+
+* an "image" is a latent topic vector (produced by the synthetic
+  corpus generator) pushed through a fixed random linear modality map
+  plus per-image noise, standing in for pixel content;
+* the text side embeds captions with any text embedder and learns the
+  linear map from caption embeddings to image vectors on a training
+  split (ridge regression) -- mirroring how CLIP aligns the two
+  modalities with a contrastive objective.
+
+The output dimension is 2x the text dimension by default, mirroring
+the paper's 512-vs-768 (then 384-vs-192 after PCA) ratio, which is
+what doubles the image pipeline's cost in Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _normalize(rows: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(rows, axis=-1, keepdims=True)
+    return np.divide(rows, norms, out=np.zeros_like(rows), where=norms > 0)
+
+
+@dataclass
+class JointEmbedder:
+    """A fitted text-to-image embedding pair."""
+
+    text_embedder: object
+    alignment: np.ndarray  # (text_dim, joint_dim)
+
+    @classmethod
+    def fit(
+        cls,
+        text_embedder,
+        captions: list[str],
+        image_vectors: np.ndarray,
+        ridge: float = 1e-3,
+    ) -> "JointEmbedder":
+        """Learn the text-to-image alignment on caption/image pairs."""
+        image_vectors = np.asarray(image_vectors, dtype=np.float64)
+        if len(captions) != image_vectors.shape[0]:
+            raise ValueError("need one image vector per caption")
+        text = np.stack([text_embedder.embed(c) for c in captions])
+        gram = text.T @ text + ridge * np.eye(text.shape[1])
+        alignment = np.linalg.solve(gram, text.T @ image_vectors)
+        return cls(text_embedder=text_embedder, alignment=alignment)
+
+    @property
+    def dim(self) -> int:
+        return self.alignment.shape[1]
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Embed a text query into the joint space (unit norm)."""
+        vec = self.text_embedder.embed(text) @ self.alignment
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_images(self, image_vectors: np.ndarray) -> np.ndarray:
+        """'Embed' images: normalize their latent vectors in-place."""
+        return _normalize(np.asarray(image_vectors, dtype=np.float64))

@@ -1,0 +1,61 @@
+"""Personalized search via client-side embedding augmentation (SS9).
+
+"Tiptoe could potentially support personalized search by incorporating
+a client-side embedding function that takes as input not only the
+user's query, but also the user's search profile."  Because the
+profile enters *before* encryption, the servers -- which keep using
+the plain document-side embedding -- never see it; personalization is
+free privacy-wise.
+
+The profile is itself a vector in the embedding space (e.g., built
+from location terms or interaction history) blended into every query
+embedding with a configurable weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PersonalizedEmbedder:
+    """Wraps any text embedder with a client-held profile vector."""
+
+    base: object
+    profile: np.ndarray
+    weight: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight < 1.0:
+            raise ValueError("profile weight must be in [0, 1)")
+        norm = np.linalg.norm(self.profile)
+        if norm == 0:
+            raise ValueError("profile vector must be nonzero")
+        self.profile = np.asarray(self.profile, dtype=np.float64) / norm
+
+    @classmethod
+    def from_profile_text(
+        cls, base, profile_text: str, weight: float = 0.3
+    ) -> "PersonalizedEmbedder":
+        """Build the profile from text (e.g., "restaurants in tokyo")."""
+        return cls(base=base, profile=base.embed(profile_text), weight=weight)
+
+    @classmethod
+    def from_history(
+        cls, base, history_embeddings: np.ndarray, weight: float = 0.3
+    ) -> "PersonalizedEmbedder":
+        """Build the profile from past interactions' embeddings."""
+        profile = np.asarray(history_embeddings, dtype=np.float64).mean(axis=0)
+        return cls(base=base, profile=profile, weight=weight)
+
+    def embed(self, text: str) -> np.ndarray:
+        """Blend the query embedding with the profile; unit-normalize."""
+        query = self.base.embed(text)
+        blended = (1.0 - self.weight) * query + self.weight * self.profile
+        norm = np.linalg.norm(blended)
+        return blended / norm if norm > 0 else blended
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        return np.stack([self.embed(t) for t in texts])

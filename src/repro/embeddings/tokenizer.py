@@ -1,0 +1,39 @@
+"""Tokenization for the retrieval substrates.
+
+A deliberately simple analyzer: lowercase, split on non-alphanumerics,
+drop one-character tokens and a small stopword list, optionally stem.
+This matches what the paper's tf-idf baseline does via Gensim (SS8.2)
+closely enough for the quality comparisons to be meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.embeddings.stemmer import porter_stem
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A compact English stopword list (the usual suspects).
+STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have he her his i in is it
+    its me my of on or our she that the their them they this to was we were
+    what when where which who will with you your""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens, stopwords and single characters removed."""
+    return [
+        tok
+        for tok in _TOKEN_RE.findall(text.lower())
+        if len(tok) > 1 and tok not in STOPWORDS
+    ]
+
+
+def analyze(text: str, stem: bool = True) -> list[str]:
+    """Tokenize and (by default) Porter-stem."""
+    tokens = tokenize(text)
+    if stem:
+        return [porter_stem(tok) for tok in tokens]
+    return tokens

@@ -1,0 +1,32 @@
+"""Evaluation: search quality, analytic costs, baselines, ablations.
+
+Everything the paper's SS8 reports is regenerated from here; the
+benchmarks under ``benchmarks/`` are thin printers over this package.
+(Named ``evalx`` because ``eval`` is a Python builtin.)
+"""
+
+from repro.evalx.ablation import AblationPoint, run_ablation_ladder
+from repro.evalx.baselines import (
+    CoeusModel,
+    LatentOracleRetriever,
+    client_side_index_bytes,
+)
+from repro.evalx.costmodel import PaperScaleModel, TiptoeCostModel
+from repro.evalx.metrics import mrr_at_k, rank_cdf, reciprocal_rank
+from repro.evalx.quality import QualityReport, TiptoeQualitySim, evaluate_systems
+
+__all__ = [
+    "AblationPoint",
+    "CoeusModel",
+    "LatentOracleRetriever",
+    "PaperScaleModel",
+    "QualityReport",
+    "TiptoeCostModel",
+    "TiptoeQualitySim",
+    "client_side_index_bytes",
+    "evaluate_systems",
+    "mrr_at_k",
+    "rank_cdf",
+    "reciprocal_rank",
+    "run_ablation_ladder",
+]

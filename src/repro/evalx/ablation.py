@@ -1,0 +1,177 @@
+"""The optimization-impact ladder of Figure 9 (SS8.6).
+
+Six configurations, cumulative:
+
+1. no optimizations -- every document's score comes back, and the top
+   100 URLs are fetched with individual (SEAL-PIR-style) queries;
+2. cluster embeddings -- only one cluster's scores come back;
+3. compress URL chunks and retrieve only the chunk with the top
+   result (chunks are arbitrary -- "random" -- at this step);
+4. group URL chunks by content;
+5. assign boundary documents to two clusters;
+6. reduce the embedding dimension ~3x with PCA.
+
+Search quality (MRR@100) is measured on the synthetic benchmark with
+:class:`repro.evalx.quality.TiptoeQualitySim`; communication and
+computation are evaluated at paper scale with the analytic cost model,
+mirroring how the paper itself plots "expected performance" for the
+non-final configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TiptoeConfig
+from repro.corpus.benchmark import QueryBenchmark
+from repro.corpus.synthetic import SyntheticCorpus
+from repro.evalx.costmodel import MIB, TiptoeCostModel
+from repro.evalx.metrics import mrr_at_k
+from repro.evalx.quality import TiptoeQualitySim
+
+#: Per-op slowdown of the SEAL-PIR-style scheme used by step 1's URL
+#: retrieval, relative to SimplePIR (SS8.4: "roughly an order of
+#: magnitude faster than prior single-server PIR", plus query-expansion
+#: overheads).
+SEAL_PIR_OP_FACTOR = 40.0
+
+#: Step 3 <- paper: batching cuts URL communication and compute 4x.
+PER_URL_RETRIEVAL_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One rung of the Fig. 9 ladder."""
+
+    step: int
+    label: str
+    mrr: float
+    comm_mib: float
+    core_seconds: float
+
+
+def _quality(
+    corpus: SyntheticCorpus,
+    benchmark: QueryBenchmark,
+    config: TiptoeConfig,
+    mode: str,
+    embedder,
+    embeddings: np.ndarray,
+    rng_seed: int,
+) -> float:
+    sim = TiptoeQualitySim.build(
+        corpus.texts(),
+        corpus.urls(),
+        config=config,
+        mode=mode,
+        embedder=embedder,
+        embeddings=embeddings,
+        rng=np.random.default_rng(rng_seed),
+    )
+    targets = [q.target_doc_id for q in benchmark.queries]
+    ranked = [sim.rank(q.text, 100) for q in benchmark.queries]
+    return mrr_at_k(ranked, targets, 100)
+
+
+def run_ablation_ladder(
+    corpus: SyntheticCorpus,
+    benchmark: QueryBenchmark,
+    base_config: TiptoeConfig | None = None,
+    paper_docs: int = 364_000_000,
+) -> list[AblationPoint]:
+    """Measure quality at simulation scale, costs at paper scale."""
+    cfg = base_config if base_config is not None else TiptoeConfig()
+    if cfg.pca_dim is None:
+        raise ValueError("base config must set pca_dim for step 6")
+    from repro.embeddings.lsa import LsaEmbedder
+
+    embedder = LsaEmbedder.fit(corpus.texts(), dim=cfg.embedding_dim)
+    embeddings = embedder.embed_batch(corpus.texts())
+
+    # Paper-scale cost models: full dimension until PCA lands at step
+    # 6; no boundary duplication until step 5.
+    dim_full, dim_pca = 576, 192
+    model_full = TiptoeCostModel(dim=dim_full, duplication=1.0)
+    model_dup = TiptoeCostModel(dim=dim_full, duplication=1.2)
+    model_final = TiptoeCostModel(dim=dim_pca, duplication=1.2)
+
+    no_pca = cfg.with_(pca_dim=None)
+    no_dup = no_pca.with_(boundary_fraction=0.0)
+    scattered = no_dup.with_(group_urls_by_content=False)
+
+    points = []
+
+    # Step 1: no clustering, per-document scores, per-URL SEAL-PIR.
+    mrr1 = _quality(
+        corpus, benchmark, no_dup, "exhaustive", embedder, embeddings, 1
+    )
+    comm1 = paper_docs * 8 + 100 * PER_URL_RETRIEVAL_FACTOR * (
+        model_full.url_upload_bytes(paper_docs)
+        + model_full.url_download_bytes(paper_docs)
+    )
+    ops1 = model_full.ranking_word_ops(paper_docs) + (
+        100 * model_full.url_word_ops(paper_docs) * SEAL_PIR_OP_FACTOR
+    )
+    points.append(
+        AblationPoint(
+            1, "no optimizations", mrr1, comm1 / MIB,
+            ops1 / model_full.ops_per_core_second,
+        )
+    )
+
+    # Step 2: clustering; URLs still fetched one by one (4x the batch
+    # cost, per the paper), now with SimplePIR.
+    mrr2 = _quality(
+        corpus, benchmark, no_dup, "cluster", embedder, embeddings, 2
+    )
+    url_comm = model_full.url_upload_bytes(paper_docs) + (
+        model_full.url_download_bytes(paper_docs)
+    )
+    comm2 = (
+        model_full.ranking_upload_bytes(paper_docs)
+        + model_full.ranking_download_bytes(paper_docs)
+        + PER_URL_RETRIEVAL_FACTOR * url_comm
+    )
+    ops2 = model_full.ranking_word_ops(paper_docs) + (
+        PER_URL_RETRIEVAL_FACTOR * model_full.url_word_ops(paper_docs)
+    )
+    points.append(
+        AblationPoint(
+            2, "+ clustering", mrr2, comm2 / MIB,
+            ops2 / model_full.ops_per_core_second,
+        )
+    )
+
+    # Steps 3-6 all pay the final online comm/ops of their model.
+    def online(model):
+        comm = model.online_bytes(paper_docs)
+        ops = model.ranking_word_ops(paper_docs) + model.url_word_ops(
+            paper_docs
+        )
+        return comm / MIB, ops / model.ops_per_core_second
+
+    mrr3 = _quality(
+        corpus, benchmark, scattered, "cluster+batch", embedder, embeddings, 3
+    )
+    comm3, cs3 = online(model_full)
+    points.append(AblationPoint(3, "+ URL batches", mrr3, comm3, cs3))
+
+    mrr4 = _quality(
+        corpus, benchmark, no_dup, "cluster+batch", embedder, embeddings, 4
+    )
+    points.append(AblationPoint(4, "+ content grouping", mrr4, comm3, cs3))
+
+    mrr5 = _quality(
+        corpus, benchmark, no_pca, "cluster+batch", embedder, embeddings, 5
+    )
+    comm5, cs5 = online(model_dup)
+    points.append(AblationPoint(5, "+ boundary duplication", mrr5, comm5, cs5))
+
+    mrr6 = _quality(
+        corpus, benchmark, cfg, "cluster+batch", embedder, embeddings, 6
+    )
+    comm6, cs6 = online(model_final)
+    points.append(AblationPoint(6, "+ PCA (full Tiptoe)", mrr6, comm6, cs6))
+    return points

@@ -1,0 +1,84 @@
+"""Hardware calibration: tie the analytic cost model to this machine.
+
+The cost model's default throughput constant is derived from the
+paper's AWS fleet.  :func:`measure_word_ops_per_second` benchmarks
+the actual hot-loop kernel (uint64 wrap-around matmul) on the current
+machine, and :func:`calibrated_model` returns a
+:class:`~repro.evalx.costmodel.TiptoeCostModel` whose core-second
+predictions reflect *this* hardware -- useful for answering "what
+would serving cost on my machines?" rather than "on the paper's".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.evalx.costmodel import TiptoeCostModel
+
+
+def measure_word_ops_per_second(
+    rows: int = 1024,
+    cols: int = 4096,
+    repeats: int = 5,
+    seed: int = 0,
+) -> float:
+    """Time the uint64 matmul kernel; return word-ops per second.
+
+    Uses the SS6.1 accounting of 2 word ops per matrix entry.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 1 << 62, size=(rows, cols), dtype=np.uint64)
+    vector = rng.integers(0, 1 << 62, size=cols, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        matrix @ vector  # warm-up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            matrix @ vector
+        elapsed = time.perf_counter() - start
+    ops = 2 * rows * cols * repeats
+    return ops / max(elapsed, 1e-12)
+
+
+def calibrated_model(
+    base: TiptoeCostModel | None = None,
+    measured_ops_per_second: float | None = None,
+) -> tuple[TiptoeCostModel, float]:
+    """(cost model at this machine's throughput, slowdown vs. paper).
+
+    Token-generation costs rescale automatically: they are counted in
+    word ops, and both phases bottleneck on the same class of integer
+    arithmetic.
+    """
+    base = base if base is not None else TiptoeCostModel()
+    measured = (
+        measured_ops_per_second
+        if measured_ops_per_second is not None
+        else measure_word_ops_per_second()
+    )
+    if measured <= 0:
+        raise ValueError("measured throughput must be positive")
+    ratio = base.ops_per_core_second / measured
+    return replace(
+        base,
+        ops_per_core_second=measured,
+        token_ops_per_row=base.token_ops_per_row,  # counted in word ops
+    ), ratio
+
+
+def calibration_report(num_docs: int = 364_000_000) -> dict:
+    """Side-by-side per-query compute: paper hardware vs this machine."""
+    measured = measure_word_ops_per_second()
+    paper = TiptoeCostModel()
+    local, ratio = calibrated_model(paper, measured)
+    return {
+        "measured_ops_per_second": measured,
+        "paper_ops_per_second": paper.ops_per_core_second,
+        "slowdown_vs_paper": ratio,
+        "paper_core_seconds": paper.online_core_seconds(num_docs)
+        + paper.token_core_seconds(num_docs),
+        "local_core_seconds": local.online_core_seconds(num_docs)
+        + local.token_core_seconds(num_docs),
+    }

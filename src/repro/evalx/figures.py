@@ -1,0 +1,88 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmarks regenerate the *data* behind Figures 4, 8, and 9; this
+module renders it as terminal plots so a bench run visually shows the
+curves (CDF plateaus, scaling laws, the optimization ladder) without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series on one shared-axis character grid.
+
+    Each series is drawn with its own marker (its name's first
+    character, uppercased); later series overwrite earlier ones where
+    they collide.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+
+    def tx(value: float) -> float:
+        if not log_x:
+            return value
+        return math.log10(max(value, 1e-12))
+
+    def ty(value: float) -> float:
+        if not log_y:
+            return value
+        return math.log10(max(value, 1e-12))
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, points in series.items():
+        marker = (name[:1] or "?").upper()
+        for x, y in points:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        real = 10**value if log else value
+        return f"{real:.3g}"
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{fmt(y_hi, log_y):>8s} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{fmt(y_lo, log_y):>8s} +" + "-" * width + "+")
+    lines.append(
+        " " * 10
+        + fmt(x_lo, log_x)
+        + " " * max(1, width - len(fmt(x_lo, log_x)) - len(fmt(x_hi, log_x)))
+        + fmt(x_hi, log_x)
+        + (f"   ({x_label})" if x_label else "")
+    )
+    legend = "  legend: " + "  ".join(
+        f"{(name[:1] or '?').upper()}={name}" for name in series
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def cdf_chart(cdfs: dict[str, list[float]], **kwargs) -> str:
+    """Fig. 4 (right): index-vs-fraction curves from rank CDFs."""
+    series = {
+        name: [(i + 1, float(v)) for i, v in enumerate(values)]
+        for name, values in cdfs.items()
+    }
+    return ascii_chart(series, x_label="index i", y_label="P[rank <= i]", **kwargs)

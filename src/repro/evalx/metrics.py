@@ -1,0 +1,58 @@
+"""Search-quality metrics (SS8.1): MRR@100 and the rank CDF.
+
+MRR@k is the mean over queries of 1/rank of the true-best result
+within the top k returned results (0 when absent).  The rank CDF is
+Fig. 4 (right): the fraction of queries whose best result appears at
+index <= i.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reciprocal_rank(ranked_ids: list[int], target: int, k: int = 100) -> float:
+    """1 / (1 + index of target) within the top k, else 0."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    for i, doc in enumerate(ranked_ids[:k]):
+        if doc == target:
+            return 1.0 / (i + 1)
+    return 0.0
+
+
+def mrr_at_k(
+    ranked_lists: list[list[int]], targets: list[int], k: int = 100
+) -> float:
+    """Mean reciprocal rank at k over a query set."""
+    if len(ranked_lists) != len(targets):
+        raise ValueError("need one target per ranked list")
+    if not targets:
+        raise ValueError("cannot average over zero queries")
+    return float(
+        np.mean(
+            [
+                reciprocal_rank(ranked, t, k)
+                for ranked, t in zip(ranked_lists, targets)
+            ]
+        )
+    )
+
+
+def rank_cdf(
+    ranked_lists: list[list[int]], targets: list[int], k: int = 100
+) -> np.ndarray:
+    """cdf[i] = fraction of queries with target at index <= i (0-based).
+
+    This is the y-axis of Fig. 4 (right); queries whose target never
+    appears contribute to no bucket, so the curve can plateau below 1.
+    """
+    if len(ranked_lists) != len(targets):
+        raise ValueError("need one target per ranked list")
+    counts = np.zeros(k)
+    for ranked, target in zip(ranked_lists, targets):
+        for i, doc in enumerate(ranked[:k]):
+            if doc == target:
+                counts[i:] += 1
+                break
+    return counts / max(1, len(targets))

@@ -1,0 +1,162 @@
+"""Degree-two homomorphic encryption for encrypted-corpus search (SS9).
+
+SS9 extends Tiptoe to corpora the *client* owns and has encrypted: the
+server stores encrypted embeddings and must compute the inner product
+of the client's *encrypted* query with each *encrypted* document
+vector -- a degree-two computation on ciphertexts [17, Boneh-Goh-
+Nissim].  We realize it with tensored Regev ciphertexts:
+
+For ciphertexts ``(a_i, b_i)`` with phase ``phi_i = b_i - <a_i, s> =
+Delta m_i + e_i``, the product of phases expands to
+
+    phi * phi' = b b' - b <a', s> - b' <a, s> + s^T (a (x) a') s.
+
+The server can aggregate the query-independent pieces over a whole
+vector inner product *without knowing s*: it returns the scalar
+``B = sum b b'``, the vector ``v = sum (b a' + b' a)``, and the matrix
+``M = sum a (x) a'``.  The client computes ``B - <v, s> + s^T M s``
+and rounds by Delta^2 to recover ``sum m_i m_i'`` -- the inner-product
+score.
+
+As the paper notes of such schemes, the costs are steep (the response
+carries an n x n matrix and the plaintext scale squares), which is why
+the public-corpus pipeline uses the linear-only scheme; this module
+exists for the encrypted-data extension and runs at small scale.
+Arithmetic is over Z_{2^128} via Python integers (object arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lwe import sampling
+
+Q_BITS = 128
+Q = 1 << Q_BITS
+
+
+@dataclass(frozen=True)
+class Degree2Params:
+    """Parameters for the degree-two Regev scheme."""
+
+    n: int = 64
+    delta_bits: int = 40
+    sigma: float = 3.2
+
+    @property
+    def delta(self) -> int:
+        return 1 << self.delta_bits
+
+    def max_result_magnitude(self) -> int:
+        """Largest |sum m m'| recoverable after one multiplication."""
+        return (Q // self.delta // self.delta) // 4
+
+
+@dataclass
+class Degree2Ciphertext:
+    """A batch of ciphertexts, one per vector coordinate.
+
+    ``a`` has shape (d, n) and ``b`` shape (d,), both object arrays of
+    Python ints mod 2^128.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        return len(self.b)
+
+    def wire_bytes(self) -> int:
+        return (self.a.size + self.b.size) * (Q_BITS // 8)
+
+
+@dataclass
+class Degree2Answer:
+    """The server's aggregated degree-two response."""
+
+    scalar: int
+    vector: np.ndarray  # (n,)
+    matrix: np.ndarray  # (n, n)
+
+    def wire_bytes(self) -> int:
+        return (1 + self.vector.size + self.matrix.size) * (Q_BITS // 8)
+
+
+def _obj_mod(arr: np.ndarray) -> np.ndarray:
+    return np.vectorize(lambda x: x % Q, otypes=[object])(arr)
+
+
+class Degree2Scheme:
+    """Secret-key Regev encryption supporting one multiplication."""
+
+    def __init__(self, params: Degree2Params | None = None):
+        self.params = params if params is not None else Degree2Params()
+
+    def gen_secret(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng if rng is not None else sampling.system_rng()
+        return np.array(
+            [int(x) for x in rng.integers(-1, 2, self.params.n)], dtype=object
+        )
+
+    def encrypt_vector(
+        self,
+        secret: np.ndarray,
+        values: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> Degree2Ciphertext:
+        """Encrypt a small-integer vector, one ciphertext per entry."""
+        rng = rng if rng is not None else sampling.system_rng()
+        d = len(values)
+        n = self.params.n
+        a = np.empty((d, n), dtype=object)
+        for i in range(d):
+            for j in range(n):
+                a[i, j] = int(rng.integers(0, 1 << 62)) | (
+                    int(rng.integers(0, 1 << 62)) << 62
+                )
+        errors = np.rint(rng.normal(0, self.params.sigma, d)).astype(int)
+        b = np.empty(d, dtype=object)
+        delta = self.params.delta
+        for i in range(d):
+            mask = sum(int(a[i, j]) * int(secret[j]) for j in range(n))
+            b[i] = (mask + int(errors[i]) + delta * int(values[i])) % Q
+        return Degree2Ciphertext(a=a, b=b)
+
+    # -- server side -----------------------------------------------------------
+
+    @staticmethod
+    def inner_product(
+        query: Degree2Ciphertext, doc: Degree2Ciphertext
+    ) -> Degree2Answer:
+        """Aggregate the degree-two terms of <query, doc>."""
+        if query.dim != doc.dim:
+            raise ValueError("vector dimensions differ")
+        scalar = int(sum(int(x) * int(y) for x, y in zip(query.b, doc.b)) % Q)
+        vector = _obj_mod(query.b @ doc.a + doc.b @ query.a)
+        matrix = _obj_mod(query.a.T @ doc.a)
+        return Degree2Answer(scalar=scalar, vector=vector, matrix=matrix)
+
+    @staticmethod
+    def add_answers(a1: Degree2Answer, a2: Degree2Answer) -> Degree2Answer:
+        """Answers are additively homomorphic (linear post-processing)."""
+        return Degree2Answer(
+            scalar=(a1.scalar + a2.scalar) % Q,
+            vector=_obj_mod(a1.vector + a2.vector),
+            matrix=_obj_mod(a1.matrix + a2.matrix),
+        )
+
+    # -- client side -------------------------------------------------------------
+
+    def decrypt_score(self, secret: np.ndarray, answer: Degree2Answer) -> int:
+        """Recover the signed inner product sum(m * m')."""
+        s = answer.matrix @ secret
+        quad = int(secret @ s)
+        lin = int(secret @ answer.vector)
+        phase = (answer.scalar - lin + quad) % Q
+        if phase >= Q // 2:
+            phase -= Q
+        delta_sq = self.params.delta * self.params.delta
+        return round(phase / delta_sq)

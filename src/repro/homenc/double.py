@@ -1,0 +1,295 @@
+"""The double-layer ("augmented") LHE scheme of SS6.2 and Appendix A.
+
+The inner Regev scheme makes homomorphic evaluation nearly as fast as
+plaintext arithmetic, but decryption needs the hint matrix ``H = M A``
+-- gigabytes of corpus-dependent data the client would otherwise have
+to download.  Here the client instead uploads an outer encryption of
+its inner secret key, and the server computes the hint-secret product
+``H s`` *under the outer encryption*:
+
+1. the client sends ``Enc2`` ciphertexts of each inner-secret
+   component ``s_i`` (the ``z_i`` of Appendix A.2);
+2. the server, per chunk of ``n_outer`` hint rows, evaluates
+   ``sum_i C_i(x) * z_i`` where ``C_i`` is the plaintext polynomial
+   whose r-th coefficient is ``H[r, i]`` -- because each ``z_i``
+   encrypts a *constant*, coefficient r of the sum is exactly
+   ``sum_i H[r, i] s_i``, row r of ``H s``;
+3. the client decrypts the few compact outer ciphertexts instead of
+   downloading ``H``.
+
+Two paper optimizations are folded in:
+
+* *modulus switching / dropping low-order hint bits* (Appendix A.3):
+  the hint and the online answer are rescaled from the inner modulus
+  q to an odd prime T < 2^32 before the outer layer sees them -- from
+  q = 2^64 this literally drops the low 32 bits of each hint word;
+* the outer evaluation is key-dependent but *query-independent*, so it
+  runs ahead of time (the query tokens of :mod:`repro.homenc.token`).
+
+Faithfulness note (DESIGN.md substitution 8): the paper instantiates
+Enc2 with SEAL's BFV at t = 65537 plus encoding tricks the appendix
+does not fully specify; we instantiate Enc2 with the same BFV-style
+scheme but plaintext modulus T, which keeps the arithmetic exact and
+preserves every systems-level property (offline evaluation, O(l)
+evaluated ciphertexts, no hint download).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lwe import modular, sampling
+from repro.lwe.params import LweParams
+from repro.lwe.regev import Ciphertext, RegevScheme, SecretKey
+from repro.rlwe.bfv import BfvCiphertext, BfvParams, BfvScheme, BfvSecretKey
+
+#: Default modulus-switch target: the largest prime below 2^32.
+DEFAULT_SWITCH_MODULUS = 4294967291
+
+
+@dataclass(frozen=True)
+class DoubleLheParams:
+    """Parameters tying the two encryption layers together."""
+
+    inner: LweParams
+    outer_n: int = 2048
+    outer_prime_bits: int = 30
+    outer_num_primes: int = 3
+    outer_sigma: float = 3.2
+    switch_modulus: int = DEFAULT_SWITCH_MODULUS
+
+    def __post_init__(self) -> None:
+        if self.switch_modulus >= 1 << 32:
+            raise ValueError("switch modulus must be below 2^32")
+        if self.switch_modulus % 2 == 0:
+            raise ValueError("switch modulus must be odd")
+
+    def outer_params(self) -> BfvParams:
+        return BfvParams.create(
+            n=self.outer_n,
+            t=self.switch_modulus,
+            prime_bits=self.outer_prime_bits,
+            num_primes=self.outer_num_primes,
+            sigma=self.outer_sigma,
+        )
+
+
+@dataclass(frozen=True)
+class ClientKeys:
+    """Both layers' secret keys, held only by the client."""
+
+    inner: SecretKey
+    outer: BfvSecretKey
+
+
+@dataclass(frozen=True)
+class EncryptedKey:
+    """The outer encryption of the inner secret (the ``z_i`` vectors).
+
+    Stored as stacked NTT-domain arrays of shape ``(n_inner, k, n_outer)``
+    so the server's evaluation is a batched pointwise product.  This is
+    the large ahead-of-time client upload of SS6.3 (~32 MiB at paper
+    scale); it is query-independent and reusable across services.
+    """
+
+    z_b: np.ndarray
+    z_a: np.ndarray
+
+    def wire_bytes(self) -> int:
+        return (self.z_b.size + self.z_a.size) * 8
+
+
+@dataclass(frozen=True)
+class CompressedHint:
+    """Outer ciphertexts encrypting ``H s``, one per n_outer hint rows."""
+
+    chunks: tuple[BfvCiphertext, ...]
+    rows: int
+
+    def wire_bytes(self) -> int:
+        return sum(c.wire_bytes() for c in self.chunks)
+
+
+@dataclass(frozen=True)
+class PreprocessedMatrix:
+    """Server-side state for one plaintext matrix M: hint + switched hint."""
+
+    hint: np.ndarray
+    switched_hint: np.ndarray
+    rows: int
+
+
+def _mulsum_mod(
+    lhs: np.ndarray, rhs: np.ndarray, modulus: int, block: int = 8
+) -> np.ndarray:
+    """``sum_i lhs[i] * rhs[i] mod modulus`` without uint64 overflow.
+
+    Entries are < 2^30, so products are < 2^60; summing at most
+    ``block`` of them stays under 2^64 before each reduction.
+    """
+    p = np.uint64(modulus)
+    acc = np.zeros(lhs.shape[1:], dtype=np.uint64)
+    for start in range(0, lhs.shape[0], block):
+        part = lhs[start : start + block] * rhs[start : start + block]
+        acc = (acc + part.sum(axis=0, dtype=np.uint64)) % p
+    return acc
+
+
+class DoubleLheScheme:
+    """Linearly homomorphic encryption with preprocessing + compression.
+
+    The public interface mirrors Appendix A.1's syntax: ``encrypt``
+    (inner), ``preprocess`` (hint + switched hint), ``apply`` (inner,
+    the online hot loop), ``evaluate_hint`` (outer, offline), and
+    ``decrypt`` (client, from the compressed hint product).
+    """
+
+    def __init__(
+        self, params: DoubleLheParams, a_seed: bytes | None = None
+    ):
+        self.params = params
+        self.inner = RegevScheme(
+            params=params.inner,
+            a_seed=a_seed if a_seed is not None else sampling.random_seed(),
+        )
+        self.outer = BfvScheme(params.outer_params())
+
+    # -- client key management -----------------------------------------------
+
+    def gen_keys(self, rng: np.random.Generator | None = None) -> ClientKeys:
+        rng = rng if rng is not None else sampling.system_rng()
+        return ClientKeys(
+            inner=self.inner.gen_secret(rng), outer=self.outer.gen_secret(rng)
+        )
+
+    def encrypt_key(
+        self, keys: ClientKeys, rng: np.random.Generator | None = None
+    ) -> EncryptedKey:
+        """Encrypt each inner-secret component under the outer scheme."""
+        rng = rng if rng is not None else sampling.system_rng()
+        s_signed = keys.inner.signed()
+        z_b = []
+        z_a = []
+        for s_i in s_signed:
+            ct = self.outer.encrypt(keys.outer, np.array([int(s_i)]), rng)
+            z_b.append(ct.b)
+            z_a.append(ct.a)
+        return EncryptedKey(z_b=np.stack(z_b), z_a=np.stack(z_a))
+
+    # -- server-side preprocessing ---------------------------------------------
+
+    def preprocess(self, matrix: np.ndarray) -> PreprocessedMatrix:
+        """Compute the inner hint and its modulus-switched form."""
+        hint = self.inner.preprocess(matrix)
+        switched = modular.mod_switch(
+            hint, self.params.inner.q_bits, self.params.switch_modulus
+        )
+        return PreprocessedMatrix(
+            hint=hint, switched_hint=switched, rows=hint.shape[0]
+        )
+
+    def evaluate_hint(
+        self, enc_key: EncryptedKey, prep: PreprocessedMatrix
+    ) -> CompressedHint:
+        """Compute ``Enc2(H' s)`` -- decryption outsourced to the server.
+
+        Runs once per client key per matrix, entirely offline.  Each
+        chunk of ``n_outer`` hint rows yields one outer ciphertext.
+        """
+        n_outer = self.params.outer_n
+        n_inner = self.params.inner.n
+        ring = self.outer.ring
+        switched = prep.switched_hint  # (rows, n_inner) mod T, uint64
+        chunks = []
+        for start in range(0, prep.rows, n_outer):
+            block = switched[start : start + n_outer]
+            # C has one polynomial per inner-secret index: column i of
+            # the hint block becomes the coefficients of C_i.
+            c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
+            c_polys[:, : block.shape[0]] = block.T
+            b_acc = []
+            a_acc = []
+            for ch, (p, ntt) in enumerate(zip(ring.primes, ring.ntts)):
+                c_ntt = ntt.forward(c_polys % np.uint64(p))
+                b_acc.append(_mulsum_mod(enc_key.z_b[:, ch, :], c_ntt, p))
+                a_acc.append(_mulsum_mod(enc_key.z_a[:, ch, :], c_ntt, p))
+            chunks.append(BfvCiphertext(b=np.stack(b_acc), a=np.stack(a_acc)))
+        return CompressedHint(chunks=tuple(chunks), rows=prep.rows)
+
+    # -- client-side recovery ---------------------------------------------------
+
+    def decrypt_hint_product(
+        self, keys: ClientKeys, compressed: CompressedHint
+    ) -> np.ndarray:
+        """Recover ``H' s mod T`` (one value per hint row)."""
+        pieces = [
+            self.outer.decrypt(keys.outer, chunk) for chunk in compressed.chunks
+        ]
+        flat = np.concatenate(pieces)[: compressed.rows]
+        return flat.astype(np.uint64)
+
+    # -- the online query path ----------------------------------------------------
+
+    def encrypt(
+        self,
+        keys: ClientKeys,
+        message: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> Ciphertext:
+        """Inner encryption of the query vector (the online upload)."""
+        return self.inner.encrypt(keys.inner, message, rng)
+
+    def apply(self, matrix: np.ndarray, ct: Ciphertext) -> np.ndarray:
+        """Inner homomorphic evaluation (the online server hot loop)."""
+        return self.inner.apply(matrix, ct)
+
+    def decrypt(
+        self,
+        keys: ClientKeys,
+        answer: np.ndarray,
+        hint_product: np.ndarray,
+    ) -> np.ndarray:
+        """Recover ``M v mod p`` from the answer and the hint product.
+
+        Mirrors SimplePIR decryption, but over the switched modulus T:
+        scale the answer to T, subtract the (token-delivered) hint
+        product, and round by the scaled plaintext step T / p.
+        """
+        t = self.params.switch_modulus
+        p = self.params.inner.p
+        a_switched = modular.mod_switch(
+            np.asarray(answer), self.params.inner.q_bits, t
+        )
+        noisy = (
+            a_switched.astype(np.int64)
+            - np.asarray(hint_product, dtype=np.uint64).astype(np.int64)
+        ) % t
+        centered = np.where(noisy >= t // 2, noisy - t, noisy).astype(
+            np.float64
+        )
+        return np.rint(centered * (p / t)).astype(np.int64) % p
+
+    def decrypt_centered(
+        self,
+        keys: ClientKeys,
+        answer: np.ndarray,
+        hint_product: np.ndarray,
+    ) -> np.ndarray:
+        """Like :meth:`decrypt`, mapping into [-p/2, p/2)."""
+        m = self.decrypt(keys, answer, hint_product)
+        p = self.params.inner.p
+        return np.where(m >= p // 2, m - p, m)
+
+    # -- cost accounting -----------------------------------------------------------
+
+    def compressed_hint_bytes(self, rows: int) -> int:
+        """Wire size of the evaluated outer ciphertexts for l hint rows."""
+        n_chunks = -(-rows // self.params.outer_n)
+        return n_chunks * self.outer.params.ciphertext_bytes()
+
+    def key_upload_bytes(self) -> int:
+        """Wire size of the one-time encrypted-key upload."""
+        per_ct = self.outer.params.ciphertext_bytes()
+        return self.params.inner.n * per_ct

@@ -1,0 +1,43 @@
+"""Lattice-based (LWE) linearly homomorphic encryption.
+
+This subpackage implements the "inner" encryption layer of Tiptoe: the
+high-throughput secret-key Regev encryption scheme with preprocessing
+from SimplePIR (Henzinger et al., USENIX Security 2023), which Tiptoe
+uses for both its ranking protocol (SS4) and its URL-retrieval PIR (SS5).
+
+Modules
+-------
+modular
+    Wrap-around matrix arithmetic over Z_{2^32} and Z_{2^64}.
+sampling
+    Discrete-Gaussian and ternary samplers, seeded matrix expansion.
+params
+    Parameter selection and noise/security estimation; reproduces the
+    paper's Tables 11 and 12.
+regev
+    The Enc / Preproc / Apply / Dec scheme of Appendix A.1.
+"""
+
+from repro.lwe.params import (
+    LweParams,
+    SecurityLevel,
+    estimate_security_bits,
+    max_plaintext_modulus,
+    select_params,
+)
+from repro.lwe.regev import (
+    Ciphertext,
+    RegevScheme,
+    SecretKey,
+)
+
+__all__ = [
+    "Ciphertext",
+    "LweParams",
+    "RegevScheme",
+    "SecretKey",
+    "SecurityLevel",
+    "estimate_security_bits",
+    "max_plaintext_modulus",
+    "select_params",
+]

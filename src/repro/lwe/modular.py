@@ -1,0 +1,189 @@
+"""Wrap-around matrix arithmetic over Z_{2^32} and Z_{2^64}.
+
+Tiptoe's inner encryption layer works modulo a power-of-two ciphertext
+modulus q (2^64 for the ranking service, 2^32 for the URL service;
+Appendix C).  Representing ring elements as ``uint32`` / ``uint64``
+NumPy arrays makes reduction modulo q free: C-style unsigned integer
+arithmetic wraps exactly as required, including inside ``matmul``
+accumulators, so a single integer matrix product *is* the homomorphic
+evaluation.
+
+All helpers here take and return arrays of the ``dtype`` matching the
+modulus; they never silently up-cast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ciphertext moduli supported by the inner layer, keyed by bit width.
+SUPPORTED_Q_BITS = (32, 64)
+
+_DTYPES = {32: np.uint32, 64: np.uint64}
+_SIGNED_DTYPES = {32: np.int32, 64: np.int64}
+
+
+def dtype_for(q_bits: int) -> type:
+    """Return the unsigned NumPy dtype representing Z_{2^q_bits}."""
+    try:
+        return _DTYPES[q_bits]
+    except KeyError:
+        raise ValueError(
+            f"unsupported modulus 2^{q_bits}; supported: {SUPPORTED_Q_BITS}"
+        ) from None
+
+
+def signed_dtype_for(q_bits: int) -> type:
+    """Return the signed NumPy dtype for centered representatives."""
+    try:
+        return _SIGNED_DTYPES[q_bits]
+    except KeyError:
+        raise ValueError(
+            f"unsupported modulus 2^{q_bits}; supported: {SUPPORTED_Q_BITS}"
+        ) from None
+
+
+def to_ring(values: np.ndarray, q_bits: int) -> np.ndarray:
+    """Reduce arbitrary integers into Z_{2^q_bits} (non-negative reps).
+
+    Accepts signed input; negative entries map to their additive
+    inverses mod q, matching the centered-representative convention of
+    Appendix B.1.
+    """
+    dtype = dtype_for(q_bits)
+    arr = np.asarray(values)
+    if arr.dtype == dtype:
+        return arr
+    # Cast through a signed/unsigned view wraps correctly for any
+    # integer input; object/float inputs are reduced explicitly first.
+    if arr.dtype.kind not in "iu":
+        q = 1 << q_bits
+        arr = np.asarray(np.mod(arr, q), dtype=object)
+        return np.array([int(x) for x in arr.ravel()], dtype=dtype).reshape(
+            arr.shape
+        )
+    return arr.astype(dtype, casting="unsafe")
+
+
+def centered(values: np.ndarray, q_bits: int) -> np.ndarray:
+    """Map Z_q elements to centered representatives in [-q/2, q/2)."""
+    dtype = dtype_for(q_bits)
+    arr = np.asarray(values, dtype=dtype)
+    return arr.view(signed_dtype_for(q_bits)) if arr.flags.c_contiguous else (
+        np.ascontiguousarray(arr).view(signed_dtype_for(q_bits))
+    )
+
+
+def matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
+    """Matrix product over Z_{2^q_bits}.
+
+    The accumulator wraps modulo q by construction, so this is an exact
+    ring operation regardless of operand magnitudes.
+    """
+    dtype = dtype_for(q_bits)
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    with np.errstate(over="ignore"):
+        return a @ b
+
+
+def matvec(a: np.ndarray, v: np.ndarray, q_bits: int) -> np.ndarray:
+    """Matrix-vector product over Z_{2^q_bits}."""
+    return matmul(a, v.reshape(-1), q_bits)
+
+
+def add(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
+    """Elementwise sum over Z_{2^q_bits}."""
+    dtype = dtype_for(q_bits)
+    with np.errstate(over="ignore"):
+        return np.asarray(a, dtype=dtype) + np.asarray(b, dtype=dtype)
+
+
+def sub(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
+    """Elementwise difference over Z_{2^q_bits}."""
+    dtype = dtype_for(q_bits)
+    with np.errstate(over="ignore"):
+        return np.asarray(a, dtype=dtype) - np.asarray(b, dtype=dtype)
+
+
+def scale(a: np.ndarray, c: int, q_bits: int) -> np.ndarray:
+    """Scalar multiple over Z_{2^q_bits}."""
+    dtype = dtype_for(q_bits)
+    with np.errstate(over="ignore"):
+        return np.asarray(a, dtype=dtype) * dtype(c % (1 << q_bits))
+
+
+def round_to_message(noisy: np.ndarray, q_bits: int, p: int) -> np.ndarray:
+    """Round Z_q values to the nearest multiple of Delta = q // p.
+
+    This is the non-linear step ``f`` of SimplePIR decryption
+    (Appendix A): given ``Delta * m + e`` with ``|e| < Delta / 2``,
+    recover ``m mod p``.  Requires ``p`` to divide ``2^q_bits`` exactly
+    (both are powers of two in the operational configuration), so the
+    encoding has no ``m * epsilon`` error term.
+    """
+    q = 1 << q_bits
+    if q % p != 0:
+        raise ValueError(f"plaintext modulus {p} must divide q = 2^{q_bits}")
+    delta = q // p
+    dtype = dtype_for(q_bits)
+    noisy = np.asarray(noisy, dtype=dtype)
+    with np.errstate(over="ignore"):
+        shifted = noisy + dtype(delta // 2)
+    # Shifted division by a power of two is exact in the unsigned ring.
+    return ((shifted >> dtype(int(delta).bit_length() - 1)) % dtype(p)).astype(
+        np.int64
+    )
+
+
+def encode_message(m: np.ndarray, q_bits: int, p: int) -> np.ndarray:
+    """Scale plaintexts in Z_p up to Z_q: ``m -> Delta * m``."""
+    q = 1 << q_bits
+    if q % p != 0:
+        raise ValueError(f"plaintext modulus {p} must divide q = 2^{q_bits}")
+    delta = q // p
+    dtype = dtype_for(q_bits)
+    m = np.asarray(m)
+    m_red = to_ring(np.mod(m, p), q_bits)
+    with np.errstate(over="ignore"):
+        return m_red * dtype(delta)
+
+
+def mod_switch(values: np.ndarray, q_bits: int, new_modulus: int) -> np.ndarray:
+    """Rescale Z_{2^q_bits} elements to Z_{new_modulus} by rounding.
+
+    Computes ``round(x * new_modulus / q)`` elementwise.  Used when
+    handing the inner hint/answer to the outer compression layer
+    (SS6.2), whose plaintext modulus is an odd prime near 2^32.
+
+    The result is exact: the scaled value is computed with integer
+    arithmetic split into high and low halves to avoid overflow.
+    """
+    q = 1 << q_bits
+    arr = np.asarray(values, dtype=dtype_for(q_bits))
+    if new_modulus <= 0:
+        raise ValueError("new modulus must be positive")
+    if q_bits == 32:
+        prod = arr.astype(np.uint64) * np.uint64(new_modulus)
+        return ((prod + np.uint64(q // 2)) >> np.uint64(q_bits)).astype(
+            np.uint64
+        ) % np.uint64(new_modulus)
+    if new_modulus >= 1 << 32:
+        raise ValueError("mod_switch from 2^64 requires new modulus < 2^32")
+    # q = 2^64: split x = hi * 2^32 + lo and combine the two scaled halves.
+    lo = (arr & np.uint64(0xFFFFFFFF)).astype(np.uint64)
+    hi = (arr >> np.uint64(32)).astype(np.uint64)
+    t = np.uint64(new_modulus)
+    # x * t / 2^64 = hi * t / 2^32 + lo * t / 2^64, rounded.
+    hi_prod = hi * t  # < 2^32 * 2^34 = 2^66?  new_modulus < 2^32 keeps it safe
+    lo_prod = lo * t
+    combined = hi_prod + (lo_prod >> np.uint64(32))
+    frac_low = lo_prod & np.uint64(0xFFFFFFFF)
+    # combined is x*t / 2^32 with 32 fractional bits remaining; round.
+    result = (combined + np.uint64(1 << 31)) >> np.uint64(32)
+    # Account for the discarded sub-2^-32 fraction only at the boundary.
+    boundary = ((combined & np.uint64(0xFFFFFFFF)) == np.uint64(0x7FFFFFFF)) & (
+        frac_low >= np.uint64(1 << 31)
+    )
+    result = result + boundary.astype(np.uint64)
+    return result % t

@@ -1,0 +1,12 @@
+"""Simulated networking: byte accounting and the latency model.
+
+The paper's testbed links client and coordinator over a simulated
+100 Mbps / 50 ms-RTT connection (SS8.1) and reports per-phase traffic
+(Table 7).  This subpackage provides the same accounting for the
+in-process reproduction: every protocol message is logged with a
+phase tag and direction, and latency is modeled from the link.
+"""
+
+from repro.net.transport import LinkModel, TrafficLog
+
+__all__ = ["LinkModel", "TrafficLog"]

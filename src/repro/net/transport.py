@@ -1,0 +1,101 @@
+"""Traffic logging and the client-link latency model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """The simulated client-coordinator link of SS8.1."""
+
+    bandwidth_mbps: float = 100.0
+    rtt_ms: float = 50.0
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Serialization delay for a payload of the given size."""
+        return num_bytes * 8 / (self.bandwidth_mbps * 1e6)
+
+    def round_trip_seconds(self, up_bytes: int, down_bytes: int) -> float:
+        """One request/response exchange: RTT plus both transfers."""
+        return (
+            self.rtt_ms / 1e3
+            + self.transfer_seconds(up_bytes)
+            + self.transfer_seconds(down_bytes)
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logged protocol message."""
+
+    phase: str
+    direction: str  # "up" (client -> server) or "down"
+    num_bytes: int
+
+
+@dataclass
+class TrafficLog:
+    """Per-phase byte accounting for one client session."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def record(self, phase: str, direction: str, num_bytes: int) -> None:
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        if num_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        self.messages.append(
+            Message(phase=phase, direction=direction, num_bytes=int(num_bytes))
+        )
+
+    def bytes_up(self, phase: str | None = None) -> int:
+        return self._total("up", phase)
+
+    def bytes_down(self, phase: str | None = None) -> int:
+        return self._total("down", phase)
+
+    def total_bytes(self, phase: str | None = None) -> int:
+        return self.bytes_up(phase) + self.bytes_down(phase)
+
+    def _total(self, direction: str, phase: str | None) -> int:
+        return sum(
+            m.num_bytes
+            for m in self.messages
+            if m.direction == direction and (phase is None or m.phase == phase)
+        )
+
+    def phases(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.messages:
+            if m.phase not in seen:
+                seen.append(m.phase)
+        return seen
+
+    def phase_summary(self) -> dict[str, tuple[int, int]]:
+        """phase -> (bytes up, bytes down)."""
+        return {
+            phase: (self.bytes_up(phase), self.bytes_down(phase))
+            for phase in self.phases()
+        }
+
+    def message_sizes(self, phase: str, direction: str) -> list[int]:
+        """All message sizes in one phase/direction -- used by the
+        privacy tests to check sizes are query-independent."""
+        return [
+            m.num_bytes
+            for m in self.messages
+            if m.phase == phase and m.direction == direction
+        ]
+
+    def simulated_latency(
+        self, link: LinkModel, phases: list[str] | None = None
+    ) -> float:
+        """Latency if each selected phase is one request/response."""
+        selected = phases if phases is not None else self.phases()
+        return sum(
+            link.round_trip_seconds(self.bytes_up(p), self.bytes_down(p))
+            for p in selected
+        )

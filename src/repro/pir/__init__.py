@@ -1,0 +1,18 @@
+"""Single-server private information retrieval (SimplePIR, SS5).
+
+Tiptoe's URL service is a SimplePIR instance over compressed URL
+batches.  ``database`` packs byte records into a plaintext matrix over
+Z_p; ``simplepir`` runs the retrieval protocol on top of the Regev
+scheme of :mod:`repro.lwe` -- either in the classic hint-download mode
+or in Tiptoe's compressed, token-based mode.
+"""
+
+from repro.pir.database import PackedDatabase
+from repro.pir.simplepir import SimplePirClient, SimplePirServer, build_pir
+
+__all__ = [
+    "PackedDatabase",
+    "SimplePirClient",
+    "SimplePirServer",
+    "build_pir",
+]

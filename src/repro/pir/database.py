@@ -1,0 +1,191 @@
+"""Packing byte records into a PIR plaintext matrix.
+
+SimplePIR serves a matrix over Z_p; a PIR query selects one column.
+Each record therefore occupies one column: its bytes are
+length-prefixed, bit-packed into base-p digits (p a power of two),
+and padded to the tallest record.  The resulting matrix has one row
+per digit and one column per record, so the answer to a query is
+exactly the digits of the requested record.
+
+The paper "unbalances" the matrix so it is roughly 10x wider than
+tall (Appendix C); :func:`PackedDatabase.aspect_ratio` exposes the
+shape so callers can check that property in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_LENGTH_PREFIX = 4
+
+
+def _pack_bits(data: bytes, bits_per_digit: int) -> list[int]:
+    """Split a byte string into base-2^bits digits (little-endian)."""
+    value = int.from_bytes(data, "little")
+    total_bits = len(data) * 8
+    mask = (1 << bits_per_digit) - 1
+    digits = []
+    for shift in range(0, total_bits, bits_per_digit):
+        digits.append((value >> shift) & mask)
+    return digits
+
+
+def _unpack_bits(digits: np.ndarray, bits_per_digit: int, num_bytes: int) -> bytes:
+    """Inverse of :func:`_pack_bits`."""
+    value = 0
+    for i, d in enumerate(digits):
+        value |= int(d) << (i * bits_per_digit)
+    return value.to_bytes(
+        max(num_bytes, 1) + bits_per_digit // 8 + 1, "little"
+    )[:num_bytes]
+
+
+@dataclass
+class PackedDatabase:
+    """A byte-record database packed into a Z_p matrix for PIR."""
+
+    matrix: np.ndarray
+    p: int
+    bits_per_digit: int
+    num_records: int
+    record_bytes: int
+
+    @classmethod
+    def from_records(cls, records: list[bytes], p: int) -> "PackedDatabase":
+        """Pack records, one per column, with a length prefix each."""
+        if p < 2 or p & (p - 1) != 0:
+            raise ValueError("plaintext modulus must be a power of two >= 2")
+        if not records:
+            raise ValueError("cannot pack an empty database")
+        bits = p.bit_length() - 1
+        record_bytes = _LENGTH_PREFIX + max(len(r) for r in records)
+        digits_per_record = -(-record_bytes * 8 // bits)
+        matrix = np.zeros((digits_per_record, len(records)), dtype=np.int64)
+        for col, record in enumerate(records):
+            framed = len(record).to_bytes(_LENGTH_PREFIX, "little") + record
+            framed = framed.ljust(record_bytes, b"\0")
+            digits = _pack_bits(framed, bits)
+            matrix[: len(digits), col] = digits
+        return cls(
+            matrix=matrix,
+            p=p,
+            bits_per_digit=bits,
+            num_records=len(records),
+            record_bytes=record_bytes,
+        )
+
+    @classmethod
+    def from_records_grid(
+        cls, records: list[bytes], p: int, records_per_column: int
+    ) -> "PackedDatabase":
+        """Pack several records per column (the general SimplePIR grid).
+
+        SimplePIR balances the matrix aspect ratio by stacking records
+        vertically: one query still retrieves a whole column, so the
+        client gets ``records_per_column`` records per fetch -- which
+        is how per-record retrieval amortizes when records are small.
+        Record ``i`` lives in column ``i // records_per_column`` at
+        slot ``i % records_per_column``.
+        """
+        if records_per_column < 1:
+            raise ValueError("records_per_column must be positive")
+        if not records:
+            raise ValueError("cannot pack an empty database")
+        if p < 2 or p & (p - 1) != 0:
+            raise ValueError("plaintext modulus must be a power of two >= 2")
+        bits = p.bit_length() - 1
+        record_bytes = _LENGTH_PREFIX + max(len(r) for r in records)
+        slot_digits = -(-record_bytes * 8 // bits)
+        num_cols = -(-len(records) // records_per_column)
+        matrix = np.zeros(
+            (slot_digits * records_per_column, num_cols), dtype=np.int64
+        )
+        for i, record in enumerate(records):
+            col = i // records_per_column
+            slot = i % records_per_column
+            framed = len(record).to_bytes(_LENGTH_PREFIX, "little") + record
+            framed = framed.ljust(record_bytes, b"\0")
+            digits = _pack_bits(framed, bits)
+            matrix[
+                slot * slot_digits : slot * slot_digits + len(digits), col
+            ] = digits
+        db = cls(
+            matrix=matrix,
+            p=p,
+            bits_per_digit=bits,
+            num_records=len(records),
+            record_bytes=record_bytes,
+        )
+        db.records_per_column = records_per_column
+        db.slot_digits = slot_digits
+        return db
+
+    #: Grid-layout attributes (set by :meth:`from_records_grid`).
+    records_per_column: int = 1
+    slot_digits: int | None = None
+
+    def column_of(self, index: int) -> int:
+        """The column a PIR query must select for a record."""
+        if not 0 <= index < self.num_records:
+            raise IndexError(f"record index {index} out of range")
+        return index // self.records_per_column
+
+    def decode_grid_column(self, digits: np.ndarray, column: int) -> list[bytes]:
+        """All records stored in one fetched grid column."""
+        if self.slot_digits is None:
+            return [self.decode_column(digits)]
+        occupied = min(
+            self.records_per_column,
+            self.num_records - column * self.records_per_column,
+        )
+        out = []
+        for slot in range(occupied):
+            chunk = digits[
+                slot * self.slot_digits : (slot + 1) * self.slot_digits
+            ]
+            framed = _unpack_bits(chunk, self.bits_per_digit, self.record_bytes)
+            length = int.from_bytes(framed[:_LENGTH_PREFIX], "little")
+            if length > self.record_bytes - _LENGTH_PREFIX:
+                raise ValueError("corrupt record: bad length prefix")
+            out.append(framed[_LENGTH_PREFIX : _LENGTH_PREFIX + length])
+        return out
+
+    @property
+    def num_rows(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.matrix.shape[1]
+
+    def aspect_ratio(self) -> float:
+        """width / height of the packed matrix."""
+        return self.num_cols / self.num_rows
+
+    def selection_vector(self, index: int) -> np.ndarray:
+        """The all-zero vector with a single 1 at the record's column."""
+        if not 0 <= index < self.num_records:
+            raise IndexError(f"record index {index} out of range")
+        sel = np.zeros(self.num_cols, dtype=np.int64)
+        sel[index] = 1
+        return sel
+
+    def decode_column(self, digits: np.ndarray) -> bytes:
+        """Recover the record bytes from a column of Z_p digits."""
+        if len(digits) != self.num_rows:
+            raise ValueError("column has wrong number of digits")
+        framed = _unpack_bits(digits, self.bits_per_digit, self.record_bytes)
+        length = int.from_bytes(framed[:_LENGTH_PREFIX], "little")
+        if length > self.record_bytes - _LENGTH_PREFIX:
+            raise ValueError("corrupt record: bad length prefix")
+        return framed[_LENGTH_PREFIX : _LENGTH_PREFIX + length]
+
+    def record(self, index: int) -> bytes:
+        """Direct (non-private) record access, for tests and baselines."""
+        return self.decode_column(self.matrix[:, index])
+
+    def storage_bytes(self) -> int:
+        """Server-side plaintext storage for this database."""
+        return self.num_rows * self.num_cols * self.bits_per_digit // 8

@@ -1,0 +1,130 @@
+"""Keyword PIR: private key-value lookups (SS9, [27]).
+
+SS9's exact-keyword extension needs "a simple private key-value store
+mapping each string in the corpus (e.g., each phone number) ... to the
+IDs of documents containing that string", queried with a
+keyword-based PIR scheme.  The classic keyword-to-index reduction
+(Chor-Gilboa-Naor) hashes keys into buckets: the client retrieves its
+key's *bucket* with ordinary index PIR -- hiding the key, since the
+server only sees a fixed-size ciphertext -- then scans the bucket
+locally for its key.
+
+Built directly on the SimplePIR machinery of this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.homenc.double import DoubleLheScheme
+from repro.lwe.params import SecurityLevel
+from repro.pir.simplepir import SimplePirClient, SimplePirServer, build_pir
+
+_HASH_PERSON = b"tiptoe-kw-pir"
+
+
+def bucket_of(key: str, num_buckets: int) -> int:
+    """The stable bucket assignment both parties compute."""
+    digest = hashlib.blake2b(
+        key.encode(), digest_size=8, person=_HASH_PERSON
+    ).digest()
+    return int.from_bytes(digest, "little") % num_buckets
+
+
+def _frame(entries: list[tuple[str, bytes]]) -> bytes:
+    """Serialize (key, value) pairs with length prefixes."""
+    out = bytearray()
+    for key, value in entries:
+        kb = key.encode()
+        out += len(kb).to_bytes(2, "little") + kb
+        out += len(value).to_bytes(2, "little") + value
+    return bytes(out)
+
+
+def _unframe(blob: bytes) -> dict[str, bytes]:
+    out: dict[str, bytes] = {}
+    pos = 0
+    while pos + 2 <= len(blob):
+        klen = int.from_bytes(blob[pos : pos + 2], "little")
+        pos += 2
+        if klen == 0 or pos + klen + 2 > len(blob):
+            break
+        key = blob[pos : pos + klen].decode()
+        pos += klen
+        vlen = int.from_bytes(blob[pos : pos + 2], "little")
+        pos += 2
+        out[key] = blob[pos : pos + vlen]
+        pos += vlen
+    return out
+
+
+@dataclass
+class KeywordPir:
+    """A private key-value store over one keyword table."""
+
+    server: SimplePirServer
+    client: SimplePirClient
+    num_buckets: int
+
+    @classmethod
+    def build(
+        cls,
+        table: dict[str, bytes],
+        num_buckets: int | None = None,
+        level: SecurityLevel = SecurityLevel.TOY,
+        a_seed: bytes | None = None,
+    ) -> "KeywordPir":
+        """Hash a key-value table into PIR buckets.
+
+        With ~sqrt(K) buckets of ~sqrt(K) entries the retrieval cost
+        matches one Tiptoe URL fetch.
+        """
+        if not table:
+            raise ValueError("cannot build a keyword store over no keys")
+        if num_buckets is None:
+            num_buckets = max(1, math.isqrt(len(table)))
+        buckets: list[list[tuple[str, bytes]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        for key, value in sorted(table.items()):
+            buckets[bucket_of(key, num_buckets)].append((key, value))
+        records = [_frame(entries) for entries in buckets]
+        server, client = build_pir(records, level=level, a_seed=a_seed)
+        return cls(server=server, client=client, num_buckets=num_buckets)
+
+    def scheme(self) -> DoubleLheScheme:
+        return self.server.scheme
+
+    def lookup(
+        self,
+        key: str,
+        keys,
+        hint_product: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> bytes | None:
+        """One private lookup: returns the value, or None if absent.
+
+        The traffic is identical whether or not the key exists -- the
+        server cannot even tell a miss from a hit.
+        """
+        bucket = bucket_of(key, self.num_buckets)
+        query = self.client.query(keys, bucket, rng)
+        answer = self.server.answer(query)
+        blob = self.client.recover(keys, answer, hint_product)
+        return _unframe(blob).get(key)
+
+    def lookup_with_hint(
+        self, key: str, rng: np.random.Generator | None = None
+    ) -> bytes | None:
+        """Convenience lookup using classic (hint-download) mode."""
+        rng = rng if rng is not None else np.random.default_rng()
+        keys = self.client.keygen(rng)
+        bucket = bucket_of(key, self.num_buckets)
+        query = self.client.query(keys, bucket, rng)
+        answer = self.server.answer(query)
+        blob = self.client.recover_classic(keys, answer, self.server.hint())
+        return _unframe(blob).get(key)

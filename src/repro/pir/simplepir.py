@@ -1,0 +1,151 @@
+"""The SimplePIR retrieval protocol (SS5), in both of Tiptoe's modes.
+
+*Classic mode*: the client downloads the hint ``H = D A`` once, then
+each query is one inner ciphertext up and one evaluated vector down.
+
+*Compressed mode* (what Tiptoe deploys): the hint never leaves the
+server; the client's query token carries the outer-decrypted hint
+product instead (SS6.2-6.3).  The per-query online traffic is the same;
+the hint download is replaced by the much smaller token.
+
+Either way the server's answer computation touches every record --
+that linear scan is what the privacy argument requires (SS3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.homenc.double import DoubleLheParams, DoubleLheScheme
+from repro.lwe import sampling
+from repro.lwe.params import LweParams, SecurityLevel, select_params
+from repro.lwe.regev import Ciphertext, SecretKey
+from repro.pir.database import PackedDatabase
+
+
+@dataclass
+class PirQuery:
+    """One PIR query: a single inner ciphertext (fixed size)."""
+
+    ciphertext: Ciphertext
+
+    def wire_bytes(self) -> int:
+        return self.ciphertext.upload_bytes
+
+
+@dataclass
+class PirAnswer:
+    """The evaluated ciphertext vector for one query."""
+
+    values: np.ndarray
+    bytes_per_element: int
+
+    def wire_bytes(self) -> int:
+        return len(self.values) * self.bytes_per_element
+
+
+class SimplePirServer:
+    """Holds the packed database and answers encrypted queries."""
+
+    def __init__(self, db: PackedDatabase, scheme: DoubleLheScheme):
+        if scheme.params.inner.p != db.p:
+            raise ValueError(
+                "database packing modulus must equal the scheme's plaintext"
+                f" modulus ({db.p} != {scheme.params.inner.p})"
+            )
+        if scheme.params.inner.m != db.num_cols:
+            raise ValueError(
+                "scheme upload dimension must equal the database width"
+            )
+        self.db = db
+        self.scheme = scheme
+        self.prep = scheme.preprocess(db.matrix)
+
+    def answer(self, query: PirQuery) -> PirAnswer:
+        """The online hot loop: one matrix-vector product over the DB."""
+        values = self.scheme.apply(self.db.matrix, query.ciphertext)
+        return PirAnswer(
+            values=values,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )
+
+    def hint(self) -> np.ndarray:
+        """The raw hint, for classic (hint-download) mode."""
+        return self.prep.hint
+
+    def hint_bytes(self) -> int:
+        return self.scheme.inner.hint_bytes(self.db.num_rows)
+
+
+class SimplePirClient:
+    """Builds queries and decodes answers."""
+
+    def __init__(self, db_meta: PackedDatabase, scheme: DoubleLheScheme):
+        # The client only needs the database *shape* metadata; holding
+        # the PackedDatabase object here is a simulation convenience --
+        # the matrix contents are never read on the client path.
+        self.db = db_meta
+        self.scheme = scheme
+
+    def keygen(self, rng: np.random.Generator | None = None):
+        return self.scheme.gen_keys(rng)
+
+    def query(
+        self,
+        keys,
+        index: int,
+        rng: np.random.Generator | None = None,
+    ) -> PirQuery:
+        """Encrypt the selection vector for one record."""
+        sel = self.db.selection_vector(index)
+        return PirQuery(ciphertext=self.scheme.encrypt(keys, sel, rng))
+
+    def recover(
+        self, keys, answer: PirAnswer, hint_product: np.ndarray
+    ) -> bytes:
+        """Decrypt an answer using a token's hint product."""
+        digits = self.scheme.decrypt(keys, answer.values, hint_product)
+        return self.db.decode_column(digits)
+
+    def recover_classic(
+        self, keys, answer: PirAnswer, hint: np.ndarray
+    ) -> bytes:
+        """Decrypt an answer using a downloaded raw hint."""
+        digits = self.scheme.inner.decrypt(keys.inner, hint, answer.values)
+        return self.db.decode_column(digits)
+
+
+def build_pir(
+    records: list[bytes],
+    level: SecurityLevel = SecurityLevel.TOY,
+    p: int | None = None,
+    a_seed: bytes | None = None,
+    outer_n: int = 64,
+) -> tuple[SimplePirServer, SimplePirClient]:
+    """Convenience constructor: pack records and stand up both ends.
+
+    Parameters follow the paper's URL-service configuration: inner
+    modulus 2^32 with plaintext modulus from the Table 11 budget
+    (rounded down to a power of two for exact packing).
+    """
+    width = len(records)
+    if p is None:
+        cfg = select_params(32, max(width, 2), level)
+        p = min(cfg.p, 1 << 16)
+        p = max(p, 4)
+    db = PackedDatabase.from_records(records, p)
+    inner = select_params(32, db.num_cols, level, p=p)
+    params = DoubleLheParams(
+        inner=LweParams(
+            n=inner.n, q_bits=32, p=p, sigma=inner.sigma, m=db.num_cols
+        ),
+        outer_n=outer_n,
+    )
+    scheme = DoubleLheScheme(
+        params, a_seed=a_seed if a_seed is not None else sampling.random_seed()
+    )
+    server = SimplePirServer(db, scheme)
+    client = SimplePirClient(db, scheme)
+    return server, client

@@ -1,0 +1,29 @@
+"""Ring-LWE machinery for Tiptoe's "outer" encryption layer.
+
+Tiptoe compresses the large evaluated ciphertexts of its inner Regev
+layer by having the server run the linear part of inner decryption
+under a second, compact, ring-LWE-based encryption scheme (SS6.2,
+Appendix A.2).  This subpackage provides that scheme from scratch:
+
+ntt
+    Negacyclic number-theoretic transforms modulo NTT-friendly primes.
+poly
+    The ring Z_q[x] / (x^n + 1) in RNS (residue number system) form.
+bfv
+    A BFV-style secret-key linearly homomorphic scheme over that ring,
+    with both coefficient encoding and slot batching (t = 65537).
+"""
+
+from repro.rlwe.bfv import BfvCiphertext, BfvParams, BfvScheme, BfvSecretKey
+from repro.rlwe.ntt import NttContext, find_ntt_primes
+from repro.rlwe.poly import RnsContext
+
+__all__ = [
+    "BfvCiphertext",
+    "BfvParams",
+    "BfvScheme",
+    "BfvSecretKey",
+    "NttContext",
+    "RnsContext",
+    "find_ntt_primes",
+]

@@ -1,0 +1,110 @@
+"""Tests for cluster balancing and the cluster index."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterIndex, split_oversized, spherical_kmeans
+
+
+def unit_rows(rng, n, d):
+    x = rng.standard_normal((n, d))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestSplitOversized:
+    def test_enforces_max_size(self):
+        rng = np.random.default_rng(0)
+        data = unit_rows(rng, 120, 6)
+        result = spherical_kmeans(data, 2, rng)
+        centroids, labels = split_oversized(
+            data, result.centroids, result.labels, max_size=20, rng=rng
+        )
+        sizes = np.bincount(labels, minlength=centroids.shape[0])
+        assert sizes.max() <= 20
+        assert sizes.sum() == 120
+
+    def test_compliant_clusters_untouched(self):
+        rng = np.random.default_rng(1)
+        data = unit_rows(rng, 30, 6)
+        result = spherical_kmeans(data, 3, rng)
+        centroids, labels = split_oversized(
+            data, result.centroids, result.labels, max_size=30, rng=rng
+        )
+        assert centroids.shape[0] == 3
+
+    def test_degenerate_identical_points_fall_back_to_chunking(self):
+        rng = np.random.default_rng(2)
+        data = np.tile(np.array([[1.0, 0.0]]), (50, 1))
+        centroids, labels = split_oversized(
+            data, np.array([[1.0, 0.0]]), np.zeros(50, dtype=np.int64),
+            max_size=10, rng=rng,
+        )
+        assert np.bincount(labels).max() <= 10
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            split_oversized(
+                np.zeros((2, 2)), np.zeros((1, 2)),
+                np.zeros(2, dtype=np.int64), 0, np.random.default_rng(0),
+            )
+
+
+class TestClusterIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        rng = np.random.default_rng(3)
+        data = unit_rows(rng, 200, 8)
+        return ClusterIndex.build(data, target_cluster_size=25, rng=rng), data
+
+    def test_every_document_assigned(self, index):
+        idx, data = index
+        assert all(len(c) >= 1 for c in idx.doc_to_clusters)
+        covered = {d for members in idx.assignments for d in members}
+        assert covered == set(range(200))
+
+    def test_boundary_duplication_near_twenty_percent(self, index):
+        idx, _ = index
+        assert 1.15 <= idx.duplication_overhead() <= 1.25
+
+    def test_no_duplication_when_disabled(self):
+        rng = np.random.default_rng(4)
+        data = unit_rows(rng, 100, 8)
+        idx = ClusterIndex.build(
+            data, target_cluster_size=20, rng=rng, boundary_fraction=0.0
+        )
+        assert idx.duplication_overhead() == 1.0
+
+    def test_nearest_cluster_contains_similar_documents(self, index):
+        idx, data = index
+        # A query equal to a document embedding should pick one of that
+        # document's own clusters.
+        for doc in (0, 50, 150):
+            assert idx.nearest_cluster(data[doc]) in idx.doc_to_clusters[doc]
+
+    def test_nearest_clusters_ordering(self, index):
+        idx, data = index
+        top2 = idx.nearest_clusters(data[0], 2)
+        assert top2[0] == idx.nearest_cluster(data[0])
+        assert len(top2) == 2 and top2[0] != top2[1]
+
+    def test_cluster_sizes_bounded(self, index):
+        idx, _ = index
+        assert idx.max_cluster_size() <= int(25 * 1.5) + 25 * 0.2 * 10
+
+    def test_centroid_bytes(self, index):
+        idx, _ = index
+        assert idx.centroid_bytes() == idx.centroids.size * 4
+        assert idx.centroid_bytes(compressed=True) == idx.centroids.size
+
+    def test_invalid_boundary_fraction(self):
+        with pytest.raises(ValueError):
+            ClusterIndex.build(
+                np.eye(4), 2, np.random.default_rng(0), boundary_fraction=1.0
+            )
+
+    def test_single_cluster_corpus(self):
+        rng = np.random.default_rng(5)
+        data = unit_rows(rng, 10, 4)
+        idx = ClusterIndex.build(data, target_cluster_size=100, rng=rng)
+        assert idx.num_clusters == 1
+        assert idx.duplication_overhead() == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the IVF approximate-NN index."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.ivf import IvfIndex
+
+
+def unit_rows(rng, n, d):
+    x = rng.standard_normal((n, d))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def ivf():
+    rng = np.random.default_rng(0)
+    data = unit_rows(rng, 300, 10)
+    return IvfIndex.build(data, target_cluster_size=20, rng=rng), data
+
+
+class TestIvf:
+    def test_own_vector_is_top_hit(self, ivf):
+        index, data = ivf
+        for doc in (0, 100, 299):
+            assert index.search(data[doc], k=1, nprobe=1) == [doc]
+
+    def test_full_probe_equals_exhaustive(self, ivf):
+        index, data = ivf
+        q = data[5]
+        assert index.search(q, k=10, nprobe=index.nlist) == (
+            index.exhaustive_search(q, k=10)
+        )
+
+    def test_recall_improves_with_nprobe(self, ivf):
+        index, data = ivf
+        rng = np.random.default_rng(1)
+        queries = unit_rows(rng, 30, 10)
+        recalls = [
+            index.recall_at_k(queries, k=10, nprobe=p) for p in (1, 2, 4, 8)
+        ]
+        assert recalls[-1] >= recalls[0]
+        assert recalls[-1] > 0.5
+        # Monotone up to small noise.
+        for lo, hi in zip(recalls, recalls[1:]):
+            assert hi >= lo - 0.05
+
+    def test_nprobe_validation(self, ivf):
+        index, data = ivf
+        with pytest.raises(ValueError):
+            index.search(data[0], nprobe=0)
+        with pytest.raises(ValueError):
+            index.search(data[0], nprobe=index.nlist + 1)
+
+    def test_duplicated_docs_not_repeated(self):
+        rng = np.random.default_rng(2)
+        data = unit_rows(rng, 100, 6)
+        index = IvfIndex.build(
+            data, target_cluster_size=12, rng=rng, boundary_fraction=0.3
+        )
+        out = index.search(data[0], k=50, nprobe=index.nlist)
+        assert len(out) == len(set(out))
+
+
+class TestMultiprobeQuality:
+    """SS8.2: more probed clusters -> better quality, linear cost."""
+
+    def test_probes_lift_mrr(self, corpus, query_benchmark):
+        from repro.core.config import TiptoeConfig
+        from repro.evalx.metrics import mrr_at_k
+        from repro.evalx.quality import TiptoeQualitySim
+
+        sim1 = TiptoeQualitySim.build(
+            corpus.texts(),
+            corpus.urls(),
+            TiptoeConfig(target_cluster_size=8),
+            rng=np.random.default_rng(3),
+        )
+        sim4 = TiptoeQualitySim(index=sim1.index, mode="cluster+batch", probes=4)
+        targets = [q.target_doc_id for q in query_benchmark.queries]
+        mrr1 = mrr_at_k(
+            [sim1.rank(q.text) for q in query_benchmark.queries], targets
+        )
+        mrr4 = mrr_at_k(
+            [sim4.rank(q.text) for q in query_benchmark.queries], targets
+        )
+        assert mrr4 >= mrr1
+
+    def test_probe_validation(self, corpus):
+        from repro.core.config import TiptoeConfig
+        from repro.evalx.quality import TiptoeQualitySim
+
+        sim = TiptoeQualitySim.build(
+            corpus.texts()[:50],
+            corpus.urls()[:50],
+            TiptoeConfig(),
+            rng=np.random.default_rng(4),
+        )
+        with pytest.raises(ValueError):
+            TiptoeQualitySim(index=sim.index, probes=0)

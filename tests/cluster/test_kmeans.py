@@ -1,0 +1,95 @@
+"""Tests for spherical k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import kmeans_plus_plus_init, spherical_kmeans
+
+
+def make_blobs(rng, k=4, per=30, dim=8, spread=0.05):
+    """Well-separated unit-vector blobs with known memberships."""
+    centers = rng.standard_normal((k, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    points = []
+    truth = []
+    for c in range(k):
+        pts = centers[c] + spread * rng.standard_normal((per, dim))
+        points.append(pts / np.linalg.norm(pts, axis=1, keepdims=True))
+        truth += [c] * per
+    return np.concatenate(points), np.array(truth)
+
+
+class TestSphericalKmeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        data, truth = make_blobs(rng)
+        result = spherical_kmeans(data, 4, rng)
+        # Every true blob maps to exactly one found cluster.
+        for c in range(4):
+            labels = result.labels[truth == c]
+            assert len(set(labels.tolist())) == 1
+
+    def test_centroids_are_unit_norm(self):
+        rng = np.random.default_rng(1)
+        data, _ = make_blobs(rng)
+        result = spherical_kmeans(data, 4, rng)
+        assert np.allclose(np.linalg.norm(result.centroids, axis=1), 1.0)
+
+    def test_sample_training_still_assigns_all_points(self):
+        rng = np.random.default_rng(2)
+        data, _ = make_blobs(rng, per=50)
+        result = spherical_kmeans(data, 4, rng, sample_size=40)
+        assert result.labels.shape == (200,)
+        assert result.cluster_sizes().sum() == 200
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(3)
+        data, _ = make_blobs(rng, k=2, per=3)
+        result = spherical_kmeans(data, 6, rng)
+        assert result.k == 6
+
+    def test_invalid_k_rejected(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((5, 3))
+        with pytest.raises(ValueError):
+            spherical_kmeans(data, 0, rng)
+        with pytest.raises(ValueError):
+            spherical_kmeans(data, 6, rng)
+
+    def test_deterministic_under_seed(self):
+        data, _ = make_blobs(np.random.default_rng(5))
+        r1 = spherical_kmeans(data, 4, np.random.default_rng(99))
+        r2 = spherical_kmeans(data, 4, np.random.default_rng(99))
+        assert np.array_equal(r1.labels, r2.labels)
+
+
+class TestKmeansPlusPlus:
+    def test_initial_centroids_are_data_points(self):
+        rng = np.random.default_rng(6)
+        data, _ = make_blobs(rng)
+        init = kmeans_plus_plus_init(data, 4, rng)
+        for c in init:
+            assert np.min(np.linalg.norm(data - c, axis=1)) < 1e-12
+
+    def test_spreads_across_blobs(self):
+        rng = np.random.default_rng(7)
+        data, truth = make_blobs(rng, spread=0.01)
+        init = kmeans_plus_plus_init(data, 4, rng)
+        # Seeds should hit at least 3 of the 4 well-separated blobs.
+        seed_blobs = set()
+        for c in init:
+            idx = int(np.argmin(np.linalg.norm(data - c, axis=1)))
+            seed_blobs.add(int(truth[idx]))
+        assert len(seed_blobs) >= 3
+
+
+@given(st.integers(1, 5), st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_every_point_gets_a_label_property(k, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((20, 4))
+    result = spherical_kmeans(data, k, rng)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < k

@@ -1,0 +1,31 @@
+"""Shared fixtures: a small corpus and a built engine."""
+
+import numpy as np
+import pytest
+
+from repro import TiptoeConfig, TiptoeEngine
+from repro.corpus import QueryBenchmark, SyntheticCorpus, SyntheticCorpusConfig
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(
+            num_docs=250, num_topics=8, vocab_size=400, seed=11
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def engine(corpus):
+    return TiptoeEngine.build(
+        corpus.texts(),
+        corpus.urls(),
+        TiptoeConfig(),
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="session")
+def query_benchmark(corpus):
+    return QueryBenchmark.generate(corpus, 30, np.random.default_rng(1))

@@ -1,0 +1,78 @@
+"""Tests for server-side query batching."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_runtime import ShardedRankingService, WorkerFailure
+from repro.core.ranking import RankingClient
+from repro.embeddings.quantize import quantize
+
+
+@pytest.fixture(scope="module")
+def batch_setup(engine):
+    index = engine.index
+    service = ShardedRankingService.build(
+        index.ranking_scheme, index.layout.matrix, index.layout.dim, 4
+    )
+    client = RankingClient(
+        index.ranking_scheme,
+        dim=index.layout.dim,
+        num_clusters=index.layout.num_clusters,
+    )
+    rng = np.random.default_rng(0)
+    keys = index.ranking_scheme.gen_keys(rng)
+    queries = [
+        client.build_query(
+            keys,
+            quantize(index.embeddings[i] * index.quantization_gain, index.config.quantization()),
+            i % index.layout.num_clusters,
+            rng,
+        )
+        for i in range(6)
+    ]
+    return service, queries
+
+
+class TestBatchedAnswers:
+    def test_matches_individual_answers(self, batch_setup):
+        service, queries = batch_setup
+        individual = [service.answer(q).values for q in queries]
+        batched = [a.values for a in service.answer_batch(queries)]
+        for got, want in zip(batched, individual):
+            assert np.array_equal(got, want)
+
+    def test_empty_batch(self, batch_setup):
+        service, _ = batch_setup
+        assert service.answer_batch([]) == []
+
+    def test_ledger_counts_per_query_work(self, batch_setup):
+        service, queries = batch_setup
+        before = service.ledger.total_ops()
+        service.answer_batch(queries)
+        added = service.ledger.total_ops() - before
+        matrix_entries = sum(
+            w.matrix_slice.size for w in service.workers
+        )
+        assert added == 2 * matrix_entries * len(queries)
+
+    def test_worker_failure_blocks_batch(self, batch_setup):
+        service, queries = batch_setup
+        service.fail_worker(1)
+        with pytest.raises(WorkerFailure):
+            service.answer_batch(queries)
+        service.revive_worker(1)
+
+    def test_batching_is_not_slower_per_query(self, batch_setup):
+        service, queries = batch_setup
+        t0 = time.perf_counter()
+        for _ in range(3):
+            for q in queries:
+                service.answer(q)
+        individual_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(3):
+            service.answer_batch(queries)
+        batched_s = time.perf_counter() - t0
+        assert batched_s < individual_s * 1.5

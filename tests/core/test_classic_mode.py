@@ -1,0 +1,64 @@
+"""Tests for the classic (hint-download) client mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.classic import ClassicTiptoeClient
+
+
+@pytest.fixture(scope="module")
+def classic(engine):
+    client = ClassicTiptoeClient(engine, np.random.default_rng(0))
+    client.fetch_hints()
+    return client
+
+
+class TestClassicMode:
+    def test_results_match_token_mode(self, engine, classic, corpus):
+        text = corpus.documents[12].text
+        token_result = engine.search(text, np.random.default_rng(1))
+        classic_result = classic.search(text)
+        assert token_result.cluster == classic_result.cluster
+        assert [r.position for r in token_result.results] == [
+            r.position for r in classic_result.results
+        ]
+        assert [r.score for r in token_result.results] == [
+            r.score for r in classic_result.results
+        ]
+        assert token_result.urls() == classic_result.urls()
+
+    def test_no_token_phase(self, classic, corpus):
+        result = classic.search(corpus.documents[3].text)
+        assert result.traffic.phases() == ["ranking", "url"]
+
+    def test_hint_download_dominates(self, engine, classic, corpus):
+        """The SS6 trade: the one-time hint dwarfs a query's traffic."""
+        hint_bytes = classic.hint_traffic.total_bytes()
+        per_query = classic.search(corpus.documents[6].text).traffic
+        assert hint_bytes > 5 * per_query.total_bytes()
+        # And it matches the client-side storage requirement.
+        assert classic.hint_storage_bytes() > 0
+        assert hint_bytes >= classic.hint_storage_bytes()
+
+    def test_online_traffic_below_token_mode(self, engine, classic, corpus):
+        """Per steady-state query, classic mode is cheaper online --
+        the ~4x overhead SS6 accepts to kill the hint download."""
+        text = corpus.documents[18].text
+        token_result = engine.search(text, np.random.default_rng(2))
+        classic_result = classic.search(text)
+        token_per_query = token_result.traffic.total_bytes()  # incl. token
+        classic_per_query = classic_result.traffic.total_bytes()
+        assert classic_per_query < token_per_query
+
+    def test_hints_fetched_lazily(self, engine, corpus):
+        fresh = ClassicTiptoeClient(engine, np.random.default_rng(3))
+        assert fresh.hint_storage_bytes() == 0
+        fresh.search(corpus.documents[0].text)
+        assert fresh.hint_storage_bytes() > 0
+
+    def test_fresh_keys_per_query(self, engine, classic, corpus):
+        """Two searches produce unrelated ciphertext traffic sizes ==
+        equal (privacy) but fresh keys mean fresh randomness."""
+        r1 = classic.search(corpus.documents[1].text)
+        r2 = classic.search(corpus.documents[1].text)
+        assert r1.traffic.phase_summary() == r2.traffic.phase_summary()

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(["plan", "1000000", "--dim", "128"])
+        assert args.docs == 1_000_000 and args.dim == 128
+
+    def test_params_q_bits_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["params", "--q-bits", "48"])
+
+
+class TestCommands:
+    def test_plan_runs(self, capsys):
+        assert main(["plan", "364000000"]) == 0
+        out = capsys.readouterr().out
+        assert "core_seconds" in out and "total_mib" in out
+
+    def test_params_runs(self, capsys):
+        assert main(["params", "--q-bits", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "p (paper)" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--docs", "120", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic:" in out and "score=" in out
+
+    def test_quality_runs(self, capsys):
+        assert main(["quality", "--docs", "150", "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "MRR@100" in out

@@ -1,0 +1,73 @@
+"""Tests for the exact keyword-search suite (SS9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_backend import (
+    ExactSearchSuite,
+    canonicalize_address,
+    canonicalize_phone,
+    classify_entity,
+)
+
+
+class TestCanonicalization:
+    def test_phone_canonical_form(self):
+        assert canonicalize_phone("ph5551234567") == "ph5551234567"
+
+    def test_phone_freetext_forms(self):
+        assert canonicalize_phone("call 555-123-4567 now") == "ph5551234567"
+        assert canonicalize_phone("(555) 123 4567") == "ph5551234567"
+        assert canonicalize_phone("+1 555.123.4567") == "ph5551234567"
+
+    def test_no_phone(self):
+        assert canonicalize_phone("knee pain") is None
+        assert canonicalize_phone("room 12") is None
+
+    def test_address_forms(self):
+        assert canonicalize_address("23mainst10001") == "23mainst10001"
+        assert canonicalize_address("23 Main Street 10001") == "23mainst10001"
+        assert canonicalize_address("visit 7 main st 55555") == "7mainst55555"
+
+    def test_classify(self):
+        assert classify_entity("ph5551234567") == "phone"
+        assert classify_entity("23mainst10001") == "address"
+        assert classify_entity("hello") is None
+
+
+@pytest.fixture(scope="module")
+def suite(corpus):
+    return ExactSearchSuite.build(corpus.documents)
+
+
+class TestSuite:
+    def test_builds_backends_for_present_types(self, suite, corpus):
+        entities = [d.entity for d in corpus.documents_with_entities()]
+        expected = {classify_entity(e) for e in entities} - {None}
+        assert set(suite.supported_types()) == expected
+
+    def test_exact_query_finds_its_document(self, suite, corpus):
+        rng = np.random.default_rng(0)
+        for doc in corpus.documents_with_entities()[:4]:
+            hits = suite.route(doc.entity, rng)
+            kind = classify_entity(doc.entity)
+            assert doc.doc_id in hits[kind]
+
+    def test_non_entity_query_hits_no_backend(self, suite):
+        assert suite.route("purely conceptual words") == {}
+
+    def test_unknown_entity_returns_empty(self, suite):
+        hits = suite.route("ph0000000000", np.random.default_rng(1))
+        assert hits == {"phone": []}
+
+    def test_merge_puts_exact_hit_first(self, suite, corpus):
+        doc = corpus.documents_with_entities()[0]
+        merged = suite.merge_results(
+            doc.entity, [999, doc.doc_id, 5], np.random.default_rng(2)
+        )
+        assert merged[0] == doc.doc_id
+        assert merged.count(doc.doc_id) == 1
+
+    def test_merge_without_entity_preserves_semantic_order(self, suite):
+        merged = suite.merge_results("plain words", [3, 1, 2])
+        assert merged == [3, 1, 2]

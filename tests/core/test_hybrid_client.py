@@ -1,0 +1,43 @@
+"""Tests for hybrid (semantic + exact-backend) client search."""
+
+import numpy as np
+import pytest
+
+from repro import TiptoeConfig, TiptoeEngine
+
+
+@pytest.fixture(scope="module")
+def hybrid_engine(corpus):
+    engine = TiptoeEngine.build(
+        corpus.texts(),
+        corpus.urls(),
+        TiptoeConfig(),
+        rng=np.random.default_rng(0),
+    )
+    engine.attach_exact_backends(corpus.documents)
+    return engine
+
+
+class TestHybridSearch:
+    def test_exact_query_puts_target_first(self, hybrid_engine, corpus):
+        doc = corpus.documents_with_entities()[1]
+        client = hybrid_engine.new_client(np.random.default_rng(1))
+        result, merged = client.search_hybrid(doc.entity)
+        assert merged[0] == doc.doc_id
+
+    def test_semantic_query_unaffected(self, hybrid_engine, corpus):
+        client = hybrid_engine.new_client(np.random.default_rng(2))
+        result, merged = client.search_hybrid(corpus.documents[4].text[:40])
+        assert merged == hybrid_engine.result_doc_ids(result)
+
+    def test_without_backends_falls_back(self, engine, corpus):
+        assert engine.exact_suite is None
+        client = engine.new_client(np.random.default_rng(3))
+        result, merged = client.search_hybrid("plain words")
+        assert merged == engine.result_doc_ids(result)
+
+    def test_hybrid_still_consumes_one_token(self, hybrid_engine, corpus):
+        client = hybrid_engine.new_client(np.random.default_rng(4))
+        client.fetch_tokens(1)
+        client.search_hybrid(corpus.documents[0].text[:30])
+        assert client.tokens_available() == 0

@@ -1,0 +1,126 @@
+"""Tests for the data-loading batch jobs."""
+
+import numpy as np
+import pytest
+
+from repro import TiptoeConfig
+from repro.core.indexer import TiptoeIndex
+
+
+class TestLayout:
+    def test_matrix_shape_matches_figure_3(self, engine):
+        layout = engine.index.layout
+        assert layout.matrix.shape == (
+            layout.rows,
+            layout.dim * layout.num_clusters,
+        )
+        assert layout.rows == max(len(c) for c in layout.cluster_doc_ids)
+
+    def test_matrix_blocks_hold_quantized_embeddings(self, engine):
+        index = engine.index
+        layout = index.layout
+        from repro.embeddings.quantize import quantize
+
+        quantized = quantize(
+            index.embeddings * index.quantization_gain,
+            index.config.quantization(),
+        )
+        for c in (0, layout.num_clusters - 1):
+            for r, doc in enumerate(layout.cluster_doc_ids[c][:3]):
+                block = layout.matrix[r, c * layout.dim : (c + 1) * layout.dim]
+                assert np.array_equal(block, quantized[doc])
+
+    def test_padding_rows_are_zero(self, engine):
+        layout = engine.index.layout
+        for c, docs in enumerate(layout.cluster_doc_ids):
+            if len(docs) < layout.rows:
+                block = layout.matrix[
+                    len(docs) :, c * layout.dim : (c + 1) * layout.dim
+                ]
+                assert not block.any()
+
+    def test_position_arithmetic(self, engine):
+        layout = engine.index.layout
+        assert layout.position_of(0, 0) == 0
+        assert layout.position_of(1, 0) == layout.cluster_sizes[0]
+        with pytest.raises(IndexError):
+            layout.position_of(0, int(layout.cluster_sizes[0]))
+
+    def test_every_position_maps_to_valid_doc(self, engine):
+        layout = engine.index.layout
+        total = int(layout.cluster_sizes.sum())
+        for pos in range(0, total, 17):
+            doc = engine.doc_id_of_position(pos)
+            assert 0 <= doc < engine.index.num_docs
+
+
+class TestUrlSide:
+    def test_batches_cover_all_positions(self, engine):
+        index = engine.index
+        total = int(index.layout.cluster_sizes.sum())
+        covered = sum(len(b.doc_ids) for b in index.url_batches)
+        assert covered == total
+
+    def test_batch_contents_match_layout(self, engine, corpus):
+        index = engine.index
+        layout = index.layout
+        pos = layout.position_of(2, 1)
+        doc = layout.doc_id_of(2, 1)
+        batch = index.url_batches[pos // index.config.url_batch_size]
+        assert batch.decompress()[pos] == corpus.urls()[doc]
+
+    def test_pir_database_holds_batches(self, engine):
+        index = engine.index
+        assert index.url_db.num_records == len(index.url_batches)
+        assert index.url_db.record(0) == index.url_batches[0].payload
+
+
+class TestSchemes:
+    def test_ranking_scheme_dimensions(self, engine):
+        inner = engine.index.ranking_scheme.params.inner
+        layout = engine.index.layout
+        assert inner.m == layout.dim * layout.num_clusters
+        assert inner.q_bits == 64
+        assert inner.p == engine.index.config.ranking_plaintext_modulus()
+
+    def test_url_scheme_dimensions(self, engine):
+        inner = engine.index.url_scheme.params.inner
+        assert inner.m == engine.index.url_db.num_cols
+        assert inner.q_bits == 32
+
+    def test_token_factory_has_both_services(self, engine):
+        assert set(engine.index.token_factory.service_names) == {
+            "ranking",
+            "url",
+        }
+
+    def test_build_ledger_counts_work(self, engine):
+        ledger = engine.index.build_ledger
+        for component in ("embed", "cluster", "crypto"):
+            assert ledger.total_ops(component) > 0
+
+
+class TestValidation:
+    def test_mismatched_urls_rejected(self):
+        with pytest.raises(ValueError):
+            TiptoeIndex.build(["a"], [], TiptoeConfig())
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            TiptoeIndex.build([], [], TiptoeConfig())
+
+    def test_bad_embedding_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TiptoeIndex.build(
+                ["a", "b"],
+                ["u1", "u2"],
+                TiptoeConfig(embedding_dim=4, pca_dim=None),
+                embeddings=np.zeros((2, 3)),
+            )
+
+    def test_metadata_and_model_sizes(self, engine):
+        meta = engine.index.client_metadata()
+        assert meta.download_bytes() > 0
+        assert meta.download_bytes(compressed=True) < meta.download_bytes()
+        assert engine.index.model_bytes() > 0
+        assert engine.index.index_storage_bytes() > 0

@@ -1,0 +1,34 @@
+"""Tests for the throughput load generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.loadgen import PhaseThroughput, measure_throughput
+
+
+class TestPhaseThroughput:
+    def test_queries_per_second(self):
+        p = PhaseThroughput(phase="x", queries=10, wall_seconds=2.0)
+        assert p.queries_per_second == pytest.approx(5.0)
+
+    def test_zero_time_guard(self):
+        p = PhaseThroughput(phase="x", queries=1, wall_seconds=0.0)
+        assert p.queries_per_second > 0
+
+
+class TestMeasureThroughput:
+    def test_reports_all_phases(self, engine):
+        report = measure_throughput(
+            engine, num_queries=4, rng=np.random.default_rng(0)
+        )
+        assert [p for p, _ in report.rows()] == ["token", "ranking", "url"]
+        for _, qps in report.rows():
+            assert qps > 0
+
+    def test_query_counts_respected(self, engine):
+        report = measure_throughput(
+            engine, num_queries=4, rng=np.random.default_rng(1)
+        )
+        assert report.ranking.queries == 4
+        assert report.url.queries == 4
+        assert report.token.queries >= 1

@@ -1,0 +1,106 @@
+"""Tests for the replicated ranking deployment."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_runtime import (
+    ReplicatedRankingService,
+    ShardedRankingService,
+    WorkerFailure,
+)
+from repro.embeddings.quantize import quantize
+
+
+@pytest.fixture(scope="module")
+def replicated(engine):
+    index = engine.index
+    return ReplicatedRankingService.build(
+        index.ranking_scheme,
+        index.layout.matrix,
+        dim=index.layout.dim,
+        num_workers=4,
+        replicas=2,
+    )
+
+
+def make_query(engine, seed):
+    index = engine.index
+    from repro.core.ranking import RankingClient
+
+    client = RankingClient(
+        index.ranking_scheme,
+        dim=index.layout.dim,
+        num_clusters=index.layout.num_clusters,
+    )
+    token = engine.mint_token(np.random.default_rng(seed))
+    keys, hints = token.consume()
+    q_emb = quantize(index.embeddings[seed % 50] * index.quantization_gain, index.config.quantization())
+    query = client.build_query(
+        keys["ranking"], q_emb, 1, np.random.default_rng(seed + 1)
+    )
+    return client, keys, hints, query
+
+
+class TestReplication:
+    def test_matches_unreplicated_answers(self, engine, replicated):
+        _, _, _, query = make_query(engine, 0)
+        base = ShardedRankingService.build(
+            engine.index.ranking_scheme,
+            engine.index.layout.matrix,
+            dim=engine.index.layout.dim,
+            num_workers=4,
+        )
+        assert np.array_equal(
+            replicated.answer(query).values, base.answer(query).values
+        )
+
+    def test_survives_single_replica_failures(self, engine, replicated):
+        client, keys, hints, query = make_query(engine, 2)
+        want = replicated.answer(query).values
+        replicated.fail_worker(shard=0, replica=0)
+        replicated.fail_worker(shard=2, replica=1)
+        got = replicated.answer(query).values
+        assert np.array_equal(got, want)
+        scores = client.decode_scores(
+            keys["ranking"],
+            type(replicated.answer(query))(
+                values=got, bytes_per_element=8
+            ),
+            hints["ranking"],
+        )
+        assert scores is not None
+
+    def test_fails_when_whole_shard_is_down(self, engine, replicated):
+        _, _, _, query = make_query(engine, 4)
+        replicated.fail_worker(shard=1, replica=0)
+        replicated.fail_worker(shard=1, replica=1)
+        with pytest.raises(WorkerFailure):
+            replicated.answer(query)
+        # Revive for other tests sharing the fixture.
+        replicated.replica_groups[1][0].alive = True
+
+    def test_storage_cost_scales_with_replicas(self, engine):
+        index = engine.index
+        single = ShardedRankingService.build(
+            index.ranking_scheme, index.layout.matrix, index.layout.dim, 4
+        )
+        triple = ReplicatedRankingService.build(
+            index.ranking_scheme,
+            index.layout.matrix,
+            index.layout.dim,
+            4,
+            replicas=3,
+        )
+        base_total = sum(w.storage_bytes() for w in single.workers)
+        assert triple.storage_bytes() == 3 * base_total
+
+    def test_replica_validation(self, engine):
+        index = engine.index
+        with pytest.raises(ValueError):
+            ReplicatedRankingService.build(
+                index.ranking_scheme,
+                index.layout.matrix,
+                index.layout.dim,
+                2,
+                replicas=0,
+            )

@@ -1,0 +1,74 @@
+"""End-to-end tests for the two-server deployment (SS9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_server_engine import TwoServerEngine
+
+
+@pytest.fixture(scope="module")
+def two_engine(engine):
+    # Reuse the single-server index: same corpus, same clustering.
+    return TwoServerEngine.from_index(engine.index)
+
+
+class TestTwoServerEngine:
+    def test_own_text_query_finds_document(self, two_engine, corpus):
+        hits = 0
+        for doc in (3, 40, 120):
+            result = two_engine.search(
+                corpus.documents[doc].text, np.random.default_rng(doc)
+            )
+            top = [
+                two_engine.doc_id_of_position(p)
+                for p, _ in result.doc_scores[:5]
+            ]
+            hits += int(doc in top)
+        assert hits >= 2
+
+    def test_matches_single_server_ranking(self, two_engine, engine, corpus):
+        """Both deployments rank identically over the same index."""
+        text = corpus.documents[8].text
+        single = engine.search(text, np.random.default_rng(0))
+        double = two_engine.search(text, np.random.default_rng(1))
+        assert single.cluster == double.cluster
+        single_docs = engine.result_doc_ids(single)[:10]
+        double_docs = [
+            two_engine.doc_id_of_position(p) for p, _ in double.doc_scores[:10]
+        ]
+        assert single_docs == double_docs
+
+    def test_urls_retrievable(self, two_engine, corpus):
+        result = two_engine.search(
+            corpus.documents[15].text, np.random.default_rng(2)
+        )
+        urls = result.top_urls(5)
+        assert urls
+        assert all(u in set(corpus.urls()) for u in urls)
+
+    def test_traffic_far_below_single_server(self, two_engine, engine, corpus):
+        text = corpus.documents[20].text
+        single = engine.search(text, np.random.default_rng(3))
+        double = two_engine.search(text, np.random.default_rng(4))
+        assert double.traffic.total_bytes() < single.traffic.total_bytes() / 10
+
+    def test_no_token_phase(self, two_engine, corpus):
+        result = two_engine.search(
+            corpus.documents[1].text, np.random.default_rng(5)
+        )
+        assert result.traffic.phases() == ["ranking", "url"]
+
+    def test_message_sizes_query_independent(self, two_engine):
+        summaries = []
+        for i, q in enumerate(["short", "a much longer query string " * 4]):
+            result = two_engine.search(q, np.random.default_rng(10 + i))
+            summaries.append(result.traffic.phase_summary())
+        assert summaries[0] == summaries[1]
+
+    def test_latency_model(self, two_engine, corpus):
+        result = two_engine.search(
+            corpus.documents[4].text, np.random.default_rng(6)
+        )
+        # Four round trips (two servers x two phases) at 50 ms RTT...
+        # the simulated latency model counts per-phase exchanges.
+        assert result.perceived_latency >= 0.1

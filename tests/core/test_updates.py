@@ -1,0 +1,115 @@
+"""Tests for continuous corpus updates (SS3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import TiptoeEngine
+from repro.core.updates import (
+    apply_update,
+    assign_new_documents,
+    metadata_refresh_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def updated(engine, corpus):
+    new_texts = [doc.text + " fresh update" for doc in corpus.documents[:5]]
+    new_urls = [f"https://www.new-{i}.com/page" for i in range(5)]
+    index, report = apply_update(
+        engine.index,
+        new_texts,
+        new_urls,
+        corpus.texts(),
+        corpus.urls(),
+        rng=np.random.default_rng(0),
+    )
+    return index, report, new_urls
+
+
+class TestApplyUpdate:
+    def test_document_count_grows(self, updated, engine):
+        index, report, _ = updated
+        assert report.added_docs == 5
+        assert index.num_docs == engine.index.num_docs + 5
+        assert report.new_num_docs == index.num_docs
+
+    def test_old_index_untouched(self, updated, engine, corpus):
+        _, _, _ = updated
+        assert engine.index.num_docs == corpus.num_docs
+        assert len(engine.index.clusters.doc_to_clusters) == corpus.num_docs
+
+    def test_new_docs_assigned_to_similar_clusters(self, updated, engine):
+        index, report, _ = updated
+        # Each new doc is a near-copy of an original doc, so it should
+        # land in (one of) that doc's clusters.
+        for offset in range(5):
+            new_id = engine.index.num_docs + offset
+            new_clusters = index.clusters.doc_to_clusters[new_id]
+            original = set(engine.index.clusters.doc_to_clusters[offset])
+            assert set(new_clusters) & original
+
+    def test_updated_index_serves_queries(self, updated, engine, corpus):
+        index, _, new_urls = updated
+        new_engine = TiptoeEngine(index=index)
+        result = new_engine.search(
+            corpus.documents[0].text + " fresh update",
+            np.random.default_rng(1),
+        )
+        doc_ids = new_engine.result_doc_ids(result)[:5]
+        # Either the updated copy or the near-identical original wins.
+        assert doc_ids and (engine.index.num_docs + 0 in doc_ids or 0 in doc_ids)
+
+    def test_new_urls_retrievable(self, updated, engine, corpus):
+        index, _, new_urls = updated
+        new_engine = TiptoeEngine(index=index)
+        found = set()
+        for offset in range(5):
+            result = new_engine.search(
+                corpus.documents[offset].text + " fresh update",
+                np.random.default_rng(10 + offset),
+            )
+            found |= set(result.urls())
+        assert found & set(new_urls)
+
+    def test_old_tokens_do_not_fit_new_index(self, updated, engine):
+        index, _, _ = updated
+        old_token = engine.mint_token(np.random.default_rng(2))
+        _, hints = old_token.consume()
+        # The ranking matrix width changed (or at least the hint did):
+        # the old hint product has the wrong shape/content.
+        assert (
+            len(hints["ranking"]) != index.layout.rows
+            or engine.index.ranking_scheme.params.inner.m
+            != index.ranking_scheme.params.inner.m
+            or not np.array_equal(
+                engine.index.ranking_prep.switched_hint.shape,
+                index.ranking_prep.switched_hint.shape,
+            )
+            or not np.array_equal(
+                engine.index.ranking_prep.switched_hint,
+                index.ranking_prep.switched_hint,
+            )
+        )
+
+    def test_metadata_refresh_is_compact(self, updated):
+        index, report, _ = updated
+        assert report.metadata_refresh_bytes == metadata_refresh_bytes(index)
+        # Compressed refresh is ~1 byte/dim/centroid -- far below the
+        # uncompressed metadata, matching the 18.7-vs-68 MiB ratio.
+        assert (
+            report.metadata_refresh_bytes
+            < index.client_metadata().download_bytes()
+        )
+
+    def test_validation(self, engine, corpus):
+        with pytest.raises(ValueError):
+            apply_update(engine.index, ["a"], [], corpus.texts(), corpus.urls())
+        with pytest.raises(ValueError):
+            apply_update(engine.index, [], [], corpus.texts(), corpus.urls())
+
+
+class TestAssignment:
+    def test_assignment_picks_nearest_centroid(self, engine):
+        centroids = engine.index.clusters.centroids
+        got = assign_new_documents(engine.index, centroids[:3])
+        assert got == [0, 1, 2]

@@ -1,0 +1,41 @@
+"""Tests for batched URL-service answers."""
+
+import numpy as np
+import pytest
+
+from repro.pir.simplepir import PirQuery
+
+
+class TestUrlAnswerBatch:
+    @pytest.fixture(scope="class")
+    def queries(self, engine):
+        index = engine.index
+        rng = np.random.default_rng(0)
+        keys = index.url_scheme.gen_keys(rng)
+        queries = []
+        for i in range(4):
+            sel = index.url_db.selection_vector(i % index.url_db.num_records)
+            queries.append(
+                PirQuery(ciphertext=index.url_scheme.encrypt(keys, sel, rng))
+            )
+        return queries
+
+    def test_matches_individual_answers(self, engine, queries):
+        service = engine.url_service
+        individual = [service.answer(q).values for q in queries]
+        batched = [a.values for a in service.answer_batch(queries)]
+        for got, want in zip(batched, individual):
+            assert np.array_equal(got, want)
+
+    def test_empty_batch(self, engine):
+        assert engine.url_service.answer_batch([]) == []
+
+    def test_ledger_scales_with_batch(self, engine, queries):
+        service = engine.url_service
+        before = service.ledger.total_ops("url")
+        service.answer_batch(queries)
+        added = service.ledger.total_ops("url") - before
+        per_query = engine.index.url_scheme.inner.apply_word_ops(
+            engine.index.url_db.num_rows
+        )
+        assert added == per_query * len(queries)

@@ -1,0 +1,140 @@
+"""Tests for query benchmark generation, URL batching, and image corpus."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    ImageCorpus,
+    QueryBenchmark,
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+    UrlBatcher,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=150, num_topics=6, vocab_size=300, seed=2)
+    )
+
+
+class TestQueryBenchmark:
+    def test_generates_requested_count(self, corpus):
+        bench = QueryBenchmark.generate(corpus, 50, np.random.default_rng(0))
+        assert len(bench) == 50
+
+    def test_family_mix_roughly_matches_weights(self, corpus):
+        bench = QueryBenchmark.generate(corpus, 300, np.random.default_rng(1))
+        counts = bench.family_counts()
+        assert counts["conceptual"] > counts["lexical"] > counts["exact"] > 0
+
+    def test_exact_queries_use_entities(self, corpus):
+        bench = QueryBenchmark.generate(
+            corpus, 20, np.random.default_rng(2), family_weights={"exact": 1.0}
+        )
+        for q in bench.queries:
+            doc = corpus.documents[q.target_doc_id]
+            assert q.text == doc.entity
+
+    def test_lexical_queries_use_document_words(self, corpus):
+        bench = QueryBenchmark.generate(
+            corpus, 20, np.random.default_rng(3), family_weights={"lexical": 1.0}
+        )
+        for q in bench.queries:
+            doc_words = set(corpus.documents[q.target_doc_id].text.split())
+            assert set(q.text.split()) <= doc_words
+
+    def test_conceptual_queries_use_topic_vocabulary(self, corpus):
+        bench = QueryBenchmark.generate(
+            corpus, 30, np.random.default_rng(4),
+            family_weights={"conceptual": 1.0},
+        )
+        vocab = set(corpus.vocabulary)
+        overlaps = []
+        for q in bench.queries:
+            words = q.text.split()
+            assert set(words) <= vocab
+            doc_words = set(corpus.documents[q.target_doc_id].text.split())
+            overlaps.append(len(set(words) & doc_words) / len(words))
+        # Paraphrases: on average well below full verbatim overlap.
+        assert np.mean(overlaps) < 0.9
+
+    def test_unknown_family_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            QueryBenchmark.generate(
+                corpus, 5, np.random.default_rng(5), family_weights={"nope": 1.0}
+            )
+
+    def test_by_family_filter(self, corpus):
+        bench = QueryBenchmark.generate(corpus, 40, np.random.default_rng(6))
+        assert all(q.family == "exact" for q in bench.by_family("exact"))
+
+
+class TestUrlBatcher:
+    def test_round_trip(self, corpus):
+        batches, doc_to_batch = UrlBatcher(batch_size=40).build_batches(
+            corpus.urls()
+        )
+        for doc_id, url in enumerate(corpus.urls()):
+            b = doc_to_batch[doc_id]
+            assert b >= 0
+            assert batches[b].decompress()[doc_id] == url
+
+    def test_grouping_controls_batch_membership(self, corpus):
+        grouping = [[10, 11, 12], [0, 1, 2]]
+        batches, doc_to_batch = UrlBatcher(batch_size=3).build_batches(
+            corpus.urls(), grouping=grouping
+        )
+        assert doc_to_batch[10] == doc_to_batch[11] == doc_to_batch[12] == 0
+        assert doc_to_batch[0] == doc_to_batch[1] == doc_to_batch[2] == 1
+
+    def test_duplicate_group_entries_batched_once(self, corpus):
+        grouping = [[0, 1], [1, 2]]
+        batches, doc_to_batch = UrlBatcher(batch_size=2).build_batches(
+            corpus.urls(), grouping=grouping
+        )
+        assert doc_to_batch[1] == 0
+
+    def test_overlong_urls_dropped(self):
+        urls = ["https://ok.com/a", "https://" + "x" * 600 + ".com"]
+        batches, doc_to_batch = UrlBatcher(batch_size=10).build_batches(urls)
+        assert doc_to_batch[0] == 0
+        assert doc_to_batch[1] == -1
+
+    def test_compression_beats_raw(self, corpus):
+        batcher = UrlBatcher(batch_size=150)
+        batches, _ = batcher.build_batches(corpus.urls())
+        raw = sum(len(u) for u in corpus.urls())
+        compressed = sum(b.compressed_bytes() for b in batches)
+        assert compressed < raw
+        assert batcher.average_bytes_per_url(batches) < 60
+
+
+class TestImageCorpus:
+    def test_generation_shapes(self):
+        images = ImageCorpus.generate(num_images=50, latent_dim=16, seed=3)
+        assert images.num_images == 50
+        assert images.latent_matrix().shape == (50, 16)
+        assert len(images.captions()) == 50
+
+    def test_similar_captions_have_similar_latents(self):
+        images = ImageCorpus.generate(num_images=100, latent_dim=16, seed=4)
+        latents = images.latent_matrix()
+        norm = latents / np.linalg.norm(latents, axis=1, keepdims=True)
+        sims = norm @ norm.T
+        np.fill_diagonal(sims, -1)
+        # The closest image pair should share caption vocabulary.
+        i, j = np.unravel_index(np.argmax(sims), sims.shape)
+        wi = set(images.images[i].caption.split())
+        wj = set(images.images[j].caption.split())
+        assert wi & wj
+
+    def test_config_mismatch_rejected(self):
+        cfg = SyntheticCorpusConfig(num_docs=10)
+        with pytest.raises(ValueError):
+            ImageCorpus.generate(num_images=20, text_config=cfg)
+
+    def test_urls_distinct_from_text_corpus(self):
+        images = ImageCorpus.generate(num_images=10, seed=5)
+        assert all(u.startswith("https://img.") for u in images.urls())

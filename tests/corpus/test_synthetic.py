@@ -1,0 +1,85 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.synthetic import make_vocabulary
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=200, num_topics=8, vocab_size=400, seed=1)
+    )
+
+
+class TestVocabulary:
+    def test_distinct_words(self):
+        words = make_vocabulary(100, np.random.default_rng(0))
+        assert len(set(words)) == 100
+
+    def test_words_are_tokenizable(self):
+        words = make_vocabulary(50, np.random.default_rng(1))
+        assert all(w.isalpha() and w.islower() and len(w) >= 4 for w in words)
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        c1 = SyntheticCorpus.generate(SyntheticCorpusConfig(num_docs=20, seed=7))
+        c2 = SyntheticCorpus.generate(SyntheticCorpusConfig(num_docs=20, seed=7))
+        assert c1.texts() == c2.texts()
+        assert c1.urls() == c2.urls()
+
+    def test_document_count_and_ids(self, corpus):
+        assert corpus.num_docs == 200
+        assert [d.doc_id for d in corpus.documents] == list(range(200))
+
+    def test_topic_mixtures_are_distributions(self, corpus):
+        latent = corpus.latent_vectors()
+        assert latent.shape == (200, 8)
+        assert np.allclose(latent.sum(axis=1), 1.0)
+        assert (latent >= 0).all()
+
+    def test_entity_fraction_respected(self, corpus):
+        frac = len(corpus.documents_with_entities()) / corpus.num_docs
+        assert 0.2 <= frac <= 0.4
+
+    def test_entities_are_rare_strings(self, corpus):
+        entities = [d.entity for d in corpus.documents_with_entities()]
+        assert len(set(entities)) == len(entities)  # globally unique
+        for doc in corpus.documents_with_entities():
+            assert doc.entity in doc.text
+
+    def test_urls_look_like_urls(self, corpus):
+        for url in corpus.urls():
+            assert url.startswith("https://www.")
+            assert len(url) < 200
+
+    def test_same_topic_docs_share_more_vocabulary(self, corpus):
+        """The property embeddings rely on: topical lexical overlap."""
+
+        def overlap(a, b):
+            sa, sb = set(a.text.split()), set(b.text.split())
+            return len(sa & sb) / max(1, min(len(sa), len(sb)))
+
+        latent = corpus.latent_vectors()
+        sims = latent @ latent.T
+        same, diff = [], []
+        for i in range(0, 60, 2):
+            for j in range(i + 1, 60, 3):
+                (same if sims[i, j] > 0.5 else diff).append(
+                    overlap(corpus.documents[i], corpus.documents[j])
+                )
+        assert same and diff
+        assert np.mean(same) > np.mean(diff)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(num_docs=0)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(num_topics=50, vocab_size=100)
+
+    def test_average_document_bytes(self, corpus):
+        avg = corpus.average_document_bytes()
+        assert 50 < avg < 2000

@@ -1,0 +1,76 @@
+"""Tests for TREC-style export/import."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import QueryBenchmark, SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.trec import (
+    export_benchmark,
+    export_documents,
+    import_benchmark,
+    import_documents,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=30, num_topics=4, vocab_size=200, seed=3)
+    )
+
+
+class TestDocumentRoundTrip:
+    def test_round_trip(self, small_corpus, tmp_path):
+        path = tmp_path / "docs.tsv"
+        export_documents(path, small_corpus.texts(), small_corpus.urls())
+        texts, urls = import_documents(path)
+        assert texts == small_corpus.texts()
+        assert urls == small_corpus.urls()
+
+    def test_tabs_and_newlines_sanitized(self, tmp_path):
+        path = tmp_path / "docs.tsv"
+        export_documents(path, ["a\tb\nc"], ["https://x.com"])
+        texts, _ = import_documents(path)
+        assert texts == ["a b c"]
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_documents(tmp_path / "x.tsv", ["a"], [])
+
+    def test_sparse_ids_rejected(self, tmp_path):
+        path = tmp_path / "docs.tsv"
+        path.write_text("0\tu\tt\n2\tu\tt\n")
+        with pytest.raises(ValueError):
+            import_documents(path)
+
+
+class TestBenchmarkRoundTrip:
+    def test_round_trip(self, small_corpus, tmp_path):
+        bench = QueryBenchmark.generate(
+            small_corpus, 15, np.random.default_rng(0)
+        )
+        qp, rp = tmp_path / "queries.tsv", tmp_path / "qrels.tsv"
+        export_benchmark(qp, rp, bench)
+        back = import_benchmark(qp, rp)
+        assert len(back) == len(bench)
+        for a, b in zip(back.queries, bench.queries):
+            assert (a.text, a.target_doc_id, a.family) == (
+                b.text, b.target_doc_id, b.family,
+            )
+
+    def test_qrels_format_is_trec(self, small_corpus, tmp_path):
+        bench = QueryBenchmark.generate(
+            small_corpus, 5, np.random.default_rng(1)
+        )
+        qp, rp = tmp_path / "queries.tsv", tmp_path / "qrels.tsv"
+        export_benchmark(qp, rp, bench)
+        for line in rp.read_text().splitlines():
+            qid, iteration, doc, rel = line.split("\t")
+            assert iteration == "0" and rel == "1"
+
+    def test_missing_qrel_rejected(self, tmp_path):
+        qp, rp = tmp_path / "queries.tsv", tmp_path / "qrels.tsv"
+        qp.write_text("0\tconceptual\thello\n")
+        rp.write_text("")
+        with pytest.raises(ValueError):
+            import_benchmark(qp, rp)

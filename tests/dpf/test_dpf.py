@@ -1,0 +1,114 @@
+"""Tests for the distributed point function."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpf import eval_all, eval_point, gen_keys
+from repro.dpf import prg
+
+
+class TestPrg:
+    def test_expand_is_deterministic(self):
+        seed = b"\x01" * prg.SEED_BYTES
+        assert prg.expand(seed) == prg.expand(seed)
+
+    def test_expand_children_differ(self):
+        left, _, right, _ = prg.expand(b"\x02" * prg.SEED_BYTES)
+        assert left != right
+
+    def test_expand_rejects_bad_seed_length(self):
+        with pytest.raises(ValueError):
+            prg.expand(b"short")
+
+    def test_convert_length_and_determinism(self):
+        seed = b"\x03" * prg.SEED_BYTES
+        out = prg.convert(seed, 20)
+        assert out.shape == (20,)
+        assert np.array_equal(out, prg.convert(seed, 20))
+        assert not np.array_equal(out[:8], prg.convert(b"\x04" * 16, 8))
+
+    def test_xor_bytes(self):
+        assert prg.xor_bytes(b"\xff\x00", b"\x0f\x0f") == b"\xf0\x0f"
+
+
+class TestDpfCorrectness:
+    def test_point_function_over_full_domain(self):
+        rng = np.random.default_rng(0)
+        beta = np.array([3, -5, 7])
+        k0, k1 = gen_keys(5, beta, 12, rng)
+        for x in range(12):
+            total = (
+                eval_point(k0, x, 3) + eval_point(k1, x, 3)
+            ).astype(np.int64)
+            want = beta if x == 5 else np.zeros(3, dtype=np.int64)
+            assert np.array_equal(total, want)
+
+    def test_eval_all_matches_eval_point(self):
+        rng = np.random.default_rng(1)
+        beta = np.array([42])
+        k0, k1 = gen_keys(9, beta, 16, rng)
+        full = eval_all(k0, 16, 1)
+        for x in range(16):
+            assert np.array_equal(full[x], eval_point(k0, x, 1))
+
+    def test_non_power_of_two_domain(self):
+        rng = np.random.default_rng(2)
+        k0, k1 = gen_keys(6, np.array([1]), 7, rng)
+        total = (eval_all(k0, 7, 1) + eval_all(k1, 7, 1)).astype(np.int64)
+        assert total.reshape(-1).tolist() == [0] * 6 + [1]
+
+    def test_domain_of_one(self):
+        rng = np.random.default_rng(3)
+        k0, k1 = gen_keys(0, np.array([5]), 1, rng)
+        total = (eval_point(k0, 0, 1) + eval_point(k1, 0, 1)).astype(np.int64)
+        assert total[0] == 5
+
+    def test_alpha_out_of_range_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            gen_keys(4, np.array([1]), 4, rng)
+
+    @given(
+        st.integers(0, 63),
+        st.integers(2, 64),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_point_function_property(self, alpha, domain, seed):
+        alpha = alpha % domain
+        rng = np.random.default_rng(seed)
+        beta = rng.integers(-100, 100, size=4)
+        k0, k1 = gen_keys(alpha, beta, domain, rng)
+        total = (
+            eval_all(k0, domain, 4) + eval_all(k1, domain, 4)
+        ).astype(np.int64)
+        assert np.array_equal(total[alpha], beta)
+        mask = np.arange(domain) != alpha
+        assert not total[mask].any()
+
+
+class TestDpfSecurity:
+    """Each key alone must reveal nothing about (alpha, beta)."""
+
+    def test_single_key_shares_look_uniform(self):
+        rng = np.random.default_rng(5)
+        k0, _ = gen_keys(3, np.array([1000]), 64, rng)
+        shares = eval_all(k0, 64, 1).astype(np.float64) / 2.0**64
+        # No leaf should stand out; crude uniformity checks.
+        assert 0.3 < shares.mean() < 0.7
+        assert shares.std() > 0.15
+
+    def test_share_at_alpha_not_special(self):
+        rng = np.random.default_rng(6)
+        k0, _ = gen_keys(10, np.array([7]), 32, rng)
+        shares = eval_all(k0, 32, 1).reshape(-1)
+        ranks = np.argsort(shares)
+        assert ranks[0] != 10 or ranks[-1] != 10  # not an extreme outlier
+
+    def test_key_size_is_logarithmic(self):
+        rng = np.random.default_rng(7)
+        small, _ = gen_keys(0, np.array([1]), 2**4, rng)
+        large, _ = gen_keys(0, np.array([1]), 2**12, rng)
+        assert large.wire_bytes() - small.wire_bytes() == 8 * 17

@@ -1,0 +1,95 @@
+"""Tests for the two-server (non-colluding) deployment of SS9."""
+
+import numpy as np
+import pytest
+
+from repro.dpf import TwoServerPir, two_server_query_bytes
+from repro.dpf.twoserver import TwoServerRankingService, two_server_rank
+from repro.dpf.dpf import gen_keys
+
+
+class TestTwoServerRanking:
+    def test_matches_plaintext_cluster_scores(self):
+        rng = np.random.default_rng(0)
+        dim, clusters, rows = 6, 9, 25
+        matrix = rng.integers(-8, 8, size=(rows, dim * clusters))
+        q = rng.integers(-8, 8, dim)
+        for cluster in (0, 4, 8):
+            scores, _ = two_server_rank(matrix, dim, q, cluster, rng)
+            want = matrix[:, cluster * dim : (cluster + 1) * dim] @ q
+            assert np.array_equal(scores, want)
+
+    def test_matches_single_server_private_protocol(self, engine):
+        """The two deployments rank identically on the same index."""
+        index = engine.index
+        rng = np.random.default_rng(1)
+        from repro.embeddings.quantize import quantize
+
+        q = quantize(index.embeddings[11] * index.quantization_gain, index.config.quantization())
+        cluster = 3
+        scores, _ = two_server_rank(
+            index.layout.matrix, index.layout.dim, q, cluster, rng
+        )
+        dim = index.layout.dim
+        block = index.layout.matrix[:, cluster * dim : (cluster + 1) * dim]
+        assert np.array_equal(scores, block @ q)
+
+    def test_single_answer_share_is_uninformative(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(-8, 8, size=(40, 12))
+        service = TwoServerRankingService(matrix, dim=3)
+        q = np.array([1, 2, 3])
+        k0, _ = gen_keys(1, q, 4, rng)
+        share = service.answer(k0).share
+        # One share is a pseudorandom masking of the scores: it should
+        # look uniform over Z_{2^64} and not equal the true scores.
+        true = matrix[:, 3:6] @ q
+        assert not np.array_equal(share.astype(np.int64), true)
+        normalized = share.astype(np.float64) / 2.0**64
+        assert 0.2 < normalized.mean() < 0.8
+        assert normalized.std() > 0.1
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            TwoServerRankingService(np.zeros((2, 10)), dim=3)
+
+
+class TestTwoServerPir:
+    def test_retrieves_every_record(self):
+        records = [b"alpha", b"bravo-bravo", b"", b"\x00\xff"]
+        pir = TwoServerPir(records)
+        rng = np.random.default_rng(3)
+        for i, rec in enumerate(records):
+            got, _ = pir.retrieve(i, rng)
+            assert got == rec
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            TwoServerPir([])
+
+    def test_query_size_independent_of_index(self):
+        pir = TwoServerPir([b"x" * 10] * 32)
+        rng = np.random.default_rng(4)
+        _, up_first = pir.retrieve(0, rng)
+        _, up_last = pir.retrieve(31, rng)
+        assert up_first == up_last
+
+
+class TestCommunicationEstimate:
+    def test_c4_scale_is_about_one_mib(self):
+        """SS9: ~1 MiB per query instead of Tiptoe's 56.9 MiB."""
+        est = two_server_query_bytes(
+            num_clusters=8736,
+            dim=192,
+            cluster_size=50_000,
+            num_batches=496_364,
+            batch_bytes=40 * 1024,
+        )
+        assert 0.5 * 2**20 < est["total"] < 1.5 * 2**20
+
+    def test_orders_of_magnitude_below_single_server(self):
+        from repro.evalx.costmodel import TiptoeCostModel
+
+        single = TiptoeCostModel().total_bytes(364_000_000)
+        two = two_server_query_bytes(8736, 192, 50_000, 496_364, 40 * 1024)
+        assert single / two["total"] > 40

@@ -1,0 +1,74 @@
+"""Tests for client-side personalized search (SS9)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import HashingEmbedder
+from repro.embeddings.personalize import PersonalizedEmbedder
+
+
+@pytest.fixture(scope="module")
+def base():
+    return HashingEmbedder(dim=48)
+
+
+class TestPersonalizedEmbedder:
+    def test_profile_pulls_results_toward_profile_topic(self, base):
+        plain = base
+        tokyo = PersonalizedEmbedder.from_profile_text(
+            base, "tokyo japan sushi ramen", weight=0.4
+        )
+        docs = [
+            "best restaurants for sushi ramen in tokyo japan",
+            "best restaurants for tapas in barcelona spain",
+        ]
+        doc_emb = np.stack([base.embed(d) for d in docs])
+        query = "best restaurants"
+        plain_scores = doc_emb @ plain.embed(query)
+        perso_scores = doc_emb @ tokyo.embed(query)
+        # Personalization shifts the margin toward the Tokyo document.
+        assert (perso_scores[0] - perso_scores[1]) > (
+            plain_scores[0] - plain_scores[1]
+        )
+
+    def test_zero_weight_matches_base(self, base):
+        p = PersonalizedEmbedder.from_profile_text(base, "anything", weight=0.0)
+        q = "some query text"
+        assert np.allclose(p.embed(q), base.embed(q))
+
+    def test_from_history_averages(self, base):
+        history = np.stack([base.embed("sushi"), base.embed("ramen")])
+        p = PersonalizedEmbedder.from_history(base, history, weight=0.5)
+        manual = history.mean(axis=0)
+        manual /= np.linalg.norm(manual)
+        assert np.allclose(p.profile, manual)
+
+    def test_outputs_are_unit_norm(self, base):
+        p = PersonalizedEmbedder.from_profile_text(base, "tokyo", weight=0.3)
+        assert np.linalg.norm(p.embed("weather")) == pytest.approx(1.0)
+        batch = p.embed_batch(["a b", "c d"])
+        assert np.allclose(np.linalg.norm(batch, axis=1), 1.0)
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            PersonalizedEmbedder(base=base, profile=np.ones(4), weight=1.0)
+        with pytest.raises(ValueError):
+            PersonalizedEmbedder(base=base, profile=np.zeros(4), weight=0.3)
+
+    def test_servers_see_no_profile(self, base, corpus):
+        """The engine's document side is untouched by personalization:
+        the same index serves personalized and plain clients."""
+        from repro import TiptoeConfig, TiptoeEngine
+
+        engine = TiptoeEngine.build(
+            corpus.texts()[:60],
+            corpus.urls()[:60],
+            TiptoeConfig(),
+            rng=np.random.default_rng(0),
+        )
+        profile = PersonalizedEmbedder.from_profile_text(
+            engine.index.embedder, corpus.documents[10].text, weight=0.4
+        )
+        engine._query_embedder = profile
+        result = engine.search("search words", np.random.default_rng(1))
+        assert result.results  # personalized query served by plain index

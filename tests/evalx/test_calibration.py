@@ -1,0 +1,40 @@
+"""Tests for hardware calibration of the cost model."""
+
+import pytest
+
+from repro.evalx.calibration import (
+    calibrated_model,
+    calibration_report,
+    measure_word_ops_per_second,
+)
+from repro.evalx.costmodel import TiptoeCostModel
+
+
+class TestCalibration:
+    def test_measured_throughput_is_plausible(self):
+        ops = measure_word_ops_per_second(rows=256, cols=512, repeats=2)
+        # Anything from an embedded core to a vector monster.
+        assert 1e6 < ops < 1e13
+
+    def test_calibrated_model_scales_core_seconds(self):
+        base = TiptoeCostModel()
+        local, ratio = calibrated_model(base, measured_ops_per_second=1.5e9)
+        assert ratio == pytest.approx(2.0)
+        n = 10**8
+        assert local.online_core_seconds(n) == pytest.approx(
+            base.online_core_seconds(n) * 2.0
+        )
+        # Communication is hardware-independent.
+        assert local.online_bytes(n) == base.online_bytes(n)
+
+    def test_invalid_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            calibrated_model(measured_ops_per_second=0)
+
+    def test_report_fields(self):
+        report = calibration_report(num_docs=10**7)
+        assert report["paper_core_seconds"] > 0
+        assert report["local_core_seconds"] > 0
+        assert report["slowdown_vs_paper"] == pytest.approx(
+            report["paper_ops_per_second"] / report["measured_ops_per_second"]
+        )

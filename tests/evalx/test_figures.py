@@ -1,0 +1,53 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.evalx.figures import ascii_chart, cdf_chart
+
+
+class TestAsciiChart:
+    def test_renders_all_series_markers(self):
+        out = ascii_chart(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+        )
+        assert "A" in out and "B" in out
+        assert "A=alpha" in out and "B=beta" in out
+
+    def test_fixed_dimensions(self):
+        out = ascii_chart({"s": [(0, 0), (5, 10)]}, width=30, height=8)
+        body = [l for l in out.splitlines() if l.startswith(" " * 9 + "|")]
+        assert len(body) == 8
+        assert all(len(l) == 9 + 1 + 30 + 1 for l in body)
+
+    def test_log_axes(self):
+        out = ascii_chart(
+            {"s": [(1, 1), (10, 100), (100, 10000)]},
+            width=20,
+            height=5,
+            log_x=True,
+            log_y=True,
+        )
+        assert "1e+04" in out or "10000" in out or "1e4" in out.replace("+0", "")
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart({"flat": [(0, 5), (1, 5), (2, 5)]}, width=10, height=4)
+        assert "F" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_cdf_chart_plateaus_visibly(self):
+        flat = [0.3] * 50
+        rising = [min(1.0, 0.02 * (i + 1)) for i in range(50)]
+        out = cdf_chart({"tiptoe": flat, "embed": rising}, width=40, height=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # The flat (plateau) series occupies a single row.
+        tiptoe_rows = [i for i, l in enumerate(lines) if "T" in l]
+        assert len(tiptoe_rows) == 1
+        embed_rows = [i for i, l in enumerate(lines) if "E" in l]
+        assert len(embed_rows) > 3

@@ -1,0 +1,72 @@
+"""Tests for MRR@k and the rank CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalx.metrics import mrr_at_k, rank_cdf, reciprocal_rank
+
+
+class TestReciprocalRank:
+    def test_rank_positions(self):
+        assert reciprocal_rank([5, 3, 9], 5) == 1.0
+        assert reciprocal_rank([5, 3, 9], 3) == 0.5
+        assert reciprocal_rank([5, 3, 9], 9) == pytest.approx(1 / 3)
+
+    def test_missing_target_scores_zero(self):
+        assert reciprocal_rank([1, 2, 3], 99) == 0.0
+
+    def test_k_cutoff(self):
+        assert reciprocal_rank([1, 2, 3], 3, k=2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank([1], 1, k=0)
+
+
+class TestMrr:
+    def test_paper_interpretation(self):
+        # "average rank 7.7" corresponds to MRR around 0.25 when the
+        # distribution is skewed; exact inverse for constant rank:
+        ranked = [[0] * 7 + [42] + [0] * 92 for _ in range(10)]
+        assert mrr_at_k(ranked, [42] * 10) == pytest.approx(1 / 8)
+
+    def test_mixed_queries(self):
+        ranked = [[7, 1], [1, 7], [2, 3]]
+        assert mrr_at_k(ranked, [7, 7, 7]) == pytest.approx((1 + 0.5 + 0) / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mrr_at_k([[1]], [1, 2])
+        with pytest.raises(ValueError):
+            mrr_at_k([], [])
+
+
+class TestRankCdf:
+    def test_monotone_and_bounded(self):
+        ranked = [[1, 2, 3], [2, 1, 3], [9, 9, 9]]
+        cdf = rank_cdf(ranked, [1, 1, 1], k=3)
+        assert list(cdf) == pytest.approx([1 / 3, 2 / 3, 2 / 3])
+        assert all(cdf[i] <= cdf[i + 1] for i in range(len(cdf) - 1))
+
+    def test_plateau_below_one_when_targets_missing(self):
+        cdf = rank_cdf([[1], [2]], [9, 9], k=5)
+        assert cdf[-1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_cdf([[1]], [1, 2])
+
+
+@given(
+    st.lists(
+        st.permutations(list(range(8))), min_size=1, max_size=10
+    ),
+    st.integers(0, 7),
+)
+@settings(max_examples=50, deadline=None)
+def test_mrr_equals_mean_of_reciprocal_ranks(perms, target):
+    ranked = [list(p) for p in perms]
+    want = np.mean([reciprocal_rank(r, target, 8) for r in ranked])
+    assert mrr_at_k(ranked, [target] * len(ranked), 8) == pytest.approx(want)

@@ -1,0 +1,156 @@
+"""Tests for the quality simulator and the ablation ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TiptoeConfig
+from repro.corpus import QueryBenchmark, SyntheticCorpus, SyntheticCorpusConfig
+from repro.embeddings import LsaEmbedder
+from repro.evalx.ablation import run_ablation_ladder
+from repro.evalx.metrics import mrr_at_k
+from repro.evalx.quality import (
+    TiptoeQualitySim,
+    cluster_hit_rate,
+    evaluate_systems,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus.generate(
+        SyntheticCorpusConfig(
+            num_docs=600, num_topics=15, vocab_size=1200, seed=21
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def bench(corpus):
+    return QueryBenchmark.generate(corpus, 80, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def shared_embeddings(corpus):
+    embedder = LsaEmbedder.fit(corpus.texts(), dim=32)
+    return embedder, embedder.embed_batch(corpus.texts())
+
+
+def build_sim(corpus, shared, mode, **cfg_kwargs):
+    embedder, embeddings = shared
+    config = TiptoeConfig(
+        embedding_dim=32, pca_dim=16, target_cluster_size=10,
+        url_batch_size=8, **cfg_kwargs,
+    )
+    return TiptoeQualitySim.build(
+        corpus.texts(),
+        corpus.urls(),
+        config=config,
+        mode=mode,
+        embedder=embedder,
+        embeddings=embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestQualitySim:
+    def test_invalid_mode_rejected(self, corpus, shared_embeddings):
+        with pytest.raises(ValueError):
+            build_sim(corpus, shared_embeddings, "bogus")
+
+    def test_exhaustive_ranks_all_docs(self, corpus, shared_embeddings):
+        sim = build_sim(corpus, shared_embeddings, "exhaustive")
+        ranked = sim.rank(corpus.documents[0].text, k=600)
+        assert sorted(ranked) == list(range(600))
+
+    def test_cluster_mode_stays_in_cluster(self, corpus, shared_embeddings):
+        sim = build_sim(corpus, shared_embeddings, "cluster")
+        q = corpus.documents[5].text
+        cluster = sim.chosen_cluster(q)
+        members = set(sim.index.layout.cluster_doc_ids[cluster])
+        assert set(sim.rank(q, k=100)) <= members
+
+    def test_batch_mode_is_subset_of_cluster_mode(
+        self, corpus, shared_embeddings
+    ):
+        cluster_sim = build_sim(corpus, shared_embeddings, "cluster")
+        batch_sim = TiptoeQualitySim(index=cluster_sim.index, mode="cluster+batch")
+        q = corpus.documents[8].text
+        assert set(batch_sim.rank(q, 100)) <= set(cluster_sim.rank(q, 100))
+
+    def test_miss_means_target_absent(self, corpus, bench, shared_embeddings):
+        """If the chosen cluster misses the target, Tiptoe cannot
+        return it -- the Fig. 4 ceiling."""
+        sim = build_sim(corpus, shared_embeddings, "cluster")
+        for q in bench.queries[:30]:
+            if not sim.cluster_hit(q.text, q.target_doc_id):
+                assert q.target_doc_id not in sim.rank(q.text, 100)
+
+    def test_hit_rate_bounds_quality(self, corpus, bench, shared_embeddings):
+        sim = build_sim(corpus, shared_embeddings, "cluster+batch")
+        targets = [q.target_doc_id for q in bench.queries]
+        ranked = [sim.rank(q.text, 100) for q in bench.queries]
+        found = np.mean([t in r for r, t in zip(ranked, targets)])
+        assert found <= cluster_hit_rate(sim, bench) + 1e-9
+
+    def test_clustering_loses_quality_vs_exhaustive(
+        self, corpus, bench, shared_embeddings
+    ):
+        """Fig. 9 step 1 -> 2: the clustering quality drop."""
+        exhaustive = build_sim(corpus, shared_embeddings, "exhaustive")
+        clustered = build_sim(corpus, shared_embeddings, "cluster+batch")
+        targets = [q.target_doc_id for q in bench.queries]
+        m_ex = mrr_at_k([exhaustive.rank(q.text) for q in bench.queries], targets)
+        m_cl = mrr_at_k([clustered.rank(q.text) for q in bench.queries], targets)
+        assert m_cl < m_ex
+
+
+class TestEvaluateSystems:
+    def test_report_structure(self, corpus, bench, shared_embeddings):
+        sim = build_sim(corpus, shared_embeddings, "cluster+batch")
+        report = evaluate_systems(bench, {"tiptoe": sim}, k=50)
+        assert set(report.mrr) == {"tiptoe"}
+        assert report.cdf["tiptoe"].shape == (50,)
+        assert 0 <= report.mrr["tiptoe"] <= 1
+        assert set(report.per_family_mrr["tiptoe"]) <= {
+            "conceptual", "lexical", "exact",
+        }
+        assert report.ordering() == ["tiptoe"]
+
+
+class TestAblationLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self, corpus, bench):
+        config = TiptoeConfig(
+            embedding_dim=32, pca_dim=12, target_cluster_size=10,
+            url_batch_size=8,
+        )
+        return run_ablation_ladder(corpus, bench, config, paper_docs=10**8)
+
+    def test_six_steps(self, ladder):
+        assert [p.step for p in ladder] == [1, 2, 3, 4, 5, 6]
+
+    def test_communication_collapses_after_clustering(self, ladder):
+        # Fig. 9: two orders of magnitude overall; the big cliff is
+        # step 1 -> 2 (no more per-document score download).
+        assert ladder[0].comm_mib / ladder[1].comm_mib > 10
+        assert ladder[0].comm_mib / ladder[-1].comm_mib > 50
+
+    def test_computation_improves_by_an_order_of_magnitude(self, ladder):
+        assert ladder[0].core_seconds / ladder[-1].core_seconds > 10
+
+    def test_quality_cost_of_clustering(self, ladder):
+        assert ladder[1].mrr < ladder[0].mrr
+
+    def test_content_grouping_recovers_quality(self, ladder):
+        # Step 4 undoes (most of) step 3's batch-restriction loss.
+        assert ladder[3].mrr >= ladder[2].mrr
+
+    def test_final_quality_within_configured_drop(self, ladder):
+        # Paper: the ladder costs ~0.2 MRR end to end.
+        assert ladder[-1].mrr >= ladder[0].mrr - 0.3
+
+    def test_pca_required(self, corpus, bench):
+        with pytest.raises(ValueError):
+            run_ablation_ladder(
+                corpus, bench, TiptoeConfig(pca_dim=None), paper_docs=10**7
+            )

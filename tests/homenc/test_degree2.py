@@ -1,0 +1,138 @@
+"""Tests for the degree-two scheme and encrypted-corpus search."""
+
+import numpy as np
+import pytest
+
+from repro.homenc.degree2 import (
+    Degree2Params,
+    Degree2Scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return Degree2Scheme(Degree2Params(n=32))
+
+
+@pytest.fixture(scope="module")
+def secret(scheme):
+    return scheme.gen_secret(np.random.default_rng(0))
+
+
+class TestDegree2:
+    def test_encrypted_inner_product(self, scheme, secret):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-8, 8, 12)
+        y = rng.integers(-8, 8, 12)
+        cx = scheme.encrypt_vector(secret, x, rng)
+        cy = scheme.encrypt_vector(secret, y, rng)
+        answer = Degree2Scheme.inner_product(cx, cy)
+        assert scheme.decrypt_score(secret, answer) == int(x @ y)
+
+    def test_zero_and_negative_results(self, scheme, secret):
+        rng = np.random.default_rng(2)
+        x = np.array([1, 0, -1, 2])
+        for y, want in [(np.array([0, 5, 0, 0]), 0), (np.array([-3, 0, 0, 0]), -3)]:
+            cx = scheme.encrypt_vector(secret, x, rng)
+            cy = scheme.encrypt_vector(secret, y, rng)
+            got = scheme.decrypt_score(
+                secret, Degree2Scheme.inner_product(cx, cy)
+            )
+            assert got == want
+
+    def test_answers_add_homomorphically(self, scheme, secret):
+        rng = np.random.default_rng(3)
+        x1, y1 = np.array([2, 3]), np.array([4, 5])
+        x2, y2 = np.array([1, 1]), np.array([6, 7])
+        a1 = Degree2Scheme.inner_product(
+            scheme.encrypt_vector(secret, x1, rng),
+            scheme.encrypt_vector(secret, y1, rng),
+        )
+        a2 = Degree2Scheme.inner_product(
+            scheme.encrypt_vector(secret, x2, rng),
+            scheme.encrypt_vector(secret, y2, rng),
+        )
+        combined = Degree2Scheme.add_answers(a1, a2)
+        assert scheme.decrypt_score(secret, combined) == int(
+            x1 @ y1 + x2 @ y2
+        )
+
+    def test_dimension_mismatch_rejected(self, scheme, secret):
+        rng = np.random.default_rng(4)
+        cx = scheme.encrypt_vector(secret, np.array([1, 2]), rng)
+        cy = scheme.encrypt_vector(secret, np.array([1, 2, 3]), rng)
+        with pytest.raises(ValueError):
+            Degree2Scheme.inner_product(cx, cy)
+
+    def test_answer_is_heavy(self, scheme, secret):
+        """The n x n response is the cost SS9 warns about."""
+        rng = np.random.default_rng(5)
+        cx = scheme.encrypt_vector(secret, np.array([1]), rng)
+        answer = Degree2Scheme.inner_product(cx, cx)
+        assert answer.wire_bytes() > scheme.params.n**2 * 16
+
+    def test_wrong_key_decrypts_garbage(self, scheme, secret):
+        rng = np.random.default_rng(6)
+        other = scheme.gen_secret(np.random.default_rng(99))
+        x = np.array([4, 4, 4, 4])
+        cx = scheme.encrypt_vector(secret, x, rng)
+        answer = Degree2Scheme.inner_product(cx, cx)
+        right = scheme.decrypt_score(secret, answer)
+        wrong = scheme.decrypt_score(other, answer)
+        assert right == int(x @ x)
+        assert wrong != right
+
+
+class TestEncryptedCorpusSearch:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        from repro.core.encrypted_corpus import EncryptedCorpusClient
+
+        rng = np.random.default_rng(7)
+        raw = rng.standard_normal((40, 8))
+        embeddings = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+        metadata = [f"https://private.example/{i}".encode() for i in range(40)]
+        client, server = EncryptedCorpusClient.build(
+            embeddings,
+            metadata,
+            target_cluster_size=10,
+            rng=rng,
+            params=Degree2Params(n=32),
+        )
+        return client, server, embeddings, metadata
+
+    def test_own_embedding_ranks_first(self, deployment):
+        client, server, embeddings, metadata = deployment
+        rng = np.random.default_rng(8)
+        for doc in (0, 17, 33):
+            results = client.search(server, embeddings[doc], rng, k=3)
+            assert results[0][0] == doc
+            assert results[0][2] == metadata[doc]
+
+    def test_server_state_is_opaque(self, deployment):
+        client, server, _, metadata = deployment
+        # Sealed metadata never equals the plaintext...
+        assert all(
+            sealed != plain
+            for sealed, plain in zip(server.sealed_metadata, metadata)
+        )
+        # ...and ciphertext phases look uniform mod 2^128.
+        b_vals = [int(server.encrypted_docs[0].b[i]) for i in range(4)]
+        assert all(v > 2**100 or v < 2**128 for v in b_vals)
+        assert len(set(b_vals)) == len(b_vals)
+
+    def test_metadata_round_trip(self):
+        from repro.core.encrypted_corpus import open_metadata, seal_metadata
+
+        key = b"k" * 32
+        sealed = seal_metadata(key, 3, b"hello world")
+        assert open_metadata(key, 3, sealed) == b"hello world"
+        assert open_metadata(key, 4, sealed) != b"hello world"
+
+    def test_build_validation(self):
+        from repro.core.encrypted_corpus import EncryptedCorpusClient
+
+        with pytest.raises(ValueError):
+            EncryptedCorpusClient.build(
+                np.zeros((3, 4)), [b"x"], 2, np.random.default_rng(0)
+            )

@@ -1,0 +1,115 @@
+"""Tests for query-token minting and single-use enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.homenc import DoubleLheParams, DoubleLheScheme, TokenFactory, TokenReuseError
+from repro.homenc.token import make_client_keys, request_token
+from repro.lwe import LweParams
+from repro.lwe.sampling import seeded_rng
+
+
+def make_service(q_bits, p, m, n_inner=32, seed=b"S" * 32):
+    inner = LweParams(n=n_inner, q_bits=q_bits, p=p, sigma=6.4, m=m)
+    return DoubleLheScheme(
+        DoubleLheParams(
+            inner=inner, outer_n=64, outer_prime_bits=30, outer_num_primes=3
+        ),
+        a_seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def two_services():
+    rng = seeded_rng(0)
+    ranking = make_service(64, 2**12, 40, seed=b"R" * 32)
+    url = make_service(32, 2**8, 24, seed=b"U" * 32)
+    rank_matrix = rng.integers(-8, 8, size=(30, 40))
+    url_matrix = rng.integers(0, 2**8, size=(20, 24))
+    factory = TokenFactory()
+    factory.register("ranking", ranking, ranking.preprocess(rank_matrix))
+    factory.register("url", url, url.preprocess(url_matrix))
+    schemes = {"ranking": ranking, "url": url}
+    return schemes, factory, rank_matrix, url_matrix
+
+
+class TestSharedKeys:
+    def test_same_dimension_services_share_one_upload(self, two_services):
+        schemes, _, _, _ = two_services
+        keys, enc_keys, upload = make_client_keys(schemes, seeded_rng(1))
+        assert enc_keys["ranking"] is enc_keys["url"]
+        assert upload == schemes["ranking"].key_upload_bytes()
+        s_rank = keys["ranking"].inner.signed()
+        s_url = keys["url"].inner.signed()
+        assert np.array_equal(s_rank, s_url)
+
+    def test_different_dimensions_get_separate_uploads(self):
+        a = make_service(64, 2**12, 16, n_inner=32, seed=b"a" * 32)
+        b = make_service(64, 2**12, 16, n_inner=16, seed=b"b" * 32)
+        _, enc_keys, upload = make_client_keys(
+            {"a": a, "b": b}, seeded_rng(2)
+        )
+        assert enc_keys["a"] is not enc_keys["b"]
+        assert upload == a.key_upload_bytes() + b.key_upload_bytes()
+
+
+class TestTokenLifecycle:
+    def test_token_supports_one_correct_query_per_service(self, two_services):
+        schemes, factory, rank_matrix, url_matrix = two_services
+        token = request_token(schemes, factory, seeded_rng(3))
+        keys, hint_products = token.consume()
+        rng = seeded_rng(4)
+
+        msg = rng.integers(-8, 8, 40)
+        ct = schemes["ranking"].encrypt(keys["ranking"], msg, rng)
+        answer = schemes["ranking"].apply(rank_matrix, ct)
+        got = schemes["ranking"].decrypt_centered(
+            keys["ranking"], answer, hint_products["ranking"]
+        )
+        assert np.array_equal(got, rank_matrix @ msg)
+
+        sel = np.zeros(24, dtype=int)
+        sel[7] = 1
+        ct = schemes["url"].encrypt(keys["url"], sel, rng)
+        answer = schemes["url"].apply(url_matrix, ct)
+        got = schemes["url"].decrypt(keys["url"], answer, hint_products["url"])
+        assert np.array_equal(got, url_matrix[:, 7] % 2**8)
+
+    def test_token_is_single_use(self, two_services):
+        schemes, factory, _, _ = two_services
+        token = request_token(schemes, factory, seeded_rng(5))
+        token.consume()
+        with pytest.raises(TokenReuseError):
+            token.consume()
+
+    def test_token_byte_accounting(self, two_services):
+        schemes, factory, _, _ = two_services
+        token = request_token(schemes, factory, seeded_rng(6))
+        assert token.upload_bytes == schemes["ranking"].key_upload_bytes()
+        assert token.download_bytes > 0
+
+    def test_two_tokens_use_independent_keys(self, two_services):
+        schemes, factory, _, _ = two_services
+        t1 = request_token(schemes, factory, seeded_rng(7))
+        t2 = request_token(schemes, factory, seeded_rng(8))
+        s1 = t1.keys["ranking"].inner.signed()
+        s2 = t2.keys["ranking"].inner.signed()
+        assert not np.array_equal(s1, s2)
+
+
+class TestFactoryValidation:
+    def test_duplicate_registration_rejected(self):
+        svc = make_service(64, 2**12, 16)
+        factory = TokenFactory()
+        prep = svc.preprocess(np.zeros((4, 16), dtype=int))
+        factory.register("x", svc, prep)
+        with pytest.raises(ValueError):
+            factory.register("x", svc, prep)
+
+    def test_mint_requires_all_services(self, two_services):
+        schemes, factory, _, _ = two_services
+        _, enc_keys, _ = make_client_keys(
+            {"ranking": schemes["ranking"]}, seeded_rng(9)
+        )
+        with pytest.raises(ValueError):
+            factory.mint(enc_keys)

@@ -1,0 +1,104 @@
+"""Unit tests for wrap-around ring arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lwe import modular
+
+
+@pytest.mark.parametrize("q_bits", [32, 64])
+class TestRingBasics:
+    def test_to_ring_reduces_negative_values(self, q_bits):
+        q = 1 << q_bits
+        out = modular.to_ring(np.array([-1, -2, 5]), q_bits)
+        assert out.dtype == modular.dtype_for(q_bits)
+        assert list(out.astype(object)) == [q - 1, q - 2, 5]
+
+    def test_centered_round_trip(self, q_bits):
+        q = 1 << q_bits
+        vals = modular.to_ring(np.array([0, 1, -1, q // 2 - 1]), q_bits)
+        cent = modular.centered(vals, q_bits)
+        assert list(cent.astype(object)) == [0, 1, -1, q // 2 - 1]
+
+    def test_add_sub_inverse(self, q_bits):
+        rng = np.random.default_rng(0)
+        a = modular.to_ring(rng.integers(0, 2**31, 50), q_bits)
+        b = modular.to_ring(rng.integers(0, 2**31, 50), q_bits)
+        back = modular.sub(modular.add(a, b, q_bits), b, q_bits)
+        assert np.array_equal(back, a)
+
+    def test_matmul_wraps_like_integer_arithmetic(self, q_bits):
+        q = 1 << q_bits
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, q, size=(4, 6), dtype=modular.dtype_for(q_bits))
+        b = rng.integers(0, q, size=(6, 3), dtype=modular.dtype_for(q_bits))
+        got = modular.matmul(a, b, q_bits)
+        want = (a.astype(object) @ b.astype(object)) % q
+        assert np.array_equal(got.astype(object), want)
+
+    def test_scale(self, q_bits):
+        q = 1 << q_bits
+        a = modular.to_ring(np.array([1, 2, 3]), q_bits)
+        out = modular.scale(a, q - 1, q_bits)  # multiply by -1
+        assert list(out.astype(object)) == [q - 1, q - 2, q - 3]
+
+    def test_encode_round_trip(self, q_bits):
+        p = 256
+        msgs = np.array([0, 1, 127, 128, 255, -1])
+        enc = modular.encode_message(msgs, q_bits, p)
+        dec = modular.round_to_message(enc, q_bits, p)
+        assert list(dec) == [0, 1, 127, 128, 255, 255]
+
+    def test_round_tolerates_noise_below_half_delta(self, q_bits):
+        p = 1024
+        delta = (1 << q_bits) // p
+        msgs = np.arange(p)
+        enc = modular.encode_message(msgs, q_bits, p)
+        noise = modular.to_ring(
+            np.resize(np.array([delta // 2 - 1, -(delta // 2) + 1]), p), q_bits
+        )
+        dec = modular.round_to_message(modular.add(enc, noise, q_bits), q_bits, p)
+        assert np.array_equal(dec, msgs)
+
+    def test_round_rejects_non_dividing_modulus(self, q_bits):
+        with pytest.raises(ValueError):
+            modular.round_to_message(np.array([0]), q_bits, 3)
+
+
+class TestModSwitch:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_integer_reference_q32(self, x):
+        t = 65537
+        got = int(modular.mod_switch(np.array([x]), 32, t)[0])
+        want = ((x * t + (1 << 31)) >> 32) % t
+        assert got == want
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_integer_reference_q64(self, x):
+        t = 4294967291  # largest prime below 2^32
+        got = int(modular.mod_switch(np.array([x], dtype=np.uint64), 64, t)[0])
+        want = ((x * t + (1 << 63)) >> 64) % t
+        assert got == want
+
+    def test_rejects_large_target_from_q64(self):
+        with pytest.raises(ValueError):
+            modular.mod_switch(np.array([1], dtype=np.uint64), 64, 1 << 33)
+
+    def test_preserves_scaled_values_approximately(self):
+        rng = np.random.default_rng(2)
+        t = 4294967291
+        x = rng.integers(0, 1 << 63, size=100, dtype=np.uint64)
+        switched = modular.mod_switch(x, 64, t).astype(np.float64)
+        expected = x.astype(np.float64) * (t / 2.0**64)
+        assert np.max(np.abs(switched - expected)) <= 1.0
+
+
+def test_dtype_for_rejects_unsupported():
+    with pytest.raises(ValueError):
+        modular.dtype_for(16)
+    with pytest.raises(ValueError):
+        modular.signed_dtype_for(48)

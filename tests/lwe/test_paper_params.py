@@ -1,0 +1,68 @@
+"""Functional check of the PAPER_128 parameter set (Appendix C).
+
+The fast tests run at toy lattice dimensions; this module runs the
+actual ranking-layer cryptography once at the paper's parameters
+(n = 2048, q = 2^64, sigma = 81920, p = 2^17, 4-bit embeddings) to
+confirm the production parameter set decrypts correctly with the
+promised noise margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lwe import LweParams, RegevScheme
+from repro.lwe.params import SecurityLevel, select_params
+from repro.lwe.sampling import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def paper_scheme():
+    cfg = select_params(
+        64, 4096, SecurityLevel.PAPER_128, p=2**17
+    )
+    params = LweParams(n=cfg.n, q_bits=64, p=2**17, sigma=cfg.sigma, m=4096)
+    return RegevScheme(params=params, a_seed=b"X" * 32)
+
+
+class TestPaperParameters:
+    def test_dimensions_match_appendix_c(self, paper_scheme):
+        params = paper_scheme.params
+        assert params.n == 2048
+        assert params.sigma == 81920.0
+        assert params.p == 2**17
+        assert params.security_bits() >= 128
+
+    def test_ranking_roundtrip_with_4bit_embeddings(self, paper_scheme):
+        scheme = paper_scheme
+        rng = seeded_rng(0)
+        sk = scheme.gen_secret(rng)
+        # 4-bit signed entries, as the quantized embeddings are.
+        msg = rng.integers(-16, 17, scheme.params.m)
+        matrix = rng.integers(-16, 17, size=(64, scheme.params.m))
+        ct = scheme.encrypt(sk, msg, rng)
+        got = scheme.decrypt_centered(
+            sk, scheme.preprocess(matrix), scheme.apply(matrix, ct)
+        )
+        assert np.array_equal(got, matrix @ msg)
+
+    def test_noise_margin_is_comfortable(self, paper_scheme):
+        """Observed noise should sit far below the Delta/2 threshold."""
+        scheme = paper_scheme
+        rng = seeded_rng(1)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(-16, 17, scheme.params.m)
+        matrix = rng.integers(-16, 17, size=(32, scheme.params.m))
+        ct = scheme.encrypt(sk, msg, rng)
+        noisy = scheme.decrypt_noisy(
+            sk, scheme.preprocess(matrix), scheme.apply(matrix, ct)
+        )
+        q = scheme.params.q
+        delta = scheme.params.delta
+        expected = (matrix.astype(object) @ msg.astype(object)) % scheme.params.p
+        encoded = (np.array(expected, dtype=object) * delta) % q
+        worst = 0
+        for got, want in zip(noisy.astype(object), encoded):
+            d = (int(got) - int(want)) % q
+            d = d - q if d >= q // 2 else d
+            worst = max(worst, abs(d))
+        assert worst < delta // 4  # at least 2x headroom below Delta/2

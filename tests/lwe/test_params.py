@@ -1,0 +1,83 @@
+"""Tests for parameter selection against the paper's Tables 11 and 12."""
+
+import math
+
+import pytest
+
+from repro.lwe import params as P
+
+
+class TestTableReproduction:
+    """Our noise-budget formula should land near the paper's maxima."""
+
+    @pytest.mark.parametrize("m", sorted(P.PAPER_TABLE_11))
+    def test_table_11_within_25_percent(self, m):
+        p_paper, n, sigma = P.PAPER_TABLE_11[m]
+        p_ours = P.max_plaintext_modulus(m, 32, sigma)
+        assert 0.75 * p_paper <= p_ours <= 1.45 * p_paper
+
+    @pytest.mark.parametrize("m", sorted(P.PAPER_TABLE_12))
+    def test_table_12_within_factor_two(self, m):
+        p_paper, n, sigma = P.PAPER_TABLE_12[m]
+        p_ours = P.max_plaintext_modulus(m, 64, sigma)
+        assert p_paper / 2 <= p_ours <= p_paper * 2
+
+    def test_plaintext_modulus_decreases_with_upload_dim(self):
+        mods = [P.max_plaintext_modulus(2**k, 32, 6.4) for k in range(13, 21)]
+        assert mods == sorted(mods, reverse=True)
+
+
+class TestSecurityEstimate:
+    def test_paper_anchors_are_at_least_128_bits(self):
+        assert P.estimate_security_bits(1408, 32, 6.4) >= 128
+        assert P.estimate_security_bits(2048, 64, 81920.0) >= 128
+
+    def test_toy_parameters_flagged_insecure(self):
+        toy = P.select_params(32, 2**13, P.SecurityLevel.TOY)
+        assert toy.security_bits() < 32
+
+    def test_monotone_in_dimension(self):
+        assert P.estimate_security_bits(2048, 64, 81920.0) > (
+            P.estimate_security_bits(1024, 64, 81920.0)
+        )
+
+
+class TestLweParams:
+    def test_select_params_yields_power_of_two_plaintext(self):
+        cfg = P.select_params(32, 2**14)
+        assert cfg.p & (cfg.p - 1) == 0
+        assert cfg.q == 2**32
+        assert cfg.delta * cfg.p == cfg.q
+
+    def test_entry_bound_allows_larger_plaintext(self):
+        loose = P.select_params(64, 2**16, entry_bound=8.0)
+        tight = P.select_params(64, 2**16)
+        assert loose.p >= tight.p
+
+    def test_validation_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            P.LweParams(n=64, q_bits=32, p=3, sigma=6.4, m=16)
+        with pytest.raises(ValueError):
+            P.LweParams(n=64, q_bits=16, p=4, sigma=6.4, m=16)
+        with pytest.raises(ValueError):
+            P.LweParams(n=64, q_bits=32, p=4, sigma=-1.0, m=16)
+        with pytest.raises(ValueError):
+            P.LweParams(n=0, q_bits=32, p=4, sigma=6.4, m=16)
+
+    def test_byte_accounting(self):
+        cfg = P.select_params(64, 2**13)
+        assert cfg.bytes_per_element == 8
+        assert cfg.ciphertext_bytes(10) == 80
+
+    def test_tail_cut_matches_two_to_minus_forty(self):
+        # P(|N(0,1)| > z) = 2 exp(-z^2/2) upper bound at z should be <= 2^-40.
+        z = P.TAIL_CUT_2_NEG_40
+        assert 2.0 * math.exp(-z * z / 2.0) <= 2.0**-40 * 1.01
+
+
+def test_floor_power_of_two():
+    assert P.floor_power_of_two(1) == 1
+    assert P.floor_power_of_two(1023) == 512
+    assert P.floor_power_of_two(1024) == 1024
+    with pytest.raises(ValueError):
+        P.floor_power_of_two(0)

@@ -1,0 +1,139 @@
+"""Tests for the SimplePIR-style Regev LHE scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lwe import LweParams, RegevScheme
+from repro.lwe.sampling import seeded_rng
+
+
+def make_scheme(q_bits=32, m=64, p=256, n=128, sigma=6.4, seed=b"A" * 32):
+    params = LweParams(n=n, q_bits=q_bits, p=p, sigma=sigma, m=m)
+    return RegevScheme(params=params, a_seed=seed)
+
+
+@pytest.mark.parametrize("q_bits", [32, 64])
+class TestRoundTrip:
+    def test_identity_matrix_recovers_message(self, q_bits):
+        scheme = make_scheme(q_bits=q_bits)
+        rng = seeded_rng(7)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(0, scheme.params.p, scheme.params.m)
+        ct = scheme.encrypt(sk, msg, rng)
+        eye = np.eye(scheme.params.m, dtype=np.int64)
+        hint = scheme.preprocess(eye)
+        answer = scheme.apply(eye, ct)
+        assert np.array_equal(scheme.decrypt(sk, hint, answer), msg)
+
+    def test_matrix_apply_matches_plaintext_product(self, q_bits):
+        scheme = make_scheme(q_bits=q_bits, m=48, p=2**12)
+        rng = seeded_rng(8)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(0, 4, scheme.params.m)  # small, avoids overflow
+        matrix = rng.integers(0, 4, size=(20, scheme.params.m))
+        ct = scheme.encrypt(sk, msg, rng)
+        hint = scheme.preprocess(matrix)
+        answer = scheme.apply(matrix, ct)
+        got = scheme.decrypt(sk, hint, answer)
+        want = (matrix @ msg) % scheme.params.p
+        assert np.array_equal(got, want)
+
+    def test_signed_messages_and_matrices(self, q_bits):
+        scheme = make_scheme(q_bits=q_bits, m=32, p=2**14)
+        rng = seeded_rng(9)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(-8, 8, scheme.params.m)
+        matrix = rng.integers(-8, 8, size=(10, scheme.params.m))
+        ct = scheme.encrypt(sk, msg, rng)
+        hint = scheme.preprocess(matrix)
+        answer = scheme.apply(matrix, ct)
+        got = scheme.decrypt_centered(sk, hint, answer)
+        assert np.array_equal(got, matrix @ msg)
+
+
+class TestSecurityShape:
+    """Structural checks backing the query-privacy argument (SS2, App. D)."""
+
+    def test_ciphertext_is_fixed_size_regardless_of_message(self):
+        scheme = make_scheme()
+        rng = seeded_rng(10)
+        sk = scheme.gen_secret(rng)
+        zeros = scheme.encrypt(sk, np.zeros(scheme.params.m, dtype=int), rng)
+        dense = scheme.encrypt(
+            sk, np.full(scheme.params.m, scheme.params.p - 1), rng
+        )
+        assert zeros.upload_bytes == dense.upload_bytes
+
+    def test_ciphertexts_of_same_message_differ(self):
+        scheme = make_scheme()
+        rng = seeded_rng(11)
+        sk = scheme.gen_secret(rng)
+        msg = np.ones(scheme.params.m, dtype=int)
+        c1 = scheme.encrypt(sk, msg, rng)
+        c2 = scheme.encrypt(sk, msg, rng)
+        assert not np.array_equal(c1.c, c2.c)
+
+    def test_ciphertext_marginals_look_uniform(self):
+        # Coarse sanity check: mean of ciphertext words over many
+        # encryptions of a fixed message is near q/2.
+        scheme = make_scheme(m=256)
+        rng = seeded_rng(12)
+        sk = scheme.gen_secret(rng)
+        msg = np.zeros(scheme.params.m, dtype=int)
+        words = np.concatenate(
+            [scheme.encrypt(sk, msg, rng).c for _ in range(8)]
+        ).astype(np.float64)
+        mean = words.mean() / 2**32
+        assert 0.45 < mean < 0.55
+
+
+class TestValidation:
+    def test_wrong_message_shape_rejected(self):
+        scheme = make_scheme()
+        sk = scheme.gen_secret(seeded_rng(0))
+        with pytest.raises(ValueError):
+            scheme.encrypt(sk, np.zeros(3, dtype=int), seeded_rng(0))
+
+    def test_wrong_matrix_shape_rejected(self):
+        scheme = make_scheme()
+        with pytest.raises(ValueError):
+            scheme.preprocess(np.zeros((4, 3), dtype=int))
+
+    def test_secret_shape_enforced(self):
+        scheme = make_scheme()
+        from repro.lwe.regev import SecretKey
+
+        with pytest.raises(ValueError):
+            SecretKey(s=np.zeros(3, dtype=np.uint32), params=scheme.params)
+
+
+class TestCostHooks:
+    def test_hint_and_answer_sizes(self):
+        scheme = make_scheme(q_bits=64, m=100, p=2**16, n=64)
+        assert scheme.hint_bytes(10) == 10 * 64 * 8
+        assert scheme.answer_bytes(10) == 80
+        assert scheme.apply_word_ops(10) == 2 * 10 * 100
+        assert scheme.preprocess_word_ops(10) == 2 * 10 * 100 * 64
+
+    def test_matrix_a_is_deterministic_in_seed(self):
+        s1 = make_scheme(seed=b"B" * 32)
+        s2 = make_scheme(seed=b"B" * 32)
+        assert np.array_equal(s1.a, s2.a)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_linear_homomorphism_property(seed, row_seed):
+    """Dec(Apply(M, Enc(v))) == M v mod p for random small inputs."""
+    scheme = make_scheme(q_bits=64, m=24, p=2**16, n=96)
+    rng = seeded_rng(seed)
+    sk = scheme.gen_secret(rng)
+    msg = rng.integers(-15, 16, scheme.params.m)
+    matrix = seeded_rng(row_seed).integers(-15, 16, size=(6, scheme.params.m))
+    ct = scheme.encrypt(sk, msg, rng)
+    got = scheme.decrypt_centered(
+        sk, scheme.preprocess(matrix), scheme.apply(matrix, ct)
+    )
+    assert np.array_equal(got, matrix @ msg)

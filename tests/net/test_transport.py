@@ -1,0 +1,81 @@
+"""Tests for traffic logging and the latency model."""
+
+import pytest
+
+from repro.core.costs import CostLedger, PAPER_WORD_OPS_PER_CORE_SECOND
+from repro.net import LinkModel, TrafficLog
+
+
+class TestLinkModel:
+    def test_transfer_time_scales_with_bytes(self):
+        link = LinkModel(bandwidth_mbps=100, rtt_ms=50)
+        assert link.transfer_seconds(100 * 1e6 / 8) == pytest.approx(1.0)
+
+    def test_round_trip_includes_rtt(self):
+        link = LinkModel(bandwidth_mbps=100, rtt_ms=50)
+        assert link.round_trip_seconds(0, 0) == pytest.approx(0.05)
+
+    def test_paper_link_defaults(self):
+        link = LinkModel()
+        assert link.bandwidth_mbps == 100.0
+        assert link.rtt_ms == 50.0
+
+
+class TestTrafficLog:
+    def test_per_phase_accounting(self):
+        log = TrafficLog()
+        log.record("token", "up", 100)
+        log.record("token", "down", 50)
+        log.record("ranking", "up", 10)
+        assert log.bytes_up("token") == 100
+        assert log.bytes_down("token") == 50
+        assert log.bytes_up() == 110
+        assert log.total_bytes() == 160
+        assert log.phases() == ["token", "ranking"]
+        assert log.phase_summary() == {"token": (100, 50), "ranking": (10, 0)}
+
+    def test_message_sizes_listing(self):
+        log = TrafficLog()
+        log.record("ranking", "up", 10)
+        log.record("ranking", "up", 10)
+        assert log.message_sizes("ranking", "up") == [10, 10]
+        assert log.message_sizes("ranking", "down") == []
+
+    def test_validation(self):
+        log = TrafficLog()
+        with pytest.raises(ValueError):
+            log.record("x", "sideways", 1)
+        with pytest.raises(ValueError):
+            log.record("x", "up", -1)
+
+    def test_simulated_latency_sums_selected_phases(self):
+        log = TrafficLog()
+        log.record("token", "up", 0)
+        log.record("ranking", "up", 0)
+        link = LinkModel(bandwidth_mbps=100, rtt_ms=50)
+        assert log.simulated_latency(link) == pytest.approx(0.1)
+        assert log.simulated_latency(link, ["ranking"]) == pytest.approx(0.05)
+
+
+class TestCostLedger:
+    def test_accumulation_and_merge(self):
+        a = CostLedger()
+        a.add("ranking", 100)
+        a.add("ranking", 50)
+        b = CostLedger()
+        b.add("url", 10)
+        a.merge(b)
+        assert a.total_ops("ranking") == 150
+        assert a.total_ops() == 160
+
+    def test_core_seconds_conversion(self):
+        ledger = CostLedger()
+        ledger.add("ranking", int(PAPER_WORD_OPS_PER_CORE_SECOND))
+        assert ledger.core_seconds() == pytest.approx(1.0)
+
+    def test_validation(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.add("x", -1)
+        with pytest.raises(ValueError):
+            ledger.core_seconds(ops_per_core_second=0)

@@ -1,0 +1,76 @@
+"""Tests for wire serialization and byte-accounting honesty."""
+
+import numpy as np
+import pytest
+
+from repro.lwe import LweParams, RegevScheme
+from repro.lwe.sampling import seeded_rng
+from repro.net import wire
+from repro.rlwe import BfvParams, BfvScheme
+
+
+@pytest.fixture(scope="module")
+def regev_ct():
+    params = LweParams(n=32, q_bits=64, p=256, sigma=6.4, m=20)
+    scheme = RegevScheme(params=params, a_seed=b"Z" * 32)
+    rng = seeded_rng(0)
+    sk = scheme.gen_secret(rng)
+    return scheme, sk, scheme.encrypt(sk, np.arange(20) % 256, rng)
+
+
+class TestInnerCiphertext:
+    def test_round_trip(self, regev_ct):
+        scheme, sk, ct = regev_ct
+        blob = wire.encode_ciphertext(ct)
+        back = wire.decode_ciphertext(blob, scheme.params)
+        assert np.array_equal(back.c, ct.c)
+
+    def test_declared_size_matches_encoding(self, regev_ct):
+        _, _, ct = regev_ct
+        blob = wire.encode_ciphertext(ct)
+        assert len(blob) == ct.upload_bytes + wire.HEADER_BYTES
+
+    def test_modulus_mismatch_rejected(self, regev_ct):
+        scheme, _, ct = regev_ct
+        blob = wire.encode_ciphertext(ct)
+        other = LweParams(n=32, q_bits=32, p=256, sigma=6.4, m=20)
+        with pytest.raises(ValueError):
+            wire.decode_ciphertext(blob, other)
+
+    def test_decoded_ciphertext_still_decrypts(self, regev_ct):
+        scheme, sk, ct = regev_ct
+        back = wire.decode_ciphertext(
+            wire.encode_ciphertext(ct), scheme.params
+        )
+        eye = np.eye(scheme.params.m, dtype=np.int64)
+        out = scheme.decrypt(sk, scheme.preprocess(eye), scheme.apply(eye, back))
+        assert np.array_equal(out, np.arange(20) % 256)
+
+
+class TestAnswer:
+    @pytest.mark.parametrize("q_bits", [32, 64])
+    def test_round_trip(self, q_bits):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**31, size=50).astype(
+            np.uint32 if q_bits == 32 else np.uint64
+        )
+        back, got_bits = wire.decode_answer(wire.encode_answer(values, q_bits))
+        assert got_bits == q_bits
+        assert np.array_equal(back, values)
+
+    def test_size_matches_accounting(self):
+        values = np.zeros(10, dtype=np.uint64)
+        blob = wire.encode_answer(values, 64)
+        assert len(blob) == 10 * 8 + wire.HEADER_BYTES
+
+
+class TestRlwe:
+    def test_round_trip_and_size(self):
+        scheme = BfvScheme(BfvParams.create(n=32, t=65537, num_primes=2))
+        rng = seeded_rng(2)
+        sk = scheme.gen_secret(rng)
+        ct = scheme.encrypt(sk, np.arange(32), rng)
+        blob = wire.encode_rlwe(ct)
+        assert len(blob) == ct.wire_bytes() + wire.RLWE_HEADER_BYTES
+        back = wire.decode_rlwe(blob)
+        assert np.array_equal(scheme.decrypt(sk, back), np.arange(32))

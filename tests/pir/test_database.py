@@ -1,0 +1,86 @@
+"""Tests for PIR record packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pir.database import PackedDatabase
+
+
+class TestPacking:
+    def test_round_trip_simple(self):
+        records = [b"hello", b"world!!", b""]
+        db = PackedDatabase.from_records(records, 256)
+        for i, rec in enumerate(records):
+            assert db.record(i) == rec
+
+    def test_variable_lengths_padded(self):
+        records = [b"a" * 100, b"b"]
+        db = PackedDatabase.from_records(records, 256)
+        assert db.record(0) == b"a" * 100
+        assert db.record(1) == b"b"
+
+    @pytest.mark.parametrize("p", [4, 16, 256, 1024, 65536])
+    def test_round_trip_across_moduli(self, p):
+        records = [bytes(range(50)), b"\xff" * 33, b"\x00" * 10]
+        db = PackedDatabase.from_records(records, p)
+        assert db.matrix.max() < p
+        for i, rec in enumerate(records):
+            assert db.record(i) == rec
+
+    def test_one_column_per_record(self):
+        db = PackedDatabase.from_records([b"x"] * 7, 256)
+        assert db.num_cols == 7
+
+    def test_rejects_non_power_of_two_modulus(self):
+        with pytest.raises(ValueError):
+            PackedDatabase.from_records([b"x"], 100)
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ValueError):
+            PackedDatabase.from_records([], 256)
+
+
+class TestSelection:
+    def test_selection_vector(self):
+        db = PackedDatabase.from_records([b"a", b"b", b"c"], 256)
+        sel = db.selection_vector(1)
+        assert sel.tolist() == [0, 1, 0]
+        assert np.array_equal(db.matrix @ sel, db.matrix[:, 1])
+
+    def test_selection_bounds(self):
+        db = PackedDatabase.from_records([b"a"], 256)
+        with pytest.raises(IndexError):
+            db.selection_vector(1)
+        with pytest.raises(IndexError):
+            db.selection_vector(-1)
+
+
+class TestDecoding:
+    def test_wrong_column_length_rejected(self):
+        db = PackedDatabase.from_records([b"abc"], 256)
+        with pytest.raises(ValueError):
+            db.decode_column(np.zeros(db.num_rows + 1, dtype=np.int64))
+
+    def test_corrupt_length_prefix_detected(self):
+        db = PackedDatabase.from_records([b"abc"], 256)
+        bad = db.matrix[:, 0].copy()
+        bad[:4] = 255  # absurd length prefix
+        with pytest.raises(ValueError):
+            db.decode_column(bad)
+
+    def test_storage_accounting(self):
+        db = PackedDatabase.from_records([b"x" * 12] * 3, 256)
+        assert db.storage_bytes() == db.num_rows * db.num_cols
+
+
+@given(
+    st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=8),
+    st.sampled_from([16, 256, 4096]),
+)
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_property(records, p):
+    db = PackedDatabase.from_records(records, p)
+    for i, rec in enumerate(records):
+        assert db.record(i) == rec

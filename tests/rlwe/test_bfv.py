@@ -1,0 +1,167 @@
+"""Tests for the outer BFV-style scheme."""
+
+import numpy as np
+import pytest
+
+from repro.lwe.sampling import seeded_rng
+from repro.rlwe import BfvParams, BfvScheme
+from repro.rlwe.ntt import negacyclic_convolve_reference
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return BfvScheme(BfvParams.create(n=64, t=65537, prime_bits=30, num_primes=2))
+
+
+@pytest.fixture(scope="module")
+def wide_scheme():
+    """Plaintext modulus near 2^32 -- the homenc configuration."""
+    return BfvScheme(
+        BfvParams.create(n=64, t=4294967291, prime_bits=30, num_primes=3)
+    )
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self, scheme):
+        rng = seeded_rng(0)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(0, scheme.params.t, size=scheme.params.n)
+        ct = scheme.encrypt(sk, msg, rng)
+        assert np.array_equal(scheme.decrypt(sk, ct), msg)
+
+    def test_wide_plaintext_modulus(self, wide_scheme):
+        rng = seeded_rng(1)
+        sk = wide_scheme.gen_secret(rng)
+        msg = rng.integers(0, wide_scheme.params.t, size=wide_scheme.params.n)
+        ct = wide_scheme.encrypt(sk, msg, rng)
+        assert np.array_equal(
+            wide_scheme.decrypt(sk, ct).astype(np.uint64), msg.astype(np.uint64)
+        )
+
+    def test_short_message_padded(self, scheme):
+        rng = seeded_rng(2)
+        sk = scheme.gen_secret(rng)
+        ct = scheme.encrypt(sk, np.array([7, 8]), rng)
+        out = scheme.decrypt(sk, ct)
+        assert out[0] == 7 and out[1] == 8 and not out[2:].any()
+
+    def test_oversized_message_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.encode(np.zeros(scheme.params.n + 1, dtype=int))
+
+    def test_fresh_noise_budget_is_large(self, scheme):
+        rng = seeded_rng(3)
+        sk = scheme.gen_secret(rng)
+        msg = np.arange(scheme.params.n) % scheme.params.t
+        ct = scheme.encrypt(sk, msg, rng)
+        assert scheme.noise_budget_bits(sk, ct, msg) > 20
+
+
+class TestHomomorphism:
+    def test_addition(self, scheme):
+        rng = seeded_rng(4)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        m1 = rng.integers(0, t, size=scheme.params.n)
+        m2 = rng.integers(0, t, size=scheme.params.n)
+        out = scheme.decrypt(
+            sk, scheme.add(scheme.encrypt(sk, m1, rng), scheme.encrypt(sk, m2, rng))
+        )
+        assert np.array_equal(out, (m1 + m2) % t)
+
+    def test_subtraction(self, scheme):
+        rng = seeded_rng(5)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        m1 = rng.integers(0, t, size=scheme.params.n)
+        m2 = rng.integers(0, t, size=scheme.params.n)
+        out = scheme.decrypt(
+            sk, scheme.sub(scheme.encrypt(sk, m1, rng), scheme.encrypt(sk, m2, rng))
+        )
+        assert np.array_equal(out, (m1 - m2) % t)
+
+    def test_plaintext_multiply_matches_negacyclic_product(self, scheme):
+        rng = seeded_rng(6)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        msg = rng.integers(0, 50, size=scheme.params.n)
+        plain = rng.integers(-4, 5, size=scheme.params.n)
+        ct = scheme.mul_plain(scheme.encrypt(sk, msg, rng), plain)
+        got = scheme.decrypt(sk, ct)
+        want = negacyclic_convolve_reference(
+            msg.astype(np.uint64),
+            np.array([x % t for x in plain], dtype=np.uint64),
+            t,
+        )
+        assert np.array_equal(got.astype(np.uint64), want)
+
+    def test_scalar_multiply(self, scheme):
+        rng = seeded_rng(7)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        msg = rng.integers(0, t, size=scheme.params.n)
+        out = scheme.decrypt(sk, scheme.mul_scalar(scheme.encrypt(sk, msg, rng), 3))
+        assert np.array_equal(out, (3 * msg) % t)
+
+    def test_add_plain(self, scheme):
+        rng = seeded_rng(8)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        m1 = rng.integers(0, t, size=scheme.params.n)
+        m2 = rng.integers(0, t, size=scheme.params.n)
+        ct = scheme.add_plain_encoded(scheme.encrypt(sk, m1, rng), scheme.encode(m2))
+        assert np.array_equal(scheme.decrypt(sk, ct), (m1 + m2) % t)
+
+    def test_zero_ciphertext_is_additive_identity(self, scheme):
+        rng = seeded_rng(9)
+        sk = scheme.gen_secret(rng)
+        msg = rng.integers(0, scheme.params.t, size=scheme.params.n)
+        ct = scheme.add(scheme.encrypt(sk, msg, rng), scheme.zero_ciphertext())
+        assert np.array_equal(scheme.decrypt(sk, ct), msg)
+
+
+class TestSlotBatching:
+    def test_slot_round_trip(self, scheme):
+        rng = seeded_rng(10)
+        vals = rng.integers(0, scheme.params.t, size=scheme.params.n)
+        assert np.array_equal(
+            scheme.decode_slots(scheme.encode_slots(vals)), vals
+        )
+
+    def test_plain_multiply_acts_slotwise(self, scheme):
+        rng = seeded_rng(11)
+        sk = scheme.gen_secret(rng)
+        t = scheme.params.t
+        v1 = rng.integers(0, 100, size=scheme.params.n)
+        v2 = rng.integers(0, 100, size=scheme.params.n)
+        ct = scheme.encrypt(sk, scheme.encode_slots(v1), rng)
+        ct = scheme.mul_plain(ct, scheme.encode_slots(v2))
+        got = scheme.decrypt_slots(sk, ct)
+        assert np.array_equal(got, (v1 * v2) % t)
+
+    def test_batching_unavailable_for_power_of_two_t(self):
+        bad = BfvScheme(
+            BfvParams.create(n=64, t=1 << 16, prime_bits=30, num_primes=2)
+        )
+        assert not bad.params.supports_batching()
+        with pytest.raises(ValueError):
+            bad.encode_slots(np.array([1]))
+
+
+class TestSecurityShape:
+    def test_ciphertext_size_is_message_independent(self, scheme):
+        rng = seeded_rng(12)
+        sk = scheme.gen_secret(rng)
+        c1 = scheme.encrypt(sk, np.zeros(scheme.params.n, dtype=int), rng)
+        c2 = scheme.encrypt(
+            sk, np.full(scheme.params.n, scheme.params.t - 1), rng
+        )
+        assert c1.wire_bytes() == c2.wire_bytes()
+        assert c1.wire_bytes() == scheme.params.ciphertext_bytes()
+
+    def test_fresh_ciphertexts_differ(self, scheme):
+        rng = seeded_rng(13)
+        sk = scheme.gen_secret(rng)
+        msg = np.ones(scheme.params.n, dtype=int)
+        c1, c2 = (scheme.encrypt(sk, msg, rng) for _ in range(2))
+        assert not np.array_equal(c1.b, c2.b)

@@ -1,0 +1,93 @@
+"""Tests for the negacyclic NTT."""
+
+import numpy as np
+import pytest
+
+from repro.rlwe import ntt
+
+
+class TestPrimeSearch:
+    def test_finds_ntt_friendly_primes(self):
+        primes = ntt.find_ntt_primes(64, 30, 3)
+        assert len(primes) == 3
+        for p in primes:
+            assert ntt.is_prime(p)
+            assert (p - 1) % 128 == 0
+            assert p < 2**30
+
+    def test_rejects_oversized_request(self):
+        with pytest.raises(ValueError):
+            ntt.find_ntt_primes(64, 40, 1)
+
+    def test_is_prime_basics(self):
+        assert ntt.is_prime(2)
+        assert ntt.is_prime(65537)
+        assert not ntt.is_prime(1)
+        assert not ntt.is_prime(65536)
+        assert ntt.is_prime(4294967291)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    (p,) = ntt.find_ntt_primes(64, 30, 1)
+    return ntt.NttContext(64, p)
+
+
+class TestTransform:
+    def test_forward_inverse_roundtrip(self, ctx):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_roundtrip_batched(self, ctx):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, ctx.p, size=(5, ctx.n), dtype=np.uint64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_transform_is_linear(self, ctx):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        b = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        lhs = ctx.forward((a + b) % np.uint64(ctx.p))
+        rhs = (ctx.forward(a) + ctx.forward(b)) % np.uint64(ctx.p)
+        assert np.array_equal(lhs, rhs)
+
+    def test_multiply_matches_schoolbook(self, ctx):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        b = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        got = ctx.negacyclic_multiply(a, b)
+        want = ntt.negacyclic_convolve_reference(a, b, ctx.p)
+        assert np.array_equal(got, want)
+
+    def test_multiply_by_x_shifts_and_negates(self, ctx):
+        # x * x^(n-1) = x^n = -1 in the negacyclic ring.
+        x = np.zeros(ctx.n, dtype=np.uint64)
+        x[1] = 1
+        top = np.zeros(ctx.n, dtype=np.uint64)
+        top[ctx.n - 1] = 1
+        got = ctx.negacyclic_multiply(x, top)
+        want = np.zeros(ctx.n, dtype=np.uint64)
+        want[0] = ctx.p - 1
+        assert np.array_equal(got, want)
+
+    def test_does_not_mutate_input(self, ctx):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, ctx.p, size=ctx.n, dtype=np.uint64)
+        before = a.copy()
+        ctx.forward(a)
+        assert np.array_equal(a, before)
+
+
+class TestValidation:
+    def test_non_power_of_two_dimension(self):
+        with pytest.raises(ValueError):
+            ntt.NttContext(48, 65537)
+
+    def test_prime_without_root(self):
+        with pytest.raises(ValueError):
+            ntt.NttContext(64, 97)  # 96 not divisible by 128
+
+    def test_composite_modulus(self):
+        with pytest.raises(ValueError):
+            ntt.NttContext(64, 128 * 100 + 1)  # 12801 = 3 * 17 * 251
