@@ -11,8 +11,16 @@ Quickstart::
 
     engine = TiptoeEngine.build(texts, urls, TiptoeConfig())
     result = engine.new_client().search("knee pain")
-    print(result.urls()[:10])
+    top_urls = result.urls()[:10]
+
+Library modules log through the ``repro`` logging tree (never
+``print``; enforced by ``python -m repro.analysis``).  Embedders see
+nothing unless they configure a handler::
+
+    logging.getLogger("repro").setLevel(logging.INFO)
 """
+
+import logging
 
 from repro.core import (
     SearchResult,
@@ -21,6 +29,8 @@ from repro.core import (
     TiptoeEngine,
     TiptoeIndex,
 )
+
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,44 @@
+"""tiptoe-lint: crypto-invariant static analysis for this reproduction.
+
+The correctness and privacy of the Tiptoe stack rest on a handful of
+conventions that ordinary Python tooling knows nothing about:
+
+* ciphertext arrays live in the exact unsigned dtype matching the
+  modulus q and are never silently up-cast (``repro/lwe/modular.py``);
+* secret keys and noise never influence control flow, logs, exception
+  messages, or wire encodings;
+* all randomness flows through explicit ``np.random.Generator``
+  objects so runs can be replayed deterministically;
+* library modules validate with exceptions (not ``assert``) and never
+  ``print``.
+
+This package checks those invariants mechanically.  It is a small
+AST-based framework (:mod:`repro.analysis.base`), four checkers
+(:mod:`repro.analysis.checkers`), and a CLI::
+
+    python -m repro.analysis src/            # human output, exit 1 on findings
+    python -m repro.analysis src/ --json     # machine output
+    python -m repro.analysis src/ --baseline # counts-per-rule summary
+
+Findings are suppressed per-line with a justified pragma::
+
+    risky_expr()  # tiptoe-lint: disable=rule-name -- why this is safe
+
+A suppression without a reason (no ``-- ...`` part) is ignored.  See
+``docs/SECURITY.md`` ("Mechanically-checked invariants") for the rule
+catalog and the invariant each rule guards.
+"""
+
+from repro.analysis.base import Checker, FileContext
+from repro.analysis.findings import Finding, RuleSpec
+from repro.analysis.runner import AnalysisReport, analyze_file, analyze_paths
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "RuleSpec",
+    "analyze_file",
+    "analyze_paths",
+]

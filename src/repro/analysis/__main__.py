@@ -1,0 +1,15 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pipe reader (e.g. ``| head``) closed early; silence the
+    # interpreter's flush-on-exit complaint and report like other tools.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 128 + 13  # conventional SIGPIPE status
+sys.exit(code)

@@ -1,0 +1,101 @@
+"""The checker framework: file context plus the Checker interface."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.analysis.findings import Finding, RuleSpec
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about one parsed source file."""
+
+    path: str  # as given on the command line / to the runner
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, for directory-scoped checkers."""
+        return PurePosixPath(self.path.replace("\\", "/")).parts
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.path
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Checker:
+    """Base class: subclasses declare rules and visit one file's AST.
+
+    ``rules`` documents every rule id the checker may emit (the CLI's
+    ``--list-rules`` and the SECURITY.md catalog are generated from
+    these).  ``applies_to`` lets a checker scope itself to the
+    directories where its invariant holds (e.g. the dtype rules only
+    bind inside the crypto packages).
+    """
+
+    name: str = "checker"
+    rules: tuple[RuleSpec, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def finding(
+        self, ctx: FileContext, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.snippet(line),
+        )
+
+
+def call_name(node: ast.AST) -> str:
+    """The trailing identifier of a call target (``a.b.c() -> 'c'``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted form of an attribute chain (else '')."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_library_file(ctx: FileContext) -> bool:
+    """True for library modules: everything except a ``cli.py``."""
+    return ctx.filename != "cli.py"

@@ -1,0 +1,44 @@
+"""The shipped checkers and their registry."""
+
+from __future__ import annotations
+
+from repro.analysis.base import Checker
+from repro.analysis.checkers.api import ApiHygieneChecker
+from repro.analysis.checkers.dtype import DtypeDisciplineChecker
+from repro.analysis.checkers.rng import RngHygieneChecker
+from repro.analysis.checkers.taint import SecretTaintChecker
+
+
+def build_checkers(rules: set[str] | None = None) -> list[Checker]:
+    """Instantiate every checker, optionally filtered to a rule subset."""
+    checkers: list[Checker] = [
+        DtypeDisciplineChecker(),
+        SecretTaintChecker(),
+        RngHygieneChecker(),
+        ApiHygieneChecker(),
+    ]
+    if rules is None:
+        return checkers
+    kept = []
+    for checker in checkers:
+        if any(spec.rule in rules for spec in checker.rules):
+            kept.append(checker)
+    return kept
+
+
+def all_rules() -> list:
+    """Every RuleSpec across all checkers, in registry order."""
+    specs = []
+    for checker in build_checkers():
+        specs.extend(checker.rules)
+    return specs
+
+
+__all__ = [
+    "ApiHygieneChecker",
+    "DtypeDisciplineChecker",
+    "RngHygieneChecker",
+    "SecretTaintChecker",
+    "all_rules",
+    "build_checkers",
+]

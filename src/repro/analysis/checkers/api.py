@@ -1,0 +1,71 @@
+"""API hygiene for library modules: no bare asserts, no prints.
+
+* ``assert`` disappears under ``python -O``; a validation check that
+  can be compiled away is not a validation check.  Library code raises
+  ``ValueError`` / ``TypeError`` instead (the repo already does this
+  everywhere -- this rule keeps it that way).
+* ``print()`` in a library module bypasses the logging tree, cannot be
+  silenced by embedders, and -- combined with the taint rules -- is a
+  standing temptation to dump ciphertext internals to a terminal.
+
+``cli.py`` files are exempt from the print rule (and the whole
+checker): the CLI *is* the terminal.  Test code is not scanned (the
+suite runs over ``src/``), so pytest-style asserts are unaffected.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, FileContext, is_library_file
+from repro.analysis.findings import Finding, RuleSpec
+
+
+class ApiHygieneChecker(Checker):
+    name = "api"
+    rules = (
+        RuleSpec(
+            rule="api-assert",
+            summary=(
+                "bare assert used for validation; raise ValueError/"
+                "TypeError (asserts vanish under python -O)"
+            ),
+            invariant="input validation survives optimized bytecode",
+        ),
+        RuleSpec(
+            rule="api-print",
+            summary="print() in a library module; use logging",
+            invariant="library output is routed, filterable, and quiet",
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return is_library_file(ctx)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "api-assert",
+                        node,
+                        "assert used for validation; raise an exception"
+                        " (asserts are stripped under python -O)",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "api-print",
+                        node,
+                        "print() in library code; use the module logger",
+                    )
+                )
+        return findings

@@ -1,0 +1,389 @@
+"""dtype/overflow discipline for the unsigned ring arithmetic.
+
+The inner layer's whole correctness story (``repro/lwe/modular.py``)
+is that ciphertext arrays stay in the exact unsigned dtype matching
+q = 2^32 or 2^64, where C-style wraparound *is* reduction mod q.  Three
+refactoring accidents break it silently:
+
+* mixing a ring array with a bare Python int/float in arithmetic --
+  under NumPy 1.x, ``uint64 + int`` promotes to ``float64`` and the
+  "exact" ring product quietly loses low bits; the repo convention is
+  to wrap scalars as ``dtype(c)`` first;
+* calling a ring helper without its ``q_bits`` argument -- the helper
+  then has no idea which ring it is reducing into;
+* ``astype`` to a signed or float dtype on a ciphertext-bearing array
+  -- valid only after centering/mod-switching, so it must be explicit
+  and justified.
+
+Scope: the crypto packages (``lwe/``, ``rlwe/``, ``homenc/``,
+``pir/``), where "array" overwhelmingly means "ring element".  The
+tracking is intraprocedural and name-based: a name becomes
+*ring-tainted* when assigned from a known ring producer
+(``modular.*`` helpers, ``sampling.expand_matrix``, unsigned
+``astype``/``np.zeros(..., dtype=np.uint64)``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, FileContext, call_name, dotted_name
+from repro.analysis.findings import Finding, RuleSpec
+
+#: Directories where the unsigned-ring convention is binding.
+CRYPTO_DIRS = {"lwe", "rlwe", "homenc", "pir"}
+
+#: modular.py helpers and the argument count that includes q_bits.
+RING_HELPERS = {
+    "to_ring": 2,
+    "centered": 2,
+    "matmul": 3,
+    "matvec": 3,
+    "add": 3,
+    "sub": 3,
+    "scale": 3,
+    "round_to_message": 3,
+    "encode_message": 3,
+    "mod_switch": 3,
+}
+
+#: Helper names distinctive enough to match without a ``modular.`` base.
+UNAMBIGUOUS_HELPERS = {
+    "to_ring",
+    "round_to_message",
+    "encode_message",
+    "mod_switch",
+}
+
+#: Call names whose result is a ring array (beyond the modular helpers).
+RING_PRODUCERS = {
+    "to_ring",
+    "matmul",
+    "matvec",
+    "add",
+    "sub",
+    "scale",
+    "encode_message",
+    "mod_switch",
+    "expand_matrix",
+    "gaussian_error",
+    "ternary_secret",
+}
+
+UNSIGNED_DTYPES = {"uint8", "uint16", "uint32", "uint64"}
+SIGNED_OR_FLOAT_DTYPES = {
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "float16",
+    "float32",
+    "float64",
+    "float128",
+    "int",
+    "float",
+}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.MatMult, ast.Mod)
+
+
+def _dtype_token(node: ast.AST) -> str:
+    """Identify a dtype expression: 'uint64', 'int64', 'float', ... or ''."""
+    if isinstance(node, ast.Attribute):  # np.uint64
+        return node.attr
+    if isinstance(node, ast.Name):  # float, int, or a local alias
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=")  # 'uint64', '<u8' won't match: fine
+    return ""
+
+
+class _ScopeState:
+    """Per-function name sets for the linear walk."""
+
+    def __init__(self) -> None:
+        self.ring: set[str] = set()
+        self.signed: set[str] = set()
+        self.dtype_vars: set[str] = set()  # names bound to dtype_for(...)
+
+
+class DtypeDisciplineChecker(Checker):
+    name = "dtype"
+    rules = (
+        RuleSpec(
+            rule="dtype-mixed-arith",
+            summary=(
+                "ring array mixed with a bare int/float scalar or a "
+                "signed array in arithmetic; wrap scalars as dtype(c)"
+            ),
+            invariant=(
+                "ciphertext arrays never silently up-cast out of the "
+                "unsigned dtype matching q"
+            ),
+            paper="Appendix C / modular.py contract",
+        ),
+        RuleSpec(
+            rule="dtype-missing-qbits",
+            summary="ring helper called without its q_bits argument",
+            invariant="every reduction names its modulus explicitly",
+            paper="Appendix C",
+        ),
+        RuleSpec(
+            rule="dtype-signed-cast",
+            summary=(
+                "astype to a signed/float dtype on a ring array; only "
+                "valid after centering or modulus switching"
+            ),
+            invariant=(
+                "leaving the unsigned ring representation is an explicit, "
+                "justified act"
+            ),
+            paper="Appendix B.1",
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(CRYPTO_DIRS.intersection(ctx.parts[:-1]))
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        modular_imports = self._modular_imports(ctx.tree)
+        for scope in self._scopes(ctx.tree):
+            state = _ScopeState()
+            self._walk(scope, state, ctx, findings, modular_imports)
+        return findings
+
+    # -- scope handling ----------------------------------------------------
+
+    def _scopes(self, tree: ast.Module) -> list[list[ast.stmt]]:
+        """Module body plus every function body, walked independently."""
+        scopes = [tree.body]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        return scopes
+
+    def _modular_imports(self, tree: ast.Module) -> set[str]:
+        """Names imported directly from repro.lwe.modular."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.endswith("lwe.modular") or node.module == "modular"
+            ):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    def _walk(
+        self,
+        body: list[ast.stmt],
+        state: _ScopeState,
+        ctx: FileContext,
+        findings: list[Finding],
+        modular_imports: set[str],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # separate scope
+            self._track_assignment(stmt, state)
+            for node in self._own_expr_nodes(stmt):
+                if isinstance(node, ast.Call):
+                    self._check_call(node, state, ctx, findings, modular_imports)
+                elif isinstance(node, ast.BinOp):
+                    self._check_binop(node, state, ctx, findings)
+            for sub_body in self._nested_bodies(stmt):
+                self._walk(sub_body, state, ctx, findings, modular_imports)
+
+    def _own_expr_nodes(self, stmt: ast.stmt) -> list[ast.expr]:
+        """Expression nodes of one statement, excluding nested bodies."""
+        exprs: list[ast.expr] = []
+        for _, value in ast.iter_fields(stmt):
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                if isinstance(item, ast.expr):
+                    exprs.extend(
+                        n for n in ast.walk(item) if isinstance(n, ast.expr)
+                    )
+        return exprs
+
+    def _nested_bodies(self, stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                bodies.append(sub)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    # -- assignment tracking ----------------------------------------------
+
+    def _track_assignment(self, stmt: ast.stmt, state: _ScopeState) -> None:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            return
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            return
+        kind = self._classify(value, state)
+        for name in names:
+            state.ring.discard(name)
+            state.signed.discard(name)
+            state.dtype_vars.discard(name)
+            if kind == "ring":
+                state.ring.add(name)
+            elif kind == "signed":
+                state.signed.add(name)
+            elif kind == "dtype":
+                state.dtype_vars.add(name)
+
+    def _classify(self, value: ast.expr, state: _ScopeState) -> str:
+        """'ring' / 'signed' / 'dtype' / '' for an assignment RHS."""
+        if isinstance(value, ast.Call):
+            name = call_name(value)
+            if name == "dtype_for":
+                return "dtype"
+            if name in RING_PRODUCERS:
+                return "ring"
+            if name == "centered":
+                return "signed"
+            dtype_kind = self._call_dtype_kind(value, state)
+            if dtype_kind:
+                return dtype_kind
+            # dtype-constructor scalars: np.uint64(x) is a ring scalar
+            if name in UNSIGNED_DTYPES:
+                return "ring"
+            if name in SIGNED_OR_FLOAT_DTYPES and name not in ("int", "float"):
+                return "signed"
+        elif isinstance(value, ast.Name):
+            if value.id in state.ring:
+                return "ring"
+            if value.id in state.signed:
+                return "signed"
+            if value.id in state.dtype_vars:
+                return "dtype"
+        return ""
+
+    def _call_dtype_kind(self, call: ast.Call, state: _ScopeState) -> str:
+        """Classify astype()/array-constructor calls by their dtype arg."""
+        name = call_name(call)
+        dtype_arg: ast.expr | None = None
+        if name == "astype" and call.args:
+            dtype_arg = call.args[0]
+        elif name in ("zeros", "ones", "empty", "full", "asarray", "array"):
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    dtype_arg = kw.value
+        if dtype_arg is None:
+            return ""
+        if isinstance(dtype_arg, ast.Name) and dtype_arg.id in state.dtype_vars:
+            return "ring"  # dtype=dtype_for(q_bits) result
+        if isinstance(dtype_arg, ast.Call) and call_name(dtype_arg) == "dtype_for":
+            return "ring"
+        token = _dtype_token(dtype_arg)
+        if token in UNSIGNED_DTYPES:
+            return "ring"
+        if token in SIGNED_OR_FLOAT_DTYPES:
+            return "signed"
+        return ""
+
+    # -- rule bodies -------------------------------------------------------
+
+    def _check_binop(
+        self,
+        node: ast.BinOp,
+        state: _ScopeState,
+        ctx: FileContext,
+        findings: list[Finding],
+    ) -> None:
+        if not isinstance(node.op, _ARITH_OPS):
+            return
+        for ring_side, other in ((node.left, node.right), (node.right, node.left)):
+            if not (isinstance(ring_side, ast.Name) and ring_side.id in state.ring):
+                continue
+            if isinstance(other, ast.Constant) and isinstance(
+                other.value, (int, float)
+            ):
+                kind = "float" if isinstance(other.value, float) else "int"
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "dtype-mixed-arith",
+                        node,
+                        f"ring array {ring_side.id!r} mixed with bare "
+                        f"{kind} literal {other.value!r}; wrap it in the "
+                        "ring dtype first (dtype_for(q_bits)(c))",
+                    )
+                )
+                return
+            if isinstance(other, ast.Name) and other.id in state.signed:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "dtype-mixed-arith",
+                        node,
+                        f"ring array {ring_side.id!r} mixed with "
+                        f"signed/float array {other.id!r}; reduce with "
+                        "to_ring(...) before ring arithmetic",
+                    )
+                )
+                return
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        state: _ScopeState,
+        ctx: FileContext,
+        findings: list[Finding],
+        modular_imports: set[str],
+    ) -> None:
+        name = call_name(node)
+        # (a) ring helper invoked without q_bits
+        if name in RING_HELPERS and self._is_ring_helper_call(
+            node, name, modular_imports
+        ):
+            has_qbits_kw = any(kw.arg == "q_bits" for kw in node.keywords)
+            if not has_qbits_kw and len(node.args) < RING_HELPERS[name]:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "dtype-missing-qbits",
+                        node,
+                        f"{name}() called without its q_bits argument; "
+                        "the ring being reduced into must be explicit",
+                    )
+                )
+        # (b) signed/float astype on a tracked ring array
+        if (
+            name == "astype"
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in state.ring
+            and node.args
+        ):
+            token = _dtype_token(node.args[0])
+            if token in SIGNED_OR_FLOAT_DTYPES:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "dtype-signed-cast",
+                        node,
+                        f"ring array {node.func.value.id!r} cast to "
+                        f"{token}; use modular.centered() or justify with "
+                        "a suppression",
+                    )
+                )
+
+    def _is_ring_helper_call(
+        self, node: ast.Call, name: str, modular_imports: set[str]
+    ) -> bool:
+        if isinstance(node.func, ast.Attribute):
+            return dotted_name(node.func).startswith("modular.")
+        if isinstance(node.func, ast.Name):
+            return name in UNAMBIGUOUS_HELPERS or name in modular_imports
+        return False

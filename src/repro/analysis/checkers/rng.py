@@ -1,0 +1,142 @@
+"""RNG hygiene: all randomness is explicit, seedable, and replayable.
+
+The repo's randomness contract (``repro/lwe/sampling.py``): library
+code receives an ``np.random.Generator`` from its caller and, when the
+caller passes ``None``, resolves it through
+:func:`repro.lwe.sampling.resolve_rng` -- which honors the
+process-wide replay seed before falling back to OS entropy.  Three
+patterns break the contract:
+
+* ``np.random.default_rng()`` with no seed argument -- fresh hidden
+  entropy that no replay harness can pin down;
+* the stdlib ``random`` module -- global mutable state, a different
+  (non-cryptographic, non-replayable) stream, and invisible to the
+  seeded-Generator plumbing;
+* NumPy's legacy global-state API (``np.random.seed`` /
+  ``np.random.rand`` / ...) -- same problem with a NumPy accent.
+
+``cli.py`` entry points are exempt: they are where user-provided seeds
+enter the system.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import (
+    Checker,
+    FileContext,
+    call_name,
+    dotted_name,
+    is_library_file,
+)
+from repro.analysis.findings import Finding, RuleSpec
+
+#: Legacy numpy global-state entry points (np.random.<name>(...)).
+NUMPY_LEGACY = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "shuffle",
+    "permutation",
+    "choice",
+    "normal",
+    "uniform",
+    "standard_normal",
+}
+
+
+class RngHygieneChecker(Checker):
+    name = "rng"
+    rules = (
+        RuleSpec(
+            rule="rng-unseeded",
+            summary=(
+                "np.random.default_rng() with no seed in library code; "
+                "use repro.lwe.sampling.resolve_rng(rng) instead"
+            ),
+            invariant="every random stream is replayable end-to-end",
+            paper="Appendix C (error/secret distributions)",
+        ),
+        RuleSpec(
+            rule="rng-stdlib",
+            summary="stdlib `random` module used; not seedable per-call",
+            invariant="randomness flows through explicit np Generators",
+            paper="Appendix C",
+        ),
+        RuleSpec(
+            rule="rng-legacy",
+            summary="legacy np.random global-state API used",
+            invariant="randomness flows through explicit np Generators",
+            paper="Appendix C",
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return is_library_file(ctx)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                "rng-stdlib",
+                                node,
+                                "stdlib random imported; use a seeded"
+                                " np.random.Generator",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            "rng-stdlib",
+                            node,
+                            "stdlib random imported; use a seeded"
+                            " np.random.Generator",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                self._check_call(node, ctx, findings)
+        return findings
+
+    def _check_call(
+        self, node: ast.Call, ctx: FileContext, findings: list[Finding]
+    ) -> None:
+        name = call_name(node)
+        dotted = dotted_name(node.func) if not isinstance(
+            node.func, ast.Name
+        ) else node.func.id
+        if name == "default_rng" and not node.args and not node.keywords:
+            findings.append(
+                self.finding(
+                    ctx,
+                    "rng-unseeded",
+                    node,
+                    "unseeded default_rng() in library code; accept an rng"
+                    " parameter and resolve it via sampling.resolve_rng()",
+                )
+            )
+            return
+        if (
+            dotted.startswith("np.random.") or dotted.startswith("numpy.random.")
+        ) and name in NUMPY_LEGACY:
+            findings.append(
+                self.finding(
+                    ctx,
+                    "rng-legacy",
+                    node,
+                    f"legacy global-state np.random.{name}(); use an"
+                    " explicit np.random.Generator",
+                )
+            )

@@ -1,0 +1,145 @@
+"""The tiptoe-lint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.checkers import all_rules, build_checkers
+from repro.analysis.runner import AnalysisReport, analyze_paths
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "tiptoe-lint: check the crypto invariants (dtype/overflow "
+            "discipline, secret taint, RNG hygiene, API hygiene) that "
+            "this reproduction's correctness and privacy rest on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="emit the counts-per-rule baseline format "
+        "(see benchmarks/out/lint_baseline.txt)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings in human output",
+    )
+    return parser
+
+
+def _render_human(report: AnalysisReport, show_suppressed: bool) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(finding.render())
+    lines.append(
+        f"{report.files_scanned} files scanned: "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def _render_baseline(report: AnalysisReport) -> str:
+    """The diff-friendly repo baseline recorded under benchmarks/out/."""
+    lines = [
+        "# tiptoe-lint baseline",
+        "# regenerate: PYTHONPATH=src python -m repro.analysis src/ --baseline",
+        f"files scanned: {report.files_scanned}",
+        f"active findings: {len(report.findings)}",
+        f"suppressed findings: {len(report.suppressed)}",
+        "",
+        "active counts per rule:",
+    ]
+    counts = report.counts()
+    if counts:
+        lines.extend(f"  {rule}: {n}" for rule, n in counts.items())
+    else:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("suppressed counts per rule:")
+    sup_counts = report.counts(suppressed=True)
+    if sup_counts:
+        lines.extend(f"  {rule}: {n}" for rule, n in sup_counts.items())
+    else:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("suppressions (location, rule, reason):")
+    if report.suppressed:
+        for f in report.suppressed:
+            lines.append(f"  {f.location()} {f.rule} -- {f.suppress_reason}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for spec in all_rules():
+            print(spec.describe())
+            print(f"    invariant: {spec.invariant}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = {spec.rule for spec in all_rules()}
+        unknown = rules - known
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    checkers = build_checkers(rules)
+
+    try:
+        report = analyze_paths(list(args.paths), checkers)
+    except (FileNotFoundError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if rules is not None:
+        report.findings = [f for f in report.findings if f.rule in rules]
+        report.suppressed = [f for f in report.suppressed if f.rule in rules]
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.baseline:
+        print(_render_baseline(report))
+    else:
+        print(_render_human(report, args.show_suppressed))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

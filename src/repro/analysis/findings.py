@@ -1,0 +1,60 @@
+"""Finding and rule descriptors shared by every checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One lint rule: a stable id plus the invariant it guards."""
+
+    rule: str
+    summary: str
+    invariant: str
+    paper: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.rule}: {self.summary}"
+        if self.paper:
+            text += f" [{self.paper}]"
+        return text
+
+
+@dataclass
+class Finding:
+    """One violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+    suppress_reason: str = field(default="", repr=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        text = f"{self.location()}  {self.rule}  {self.message}"
+        if self.snippet:
+            text += f"\n    | {self.snippet.strip()}"
+        if self.suppressed:
+            text += f"\n    suppressed: {self.suppress_reason}"
+        return text
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["reason"] = self.suppress_reason
+        return out

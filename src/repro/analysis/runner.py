@@ -1,0 +1,112 @@
+"""File discovery, per-file analysis, and report aggregation."""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import Checker, FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import find_cover, parse_suppressions
+
+#: Rule id reserved for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts(self, *, suppressed: bool = False) -> dict[str, int]:
+        pool = self.suppressed if suppressed else self.findings
+        counter: Counter = Counter(f.rule for f in pool)
+        return dict(sorted(counter.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts": self.counts(),
+            "suppressed_counts": self.counts(suppressed=True),
+        }
+
+
+def analyze_file(path: str | Path, checkers: list[Checker]) -> list[Finding]:
+    """Run every applicable checker over one file.
+
+    Returns *all* findings, with covered ones marked ``suppressed``
+    (callers split them).  A syntactically invalid file yields a single
+    :data:`PARSE_ERROR_RULE` finding.
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=str(path), source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for checker in checkers:
+        if not checker.applies_to(ctx):
+            continue
+        for finding in checker.check(ctx):
+            cover = find_cover(suppressions, finding.rule, finding.line)
+            if cover is not None:
+                finding.suppressed = True
+                finding.suppress_reason = cover.reason
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.append(sub)
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return out
+
+
+def analyze_paths(
+    paths: list[str | Path], checkers: list[Checker]
+) -> AnalysisReport:
+    """Analyze every file under the given paths."""
+    report = AnalysisReport()
+    for path in discover_files(paths):
+        report.files_scanned += 1
+        for finding in analyze_file(path, checkers):
+            if finding.suppressed:
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    return report

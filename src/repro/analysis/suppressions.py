@@ -1,0 +1,83 @@
+"""Per-line suppression pragmas with mandatory justifications.
+
+Syntax (in a comment, on the flagged line or standing alone on the
+line directly above it)::
+
+    # tiptoe-lint: disable=rule-a,rule-b -- reason the finding is safe
+    # tiptoe-lint: disable=all -- reason
+
+The reason after ``--`` is required: a pragma without one does *not*
+suppress anything.  That keeps every accepted risk documented in place
+-- the repo-wide baseline (``--baseline``) lists each suppression with
+its reason so reviews can diff them.
+
+Comments are located with :mod:`tokenize`, so a ``#`` inside a string
+literal never reads as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+_PRAGMA = re.compile(
+    r"#\s*tiptoe-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed pragma."""
+
+    line: int
+    rules: frozenset  # empty frozenset means "all"
+    reason: str
+    standalone: bool  # comment-only line: also covers the next line
+
+    def covers(self, rule: str, line: int) -> bool:
+        if line != self.line and not (self.standalone and line == self.line + 1):
+            return False
+        return not self.rules or rule in self.rules
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every well-formed, justified pragma from a source file."""
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(tok.string)
+        if match is None:
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            continue  # unjustified pragmas are inert by design
+        names = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        rules = frozenset() if "all" in names else frozenset(names)
+        standalone = tok.line.strip().startswith("#")
+        out.append(
+            Suppression(
+                line=tok.start[0],
+                rules=rules,
+                reason=reason,
+                standalone=standalone,
+            )
+        )
+    return out
+
+
+def find_cover(
+    suppressions: list[Suppression], rule: str, line: int
+) -> Suppression | None:
+    """The pragma covering (rule, line), if any."""
+    for sup in suppressions:
+        if sup.covers(rule, line):
+            return sup
+    return None

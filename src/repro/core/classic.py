@@ -32,7 +32,7 @@ class ClassicTiptoeClient:
 
     def __init__(self, engine, rng: np.random.Generator | None = None):
         self.engine = engine
-        self.rng = rng if rng is not None else sampling.system_rng()
+        self.rng = sampling.resolve_rng(rng)
         meta = engine.index.client_metadata()
         self.metadata = meta
         self.ranking = RankingClient(
@@ -89,6 +89,7 @@ class ClassicTiptoeClient:
             engine.ranking_endpoint,
             "ranking",
             "answer",
+            # tiptoe-lint: disable=taint-wire -- the ciphertext IS the wire format; semantic security (decision-LWE) covers what it reveals
             wire.encode_ciphertext(rank_query.ciphertext),
         )
         values, q_bits = wire.decode_answer(body)
@@ -109,6 +110,7 @@ class ClassicTiptoeClient:
             engine.url_endpoint,
             "url",
             "answer",
+            # tiptoe-lint: disable=taint-wire -- the ciphertext IS the wire format; semantic security (decision-LWE) covers what it reveals
             wire.encode_ciphertext(url_query.ciphertext),
         )
         values, q_bits = wire.decode_answer(body)

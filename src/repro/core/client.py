@@ -62,7 +62,7 @@ class TiptoeClient:
         rng: np.random.Generator | None = None,
     ):
         self.engine = engine
-        self.rng = rng if rng is not None else sampling.system_rng()
+        self.rng = sampling.resolve_rng(rng)
         meta = engine.index.client_metadata()
         self.metadata = meta
         self.ranking = RankingClient(

@@ -4,16 +4,20 @@
     engine = TiptoeEngine.build(texts, urls, TiptoeConfig())
     client = engine.new_client()
     result = client.search("knee pain")
-    print(result.urls()[:10])
+    top_urls = result.urls()[:10]
 
 The engine owns the two client-facing services (sharded ranking + URL
 PIR), the token factory, and the simulated client link.  For
 text-to-image search, pass precomputed image embeddings and a query
 embedder (see :func:`TiptoeEngine.build_from_embeddings`).
+
+Diagnostics go through ``logging.getLogger("repro.core.engine")`` --
+never ``print`` (enforced by the ``api-print`` lint rule).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +36,8 @@ from repro.net import wire
 from repro.net.rpc import RpcChannel, ServiceEndpoint
 from repro.net.transport import LinkModel, TrafficLog
 from repro.pir.simplepir import PirQuery
+
+logger = logging.getLogger(__name__)
 
 
 class TiptoeEngine:
@@ -54,6 +60,11 @@ class TiptoeEngine:
         self.url_service = UrlService(index.url_db, index.url_scheme)
         self._query_embedder = query_embedder
         self._build_endpoints()
+        logger.info(
+            "engine up: %d clusters, %d ranking workers",
+            len(index.layout.cluster_offsets),
+            index.config.num_workers,
+        )
 
     def _build_endpoints(self) -> None:
         """Serialized service interfaces -- what the network carries."""
@@ -172,6 +183,7 @@ class TiptoeEngine:
             self.token_endpoint,
             "token",
             "mint",
+            # tiptoe-lint: disable=taint-wire -- enc_keys is the outer *encryption* of the inner secret; uploading it is the SS6.3 protocol
             wire.encode_mint_request(enc_keys),
         )
         payload = wire.decode_token_payload(body)

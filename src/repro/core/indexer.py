@@ -134,7 +134,7 @@ class TiptoeIndex:
             raise ValueError("need exactly one URL per document")
         if not texts:
             raise ValueError("cannot index an empty corpus")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = sampling.resolve_rng(rng, fallback_seed=0)
         ledger = CostLedger()
 
         # 1. Embed.

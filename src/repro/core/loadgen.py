@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.ranking import RankingClient
 from repro.embeddings.quantize import quantize
+from repro.lwe import sampling
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,7 @@ def measure_throughput(
     Client-side work (embedding, encryption, decryption) is excluded,
     matching the paper's server-throughput methodology.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = sampling.resolve_rng(rng, fallback_seed=0)
     index = engine.index
 
     # Phase 1: token generation (the coordinator's offline work).

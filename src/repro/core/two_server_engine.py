@@ -23,6 +23,7 @@ from repro.corpus.urls import UrlBatch
 from repro.dpf.dpf import DpfKey, gen_keys
 from repro.dpf.twoserver import TwoServerPir, TwoServerRankingService
 from repro.embeddings.quantize import quantize
+from repro.lwe import sampling
 from repro.net.transport import LinkModel, TrafficLog
 
 
@@ -84,7 +85,7 @@ class TwoServerEngine:
         self, text: str, rng: np.random.Generator | None = None
     ) -> TwoServerSearchResult:
         """One private two-server search, with byte accounting."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = sampling.resolve_rng(rng)
         index = self.index
         traffic = TrafficLog()
 

@@ -29,6 +29,7 @@ from repro.core.indexer import TiptoeIndex
 from repro.corpus.urls import UrlBatcher
 from repro.embeddings.quantize import quantize
 from repro.homenc.token import TokenFactory
+from repro.lwe import sampling
 
 
 @dataclass(frozen=True)
@@ -74,7 +75,7 @@ def apply_update(
         raise ValueError("need one URL per new document")
     if not new_texts:
         raise ValueError("update batch is empty")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = sampling.resolve_rng(rng, fallback_seed=0)
     config = index.config
 
     # 1. Embed with the *existing* model + PCA (client caches stay valid).
@@ -117,7 +118,6 @@ def apply_update(
     url_db, url_scheme = TiptoeIndex._build_url_side(url_batches, config)
 
     from repro.homenc.double import DoubleLheParams, DoubleLheScheme
-    from repro.lwe import sampling
     from repro.lwe.params import LweParams
 
     old_inner = index.ranking_scheme.params.inner

@@ -96,7 +96,7 @@ class Degree2Scheme:
         self.params = params if params is not None else Degree2Params()
 
     def gen_secret(self, rng: np.random.Generator | None = None) -> np.ndarray:
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         return np.array(
             [int(x) for x in rng.integers(-1, 2, self.params.n)], dtype=object
         )
@@ -108,7 +108,7 @@ class Degree2Scheme:
         rng: np.random.Generator | None = None,
     ) -> Degree2Ciphertext:
         """Encrypt a small-integer vector, one ciphertext per entry."""
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         d = len(values)
         n = self.params.n
         a = np.empty((d, n), dtype=object)
@@ -155,8 +155,9 @@ class Degree2Scheme:
         s = answer.matrix @ secret
         quad = int(secret @ s)
         lin = int(secret @ answer.vector)
+        # Branchless centering into [-Q/2, Q/2): even client-side,
+        # control flow never depends on decrypted values (taint-branch).
         phase = (answer.scalar - lin + quad) % Q
-        if phase >= Q // 2:
-            phase -= Q
+        phase = ((phase + Q // 2) % Q) - Q // 2
         delta_sq = self.params.delta * self.params.delta
         return round(phase / delta_sq)

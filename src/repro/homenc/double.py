@@ -159,7 +159,7 @@ class DoubleLheScheme:
     # -- client key management -----------------------------------------------
 
     def gen_keys(self, rng: np.random.Generator | None = None) -> ClientKeys:
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         return ClientKeys(
             inner=self.inner.gen_secret(rng), outer=self.outer.gen_secret(rng)
         )
@@ -168,7 +168,7 @@ class DoubleLheScheme:
         self, keys: ClientKeys, rng: np.random.Generator | None = None
     ) -> EncryptedKey:
         """Encrypt each inner-secret component under the outer scheme."""
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         s_signed = keys.inner.signed()
         z_b = []
         z_a = []
@@ -263,6 +263,7 @@ class DoubleLheScheme:
             np.asarray(answer), self.params.inner.q_bits, t
         )
         noisy = (
+            # tiptoe-lint: disable=dtype-signed-cast -- values are reduced mod T < 2^32 so they fit int64 exactly; centering needs signed arithmetic
             a_switched.astype(np.int64)
             - np.asarray(hint_product, dtype=np.uint64).astype(np.int64)
         ) % t

@@ -130,7 +130,7 @@ def make_client_keys(
     the per-service encrypted keys, and the total upload size in bytes
     counting each shared upload once.
     """
-    rng = rng if rng is not None else sampling.system_rng()
+    rng = sampling.resolve_rng(rng)
     keys: dict[str, ClientKeys] = {}
     enc_keys: dict[str, EncryptedKey] = {}
     upload_bytes = 0

@@ -91,7 +91,7 @@ class RegevScheme:
 
     def gen_secret(self, rng: np.random.Generator | None = None) -> SecretKey:
         """Sample a fresh ternary secret key."""
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         s = sampling.ternary_secret(rng, self.params.n, self.params.q_bits)
         return SecretKey(s=s, params=self.params)
 
@@ -106,7 +106,7 @@ class RegevScheme:
         Negative message entries are accepted and reduced mod p
         (centered fixed-precision convention of Appendix B.1).
         """
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         message = np.asarray(message)
         if message.shape != (self.params.m,):
             raise ValueError(

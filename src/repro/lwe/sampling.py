@@ -25,6 +25,51 @@ def system_rng() -> np.random.Generator:
     return np.random.Generator(np.random.Philox(secrets.randbits(128)))
 
 
+#: Process-wide replay generator; installed by :func:`set_default_seed`.
+_replay_rng: np.random.Generator | None = None
+
+
+def set_default_seed(seed: int | bytes | None) -> None:
+    """Install (or clear) the process-wide deterministic replay stream.
+
+    After ``set_default_seed(seed)``, every library-level ``rng=None``
+    fallback that goes through :func:`resolve_rng` draws from one
+    shared seeded generator, so a whole run -- keygen, encryption
+    noise, load generation -- replays bit-identically.  Call with
+    ``None`` to restore the default (OS entropy for key material).
+
+    This exists for debugging and benchmarking only; a deployment must
+    never pin its key-generation randomness.
+    """
+    global _replay_rng
+    _replay_rng = None if seed is None else seeded_rng(seed)
+
+
+def resolve_rng(
+    rng: np.random.Generator | None, *, fallback_seed: int | None = None
+) -> np.random.Generator:
+    """Resolve an optional caller-supplied generator -- the single
+    sanctioned ``rng=None`` fallback for library code.
+
+    Precedence: an explicit ``rng`` wins; else the process-wide replay
+    stream (:func:`set_default_seed`), which makes end-to-end
+    deterministic replay possible; else ``fallback_seed`` (for call
+    sites whose documented default behavior is deterministic, e.g. the
+    indexer); else fresh OS entropy via :func:`system_rng`.
+
+    The tiptoe-lint ``rng-unseeded`` rule flags library code that calls
+    ``np.random.default_rng()`` directly instead of routing through
+    here.
+    """
+    if rng is not None:
+        return rng
+    if _replay_rng is not None:
+        return _replay_rng
+    if fallback_seed is not None:
+        return seeded_rng(fallback_seed)
+    return system_rng()
+
+
 def seeded_rng(seed: int | bytes) -> np.random.Generator:
     """A deterministic generator for a given integer or byte-string seed."""
     if isinstance(seed, bytes):

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.homenc.double import DoubleLheScheme
+from repro.lwe import sampling
 from repro.lwe.params import SecurityLevel
 from repro.pir.simplepir import SimplePirClient, SimplePirServer, build_pir
 
@@ -121,7 +122,7 @@ class KeywordPir:
         self, key: str, rng: np.random.Generator | None = None
     ) -> bytes | None:
         """Convenience lookup using classic (hint-download) mode."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = sampling.resolve_rng(rng)
         keys = self.client.keygen(rng)
         bucket = bucket_of(key, self.num_buckets)
         query = self.client.query(keys, bucket, rng)

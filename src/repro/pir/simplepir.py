@@ -90,6 +90,9 @@ class SimplePirClient:
         self.scheme = scheme
 
     def keygen(self, rng: np.random.Generator | None = None):
+        """Fresh client keys; ``rng=None`` resolves through
+        :func:`repro.lwe.sampling.resolve_rng` (replayable via
+        ``sampling.set_default_seed``)."""
         return self.scheme.gen_keys(rng)
 
     def query(

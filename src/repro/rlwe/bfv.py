@@ -129,7 +129,7 @@ class BfvScheme:
     # -- keys ---------------------------------------------------------------
 
     def gen_secret(self, rng: np.random.Generator | None = None) -> BfvSecretKey:
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         signed = sampling.ternary_secret_signed(rng, self.params.n)
         s_rns = self.ring.from_signed(signed)
         return BfvSecretKey(s_ntt=self.ring.to_ntt(s_rns), s_signed=signed)
@@ -194,7 +194,7 @@ class BfvScheme:
         rng: np.random.Generator | None = None,
     ) -> BfvCiphertext:
         """Encrypt an already-encoded coefficient-domain ring element."""
-        rng = rng if rng is not None else sampling.system_rng()
+        rng = sampling.resolve_rng(rng)
         ring = self.ring
         a_ntt = ring.to_ntt(ring.sample_uniform(rng))
         e = ring.sample_gaussian(rng, self.params.sigma)

@@ -92,6 +92,7 @@ def _bit_reverse_permutation(n: int) -> np.ndarray:
     rev = np.zeros(n, dtype=np.uint64)
     for b in range(bits):
         rev |= ((idx >> np.uint64(b)) & np.uint64(1)) << np.uint64(bits - 1 - b)
+    # tiptoe-lint: disable=dtype-signed-cast -- bit-reversal permutation indices, not ring elements; int64 is numpy's natural index dtype
     return rev.astype(np.int64)
 
 

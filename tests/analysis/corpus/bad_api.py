@@ -1,0 +1,11 @@
+"""Known-bad API hygiene snippets (tiptoe-lint self-test corpus)."""
+
+
+def validates_with_assert(x):
+    assert x > 0, "x must be positive"  # BAD: stripped under python -O
+    return x
+
+
+def chatty(x):
+    print("value:", x)  # BAD: library module writing to stdout
+    return x

@@ -1,0 +1,21 @@
+"""Known-bad RNG hygiene snippets (tiptoe-lint self-test corpus)."""
+
+import random  # BAD: stdlib random in library code
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()  # BAD: hidden fresh entropy
+
+
+def legacy_seed():
+    np.random.seed(0)  # BAD: global mutable state
+
+
+def legacy_sampling(n):
+    return np.random.rand(n)  # BAD: legacy global-state API
+
+
+def stdlib_choice(items):
+    return random.choice(items)

@@ -1,0 +1,44 @@
+"""Known-bad secret-taint snippets (tiptoe-lint self-test corpus)."""
+
+import logging
+import pickle
+
+logger = logging.getLogger(__name__)
+
+
+def branches_on_secret(scheme, rng):
+    sk = scheme.gen_secret(rng)
+    if sk.s[0] == 0:  # BAD: control flow depends on key material
+        return None
+    return sk
+
+
+def loops_on_secret(sk):
+    while sk[0] > 0:  # BAD: loop condition depends on the secret
+        sk = sk[1:]
+    return sk
+
+
+def prints_secret(sk):
+    print("debug key:", sk)  # BAD: secret reaches a terminal
+
+
+def logs_secret(secret_key):
+    logger.info("key=%s", secret_key)  # BAD: secret reaches the log tree
+
+
+def raises_with_secret(sk):
+    raise ValueError(f"bad key {sk}")  # BAD: secret in exception message
+
+
+def serializes_secret(sk):
+    return pickle.dumps(sk)  # BAD: plaintext secret on the wire
+
+
+def taint_flows_through_assignment(scheme, rng):
+    keys_material = scheme.keygen(rng)
+    derived = keys_material
+    masked = derived[0] + 1
+    if masked:  # BAD: still derived from the keygen output
+        return True
+    return False

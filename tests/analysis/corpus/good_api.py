@@ -1,0 +1,16 @@
+"""Known-good API hygiene snippets: exceptions and logging."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def validates_with_exceptions(x):
+    if x <= 0:
+        raise ValueError("x must be positive")  # GOOD: survives -O
+    return x
+
+
+def quiet(x):
+    logger.debug("value: %r", x)  # GOOD: routed through logging
+    return x

@@ -1,0 +1,23 @@
+"""Known-good RNG snippets: explicit, seedable, replayable."""
+
+import numpy as np
+
+from repro.lwe import sampling
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)  # GOOD: caller controls the seed
+
+
+def resolved(rng=None):
+    rng = sampling.resolve_rng(rng)  # GOOD: the sanctioned fallback
+    return rng.integers(0, 10)
+
+
+def resolved_deterministic(rng=None):
+    rng = sampling.resolve_rng(rng, fallback_seed=0)  # GOOD
+    return rng.integers(0, 10)
+
+
+def generator_methods(rng):
+    return rng.normal(0.0, 1.0, 8)  # GOOD: a Generator, not global state

@@ -1,0 +1,41 @@
+"""Known-good taint snippets: public structure, cleared taint."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def shape_is_public(sk):
+    if sk.shape[0] != 8:  # GOOD: array shape is a public parameter
+        raise ValueError("secret has the wrong dimension")
+    return True
+
+
+def length_is_public(secret_key):
+    n = len(secret_key)  # GOOD: len() declassifies
+    if n == 0:
+        raise ValueError("empty key")
+    return n
+
+
+def raises_shape_only(sk):
+    raise ValueError(f"expected shape (8,), got {sk.shape}")  # GOOD
+
+
+def reassignment_clears_taint(sk):
+    sk = 0  # GOOD: name rebound to public data
+    if sk:
+        return 1
+    return 0
+
+
+def logs_public_data(sk, n_queries):
+    logger.debug("served %d queries", n_queries)  # GOOD: untainted args
+    return sk
+
+
+def branch_on_public_flag(scheme, rng, verbose):
+    sk = scheme.gen_secret(rng)
+    if verbose:  # GOOD: condition is untainted
+        logger.debug("generated a key of dim %d", sk.shape[0])
+    return sk

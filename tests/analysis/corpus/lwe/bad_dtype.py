@@ -1,0 +1,38 @@
+"""Known-bad dtype/overflow snippets (tiptoe-lint self-test corpus).
+
+Lives under a ``lwe/`` directory so the path-scoped dtype checker
+applies.  Each function violates exactly one dtype rule; the expected
+findings are asserted in ``tests/analysis/test_checkers.py``.
+"""
+
+import numpy as np
+
+from repro.lwe import modular
+
+
+def mixes_int_literal(q_bits):
+    acc = modular.to_ring(np.arange(8), q_bits)
+    return acc + 1  # BAD: bare Python int in ring arithmetic
+
+
+def mixes_signed_array(q_bits):
+    ring = modular.to_ring(np.arange(8), q_bits)
+    signed = np.asarray(np.arange(8), dtype=np.int64)
+    return ring * signed  # BAD: signed array mixed into the ring
+
+
+def forgets_q_bits(a, b):
+    return modular.matmul(a, b)  # BAD: which ring is this?
+
+
+def forgets_q_bits_bare(values):
+    return to_ring(values)  # BAD: unambiguous helper, q_bits missing
+
+
+def casts_to_signed(q_bits):
+    ring = modular.to_ring(np.arange(8), q_bits)
+    return ring.astype(np.int64)  # BAD: silently leaves the ring
+
+
+def to_ring(values):  # noqa -- stand-in so the module executes if imported
+    return values

@@ -1,0 +1,35 @@
+"""Known-good dtype snippets: the disciplined forms of the bad file."""
+
+import numpy as np
+
+from repro.lwe import modular
+
+
+def wraps_scalars(q_bits):
+    dtype = modular.dtype_for(q_bits)
+    acc = modular.to_ring(np.arange(8), q_bits)
+    return acc + dtype(1)  # GOOD: scalar lifted into the ring dtype
+
+
+def passes_q_bits(a, b, q_bits):
+    return modular.matmul(a, b, q_bits)  # GOOD: modulus explicit
+
+
+def passes_q_bits_keyword(a, b):
+    return modular.add(a, b, q_bits=32)  # GOOD: keyword form
+
+
+def centers_properly(q_bits):
+    ring = modular.to_ring(np.arange(8), q_bits)
+    return modular.centered(ring, q_bits)  # GOOD: sanctioned signed view
+
+
+def unsigned_cast_is_fine(q_bits):
+    ring = modular.to_ring(np.arange(8), q_bits)
+    return ring.astype(np.uint64)  # GOOD: stays unsigned
+
+
+def ring_times_ring(q_bits):
+    a = modular.to_ring(np.arange(8), q_bits)
+    b = modular.to_ring(np.arange(8), q_bits)
+    return modular.add(a, b, q_bits)

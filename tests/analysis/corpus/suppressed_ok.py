@@ -1,0 +1,24 @@
+"""Bad patterns, each with a justified pragma -> zero active findings."""
+
+import numpy as np
+
+
+def unseeded_but_justified():
+    # tiptoe-lint: disable=rng-unseeded -- corpus fixture: standalone pragma covers the next line
+    return np.random.default_rng()
+
+
+def chatty_but_justified(x):
+    print(x)  # tiptoe-lint: disable=api-print -- corpus fixture: same-line pragma form
+    return x
+
+
+def multiple_rules_one_pragma(x):
+    # tiptoe-lint: disable=api-assert,api-print -- corpus fixture: rule list form
+    assert x > 0
+    return x
+
+
+def disable_all_form(x):
+    print(x)  # tiptoe-lint: disable=all -- corpus fixture: blanket form
+    return x

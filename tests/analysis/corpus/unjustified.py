@@ -1,0 +1,6 @@
+"""A pragma with no reason string suppresses nothing."""
+
+
+def chatty(x):
+    print(x)  # tiptoe-lint: disable=api-print
+    return x

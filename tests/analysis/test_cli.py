@@ -1,0 +1,92 @@
+"""The ``python -m repro.analysis`` entry point, end to end.
+
+Includes the PR's acceptance criteria: the repo-wide run over ``src/``
+exits 0 (everything fixed or justified), and the known-bad corpus
+makes the tool exit non-zero.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def run_lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_repo_wide_run_is_clean(self):
+        """Acceptance: src/ has no unjustified invariant violations."""
+        proc = run_lint("src/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_known_bad_corpus_fails(self):
+        """Acceptance: the bad snippets make the tool exit non-zero."""
+        proc = run_lint(str(CORPUS))
+        assert proc.returncode == 1
+        assert "finding(s)" in proc.stdout
+
+    def test_good_corpus_files_pass(self):
+        proc = run_lint(
+            str(CORPUS / "good_taint.py"),
+            str(CORPUS / "good_rng.py"),
+            str(CORPUS / "good_api.py"),
+            str(CORPUS / "lwe" / "good_dtype.py"),
+        )
+        assert proc.returncode == 0, proc.stdout
+
+    def test_missing_path_is_a_usage_error(self):
+        proc = run_lint("does/not/exist")
+        assert proc.returncode == 2
+
+
+class TestOutputModes:
+    def test_json_mode_is_machine_readable(self):
+        proc = run_lint(str(CORPUS), "--json")
+        payload = json.loads(proc.stdout)
+        assert payload["files_scanned"] >= 8
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"dtype-mixed-arith", "taint-branch", "rng-unseeded",
+                "api-assert"} <= rules
+        assert payload["counts"]["api-print"] >= 2
+        sup_rules = {f["rule"] for f in payload["suppressed"]}
+        assert "rng-unseeded" in sup_rules
+
+    def test_baseline_mode_lists_suppressions_with_reasons(self):
+        proc = run_lint("src/", "--baseline")
+        assert proc.returncode == 0
+        assert "active findings: 0" in proc.stdout
+        assert "suppressions (location, rule, reason):" in proc.stdout
+        assert " -- " in proc.stdout  # at least one justified suppression
+
+    def test_list_rules_covers_all_four_checkers(self):
+        proc = run_lint("--list-rules")
+        assert proc.returncode == 0
+        for rule in ("dtype-mixed-arith", "taint-wire", "rng-unseeded",
+                     "api-assert"):
+            assert rule in proc.stdout
+
+    def test_rule_filter(self):
+        proc = run_lint(str(CORPUS), "--rules", "api-print", "--json")
+        payload = json.loads(proc.stdout)
+        assert payload["findings"]
+        assert {f["rule"] for f in payload["findings"]} == {"api-print"}
+
+    def test_unknown_rule_filter_is_a_usage_error(self):
+        proc = run_lint(str(CORPUS), "--rules", "no-such-rule")
+        assert proc.returncode == 2

@@ -1,0 +1,64 @@
+"""Suppression pragma parsing and coverage semantics."""
+
+from pathlib import Path
+
+from repro.analysis.checkers import build_checkers
+from repro.analysis.runner import analyze_file
+from repro.analysis.suppressions import find_cover, parse_suppressions
+
+CORPUS = Path(__file__).parent / "corpus"
+CHECKERS = build_checkers()
+
+
+class TestParsing:
+    def test_same_line_pragma(self):
+        sups = parse_suppressions(
+            "x = f()  # tiptoe-lint: disable=rule-a -- because reasons\n"
+        )
+        assert len(sups) == 1
+        assert sups[0].rules == frozenset({"rule-a"})
+        assert sups[0].reason == "because reasons"
+        assert not sups[0].standalone
+
+    def test_standalone_pragma_covers_next_line(self):
+        sups = parse_suppressions(
+            "# tiptoe-lint: disable=rule-a -- why\nx = f()\n"
+        )
+        assert sups[0].standalone
+        assert find_cover(sups, "rule-a", 2) is not None
+        assert find_cover(sups, "rule-a", 3) is None
+
+    def test_missing_reason_is_inert(self):
+        assert parse_suppressions("x = f()  # tiptoe-lint: disable=r\n") == []
+
+    def test_rule_list_and_all(self):
+        sups = parse_suppressions(
+            "a()  # tiptoe-lint: disable=r1,r2 -- listed\n"
+            "b()  # tiptoe-lint: disable=all -- blanket\n"
+        )
+        assert find_cover(sups, "r2", 1) is not None
+        assert find_cover(sups, "r3", 1) is None
+        assert find_cover(sups, "anything", 2) is not None
+
+    def test_hash_inside_string_is_not_a_pragma(self):
+        sups = parse_suppressions(
+            's = "# tiptoe-lint: disable=r -- not a comment"\n'
+        )
+        assert sups == []
+
+    def test_wrong_rule_does_not_cover(self):
+        sups = parse_suppressions("a()  # tiptoe-lint: disable=r1 -- why\n")
+        assert find_cover(sups, "r2", 1) is None
+
+
+class TestEndToEnd:
+    def test_justified_suppressions_silence_findings(self):
+        findings = analyze_file(CORPUS / "suppressed_ok.py", CHECKERS)
+        assert findings, "corpus file should still produce findings"
+        assert all(f.suppressed for f in findings)
+        assert all(f.suppress_reason for f in findings)
+
+    def test_unjustified_pragma_does_not_suppress(self):
+        findings = analyze_file(CORPUS / "unjustified.py", CHECKERS)
+        active = [f for f in findings if not f.suppressed]
+        assert [f.rule for f in active] == ["api-print"]

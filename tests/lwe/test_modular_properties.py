@@ -1,0 +1,170 @@
+"""Property tests for the unsigned-ring helpers (tiptoe-lint satellite).
+
+These pin the three contracts ``repro/lwe/modular.py`` promises and the
+dtype lint rules assume:
+
+* ``to_ring`` / ``centered`` are inverse bijections between centered
+  representatives and Z_q, at both supported moduli;
+* arithmetic wraps exactly at the modulus boundary (C-style unsigned
+  semantics *are* reduction mod q);
+* ``matmul`` accumulates inside the ring dtype -- never a float or
+  wider upcast -- so a single integer product is the homomorphic eval.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lwe import modular
+
+Q_BITS = st.sampled_from((32, 64))
+
+
+def _centered_ints(q_bits: int):
+    half = 1 << (q_bits - 1)
+    return st.integers(min_value=-half, max_value=half - 1)
+
+
+@st.composite
+def centered_arrays(draw):
+    q_bits = draw(Q_BITS)
+    values = draw(
+        st.lists(_centered_ints(q_bits), min_size=1, max_size=32)
+    )
+    return q_bits, values
+
+
+@st.composite
+def ring_arrays(draw):
+    q_bits = draw(Q_BITS)
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << q_bits) - 1),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    return q_bits, values
+
+
+class TestRoundTrip:
+    @given(centered_arrays())
+    def test_to_ring_then_centered_recovers_centered_reps(self, case):
+        """centered(to_ring(v)) == v for v in [-q/2, q/2), both moduli."""
+        q_bits, values = case
+        arr = np.array(values, dtype=object)
+        ring = modular.to_ring(arr, q_bits)
+        back = modular.centered(ring, q_bits)
+        assert back.dtype == modular.signed_dtype_for(q_bits)
+        assert [int(x) for x in back] == values
+
+    @given(ring_arrays())
+    def test_centered_then_to_ring_is_identity_on_zq(self, case):
+        """to_ring(centered(x)) == x for any ring element, both moduli."""
+        q_bits, values = case
+        arr = np.array(values, dtype=object)
+        ring = modular.to_ring(arr, q_bits)
+        back = modular.to_ring(modular.centered(ring, q_bits), q_bits)
+        assert back.dtype == modular.dtype_for(q_bits)
+        np.testing.assert_array_equal(back, ring)
+
+    @given(Q_BITS)
+    def test_round_trip_at_the_exact_boundaries(self, q_bits):
+        half = 1 << (q_bits - 1)
+        edge = [-half, -1, 0, 1, half - 1]
+        ring = modular.to_ring(np.array(edge, dtype=object), q_bits)
+        assert [int(x) for x in modular.centered(ring, q_bits)] == edge
+
+
+class TestWraparound:
+    @given(Q_BITS, st.integers(min_value=0, max_value=1 << 70))
+    def test_to_ring_reduces_mod_q(self, q_bits, value):
+        q = 1 << q_bits
+        ring = modular.to_ring(np.array([value], dtype=object), q_bits)
+        assert int(ring[0]) == value % q
+
+    @given(ring_arrays(), st.data())
+    def test_add_sub_wrap_exactly(self, case, data):
+        q_bits, values = case
+        q = 1 << q_bits
+        other = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=q - 1),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        a = modular.to_ring(np.array(values, dtype=object), q_bits)
+        b = modular.to_ring(np.array(other, dtype=object), q_bits)
+        total = modular.add(a, b, q_bits)
+        diff = modular.sub(a, b, q_bits)
+        for x, y, s, d in zip(values, other, total, diff):
+            assert int(s) == (x + y) % q
+            assert int(d) == (x - y) % q
+
+    @given(Q_BITS)
+    def test_boundary_increment_wraps_to_zero(self, q_bits):
+        q = 1 << q_bits
+        top = modular.to_ring(np.array([q - 1], dtype=object), q_bits)
+        one = modular.to_ring(np.array([1], dtype=object), q_bits)
+        assert int(modular.add(top, one, q_bits)[0]) == 0
+        zero = modular.to_ring(np.array([0], dtype=object), q_bits)
+        assert int(modular.sub(zero, one, q_bits)[0]) == q - 1
+
+    @given(
+        Q_BITS,
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=-(1 << 40), max_value=1 << 40),
+    )
+    def test_scale_wraps_exactly(self, q_bits, value, c):
+        q = 1 << q_bits
+        a = modular.to_ring(np.array([value % q], dtype=object), q_bits)
+        out = modular.scale(a, c, q_bits)
+        assert int(out[0]) == ((value % q) * (c % q)) % q
+
+
+class TestMatmulNeverUpcasts:
+    """Regression for the modular.py contract the dtype rules enforce."""
+
+    @settings(max_examples=25)
+    @given(
+        Q_BITS,
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_matmul_dtype_and_exactness(self, q_bits, n, m, k, pyrandom):
+        q = 1 << q_bits
+        a_rows = [[pyrandom.randrange(q) for _ in range(m)] for _ in range(n)]
+        b_rows = [[pyrandom.randrange(q) for _ in range(k)] for _ in range(m)]
+        a = modular.to_ring(np.array(a_rows, dtype=object), q_bits)
+        b = modular.to_ring(np.array(b_rows, dtype=object), q_bits)
+        out = modular.matmul(a, b, q_bits)
+        # the accumulator stays in the ring dtype -- never float, never wider
+        assert out.dtype == modular.dtype_for(q_bits)
+        expected = [
+            [
+                sum(a_rows[i][j] * b_rows[j][l] for j in range(m)) % q
+                for l in range(k)
+            ]
+            for i in range(n)
+        ]
+        assert [[int(x) for x in row] for row in out] == expected
+
+    def test_matvec_dtype_at_both_moduli(self):
+        for q_bits in modular.SUPPORTED_Q_BITS:
+            dtype = modular.dtype_for(q_bits)
+            a = np.full((3, 4), (1 << q_bits) - 1, dtype=object)
+            v = np.full(4, (1 << q_bits) - 1, dtype=object)
+            out = modular.matvec(
+                modular.to_ring(a, q_bits), modular.to_ring(v, q_bits), q_bits
+            )
+            assert out.dtype == dtype
+
+    def test_unsupported_q_bits_rejected(self):
+        with pytest.raises(ValueError):
+            modular.dtype_for(16)
+        with pytest.raises(ValueError):
+            modular.to_ring(np.array([1]), 48)
