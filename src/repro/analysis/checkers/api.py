@@ -7,6 +7,11 @@
 * ``print()`` in a library module bypasses the logging tree, cannot be
   silenced by embedders, and -- combined with the taint rules -- is a
   standing temptation to dump ciphertext internals to a terminal.
+* ``time.time()`` is wall-clock: it jumps under NTP slew and makes
+  every latency measurement irreproducible.  Library code times with
+  ``time.perf_counter`` (monotonic) or takes an injectable
+  :data:`repro.obs.Clock`, so tests can drive a manual clock and the
+  BENCH/trace artifacts never embed wall timestamps.
 
 ``cli.py`` files are exempt from the print rule (and the whole
 checker): the CLI *is* the terminal.  Test code is not scanned (the
@@ -37,6 +42,14 @@ class ApiHygieneChecker(Checker):
             summary="print() in a library module; use logging",
             invariant="library output is routed, filterable, and quiet",
         ),
+        RuleSpec(
+            rule="api-wallclock",
+            summary=(
+                "time.time() in a library module; use time.perf_counter"
+                " or an injectable repro.obs Clock"
+            ),
+            invariant="timing is monotonic, reproducible, and injectable",
+        ),
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -66,6 +79,22 @@ class ApiHygieneChecker(Checker):
                         "api-print",
                         node,
                         "print() in library code; use the module logger",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "api-wallclock",
+                        node,
+                        "time.time() is wall-clock; use time.perf_counter"
+                        " or accept a repro.obs Clock",
                     )
                 )
         return findings

@@ -10,6 +10,9 @@ quality
     Quick search-quality evaluation (a small Fig. 4).
 params
     Print the LWE parameter table for a ciphertext modulus.
+obs-report
+    Run instrumented queries and print the observability report
+    (span tree, kernel latency histograms, cost/traffic totals).
 """
 
 from __future__ import annotations
@@ -100,6 +103,54 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import TiptoeConfig, TiptoeEngine, obs
+    from repro.core.costs import CostLedger
+    from repro.corpus import SyntheticCorpus, SyntheticCorpusConfig
+    from repro.obs.export import dump_trace, metrics_to_dict
+
+    corpus = SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=args.docs, seed=args.seed)
+    )
+    tracer, registry = obs.enable()
+    try:
+        with TiptoeEngine.build(
+            corpus.texts(),
+            corpus.urls(),
+            TiptoeConfig(),
+            rng=np.random.default_rng(args.seed),
+        ) as engine:
+            result = None
+            for i in range(args.queries):
+                query = corpus.documents[i % len(corpus.documents)].text[:60]
+                result = engine.search(
+                    query, np.random.default_rng(args.seed + 1 + i)
+                )
+            ledger = CostLedger()
+            ledger.merge(engine.ranking_service.ledger)
+            ledger.merge(engine.url_service.ledger)
+            trace = tracer.last_trace()
+            if args.json:
+                print(json.dumps(metrics_to_dict(registry), indent=2))
+            else:
+                print(
+                    obs.render_report(
+                        metrics=registry,
+                        trace=trace,
+                        ledger=ledger,
+                        traffic=result.traffic if result else None,
+                    )
+                )
+            if args.trace_out and trace is not None:
+                path = dump_trace(trace, args.trace_out)
+                print(f"trace written to {path}")
+    finally:
+        obs.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tiptoe private-search reproduction"
@@ -127,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
     params = sub.add_parser("params", help="LWE parameter table")
     params.add_argument("--q-bits", type=int, choices=(32, 64), default=32)
     params.set_defaults(func=_cmd_params)
+
+    obs_report = sub.add_parser(
+        "obs-report", help="instrumented query run + observability report"
+    )
+    obs_report.add_argument("--docs", type=int, default=400)
+    obs_report.add_argument("--queries", type=int, default=3)
+    obs_report.add_argument("--seed", type=int, default=0)
+    obs_report.add_argument(
+        "--trace-out", type=str, default=None,
+        help="write the last query's trace as JSON to this path",
+    )
+    obs_report.add_argument(
+        "--json", action="store_true",
+        help="dump the metrics snapshot as JSON instead of the text report",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

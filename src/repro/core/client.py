@@ -21,6 +21,7 @@ from repro.lwe import sampling
 from repro.net import wire
 from repro.net.rpc import RpcChannel
 from repro.net.transport import LinkModel, TrafficLog
+from repro.obs import runtime as obs
 from repro.pir.simplepir import PirAnswer
 
 
@@ -97,62 +98,83 @@ class TiptoeClient:
         return vec, quantized
 
     def search(self, text: str) -> SearchResult:
-        """One full private search; consumes one token (fetched lazily)."""
-        if not self._tokens:
-            self.fetch_tokens(1)
-        token = self._tokens.pop(0)
-        traffic = TrafficLog()
-        traffic.record("token", "up", token.upload_bytes)
-        traffic.record("token", "down", token.download_bytes)
-        keys, hint_products = token.consume()
+        """One full private search; consumes one token (fetched lazily).
 
-        # Step 1: embed locally; pick the nearest cached centroid.
-        vec, quantized = self.embed_query(text)
-        cluster = int(np.argmax(self.metadata.centroids @ vec))
+        When observability is enabled (:mod:`repro.obs.runtime`) the
+        search produces one trace: a ``client.search`` root span with
+        ``token`` / ``embed`` / ``ranking`` / ``url`` children, plus a
+        sample in the ``client.search.seconds`` histogram.  Span
+        attributes are sizes and times only; the query text, cluster
+        choice, and scores are never recorded.
+        """
+        with obs.span("client.search") as root_span:
+            with obs.span("token"):
+                if not self._tokens:
+                    self.fetch_tokens(1)
+                token = self._tokens.pop(0)
+                traffic = TrafficLog()
+                traffic.record("token", "up", token.upload_bytes)
+                traffic.record("token", "down", token.download_bytes)
+                keys, hint_products = token.consume()
 
-        # Step 2: private ranking within that cluster.  Queries travel
-        # as serialized RPC messages; the channel logs real wire sizes.
-        channel = RpcChannel(traffic)
-        rank_query = self.ranking.build_query(
-            keys["ranking"], quantized, cluster, self.rng
-        )
-        body = channel.call(
-            self.engine.ranking_endpoint,
-            "ranking",
-            "answer",
-            wire.encode_ciphertext(rank_query.ciphertext),
-        )
-        values, q_bits = wire.decode_answer(body)
-        rank_answer = RankingAnswer(
-            values=values, bytes_per_element=q_bits // 8
-        )
-        scores = self.ranking.decode_scores(
-            keys["ranking"], rank_answer, hint_products["ranking"]
-        )
-        real_rows = int(self.metadata.cluster_sizes[cluster])
-        scores = scores[:real_rows]
-        order = np.argsort(-scores, kind="stable")
-        k = self.metadata.results_per_query
-        top_rows = [int(r) for r in order[:k]]
+            # Step 1: embed locally; pick the nearest cached centroid.
+            with obs.span("embed"):
+                vec, quantized = self.embed_query(text)
+                cluster = int(np.argmax(self.metadata.centroids @ vec))
 
-        # Step 3: private URL fetch for the batch of the best match.
-        offset = int(self.metadata.cluster_offsets[cluster])
-        best_storage = self.engine.storage_position(offset + top_rows[0])
-        batch_index = self.url_client.batch_of_position(best_storage)
-        url_query = self.url_client.build_query(
-            keys["url"], batch_index, self.rng
-        )
-        body = channel.call(
-            self.engine.url_endpoint,
-            "url",
-            "answer",
-            wire.encode_ciphertext(url_query.ciphertext),
-        )
-        values, q_bits = wire.decode_answer(body)
-        url_answer = PirAnswer(values=values, bytes_per_element=q_bits // 8)
-        batch_urls = self.url_client.recover_batch(
-            keys["url"], url_answer, hint_products["url"]
-        )
+            # Step 2: private ranking within that cluster.  Queries
+            # travel as serialized RPC messages; the channel logs real
+            # wire sizes.
+            channel = RpcChannel(traffic)
+            with obs.span("ranking"):
+                rank_query = self.ranking.build_query(
+                    keys["ranking"], quantized, cluster, self.rng
+                )
+                body = channel.call(
+                    self.engine.ranking_endpoint,
+                    "ranking",
+                    "answer",
+                    wire.encode_ciphertext(rank_query.ciphertext),
+                )
+                values, q_bits = wire.decode_answer(body)
+                rank_answer = RankingAnswer(
+                    values=values, bytes_per_element=q_bits // 8
+                )
+                scores = self.ranking.decode_scores(
+                    keys["ranking"], rank_answer, hint_products["ranking"]
+                )
+            real_rows = int(self.metadata.cluster_sizes[cluster])
+            scores = scores[:real_rows]
+            order = np.argsort(-scores, kind="stable")
+            k = self.metadata.results_per_query
+            top_rows = [int(r) for r in order[:k]]
+
+            # Step 3: private URL fetch for the batch of the best match.
+            with obs.span("url"):
+                offset = int(self.metadata.cluster_offsets[cluster])
+                best_storage = self.engine.storage_position(
+                    offset + top_rows[0]
+                )
+                batch_index = self.url_client.batch_of_position(best_storage)
+                url_query = self.url_client.build_query(
+                    keys["url"], batch_index, self.rng
+                )
+                body = channel.call(
+                    self.engine.url_endpoint,
+                    "url",
+                    "answer",
+                    wire.encode_ciphertext(url_query.ciphertext),
+                )
+                values, q_bits = wire.decode_answer(body)
+                url_answer = PirAnswer(
+                    values=values, bytes_per_element=q_bits // 8
+                )
+                batch_urls = self.url_client.recover_batch(
+                    keys["url"], url_answer, hint_products["url"]
+                )
+        if root_span is not None and root_span.duration is not None:
+            obs.observe("client.search.seconds", root_span.duration)
+            obs.count("client.searches")
 
         results = []
         for row in top_rows:

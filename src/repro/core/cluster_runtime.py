@@ -19,6 +19,7 @@ from repro.core.costs import CostLedger
 from repro.core.ranking import RankingAnswer, RankingQuery
 from repro.homenc.double import DoubleLheScheme
 from repro.lwe import modular
+from repro.obs import runtime as obs
 
 
 class WorkerFailure(RuntimeError):
@@ -101,29 +102,60 @@ class ShardedRankingService:
     def num_workers(self) -> int:
         return len(self.workers)
 
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=len(self.workers))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker thread pool (idempotent).
+
+        Without this the executor's non-daemon threads outlive the
+        service and interpreter exit blocks joining them.  The service
+        remains usable after close -- the pool is lazily recreated.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedRankingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def answer(self, query: RankingQuery) -> RankingAnswer:
         """Fan out the ciphertext, sum the partial answers."""
         q_bits = self.scheme.params.inner.q_bits
         ct = query.ciphertext.c
+        with obs.span(
+            "ranking.answer",
+            workers=len(self.workers),
+            parallel=self.parallel,
+        ) as coord_span:
 
-        def run(worker: RankingWorker) -> np.ndarray:
-            width = worker.matrix_slice.shape[1]
-            chunk = ct[worker.col_start : worker.col_start + width]
-            return worker.answer_chunk(chunk)
+            def run(worker: RankingWorker) -> np.ndarray:
+                width = worker.matrix_slice.shape[1]
+                with obs.span(
+                    "ranking.worker",
+                    parent=coord_span,
+                    worker=worker.worker_id,
+                    rows=worker.matrix_slice.shape[0],
+                    cols=width,
+                ):
+                    chunk = ct[worker.col_start : worker.col_start + width]
+                    return worker.answer_chunk(chunk)
 
-        if self.parallel and len(self.workers) > 1:
-            if self._pool is None:
-                from concurrent.futures import ThreadPoolExecutor
-
-                self._pool = ThreadPoolExecutor(
-                    max_workers=len(self.workers)
-                )
-            partials = list(self._pool.map(run, self.workers))
-        else:
-            partials = [run(w) for w in self.workers]
-        total = partials[0]
-        for partial in partials[1:]:
-            total = modular.add(total, partial, q_bits)
+            if self.parallel and len(self.workers) > 1:
+                partials = list(self._ensure_pool().map(run, self.workers))
+            else:
+                partials = [run(w) for w in self.workers]
+            total = partials[0]
+            for partial in partials[1:]:
+                total = modular.add(total, partial, q_bits)
         for worker in self.workers:
             self.ledger.merge(worker.ledger)
             worker.ledger = CostLedger()
@@ -139,25 +171,54 @@ class ShardedRankingService:
         products into one matrix-matrix product -- the standard
         server-side batching that lifts sustained throughput (the
         index is streamed from memory once per batch instead of once
-        per query).  Answers are bit-identical to individual calls.
+        per query).  With ``parallel=True`` shards run concurrently on
+        the same thread pool as :meth:`answer`.  Answers are
+        bit-identical to individual calls either way: each worker's
+        partial is an exact ring product, and the mod-2^k accumulation
+        is summed in worker order.
         """
         if not queries:
             return []
         q_bits = self.scheme.params.inner.q_bits
         stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
-        total = None
+        with obs.span(
+            "ranking.answer_batch",
+            workers=len(self.workers),
+            batch=len(queries),
+            parallel=self.parallel,
+        ) as coord_span:
+
+            def run(worker: RankingWorker) -> np.ndarray:
+                if not worker.alive:
+                    raise WorkerFailure(f"worker {worker.worker_id} is down")
+                width = worker.matrix_slice.shape[1]
+                with obs.span(
+                    "ranking.worker",
+                    parent=coord_span,
+                    worker=worker.worker_id,
+                    rows=worker.matrix_slice.shape[0],
+                    cols=width,
+                    batch=len(queries),
+                ):
+                    chunk = stacked[
+                        worker.col_start : worker.col_start + width
+                    ]
+                    partial = modular.matmul(
+                        worker.matrix_slice, chunk, q_bits
+                    )
+                worker.ledger.add(
+                    "ranking", 2 * worker.matrix_slice.size * len(queries)
+                )
+                return partial
+
+            if self.parallel and len(self.workers) > 1:
+                partials = list(self._ensure_pool().map(run, self.workers))
+            else:
+                partials = [run(w) for w in self.workers]
+            total = partials[0]
+            for partial in partials[1:]:
+                total = modular.add(total, partial, q_bits)
         for worker in self.workers:
-            if not worker.alive:
-                raise WorkerFailure(f"worker {worker.worker_id} is down")
-            width = worker.matrix_slice.shape[1]
-            chunk = stacked[worker.col_start : worker.col_start + width]
-            partial = modular.matmul(worker.matrix_slice, chunk, q_bits)
-            worker.ledger.add(
-                "ranking", 2 * worker.matrix_slice.size * len(queries)
-            )
-            total = partial if total is None else modular.add(
-                total, partial, q_bits
-            )
             self.ledger.merge(worker.ledger)
             worker.ledger = CostLedger()
         per_element = self.scheme.params.inner.bytes_per_element

@@ -35,6 +35,7 @@ from repro.lwe.regev import Ciphertext
 from repro.net import wire
 from repro.net.rpc import RpcChannel, ServiceEndpoint
 from repro.net.transport import LinkModel, TrafficLog
+from repro.obs import runtime as obs
 from repro.pir.simplepir import PirQuery
 
 logger = logging.getLogger(__name__)
@@ -65,6 +66,23 @@ class TiptoeEngine:
             len(index.layout.cluster_offsets),
             index.config.num_workers,
         )
+
+    def close(self) -> None:
+        """Tear down service resources (the ranking worker pool).
+
+        Idempotent; also available as a context manager::
+
+            with TiptoeEngine.build(...) as engine:
+                ...
+        """
+        self.ranking_service.close()
+
+    def __enter__(self) -> "TiptoeEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _build_endpoints(self) -> None:
         """Serialized service interfaces -- what the network carries."""
@@ -176,23 +194,24 @@ class TiptoeEngine:
             "ranking": self.index.ranking_scheme,
             "url": self.index.url_scheme,
         }
-        keys, enc_keys, _ = make_client_keys(schemes, rng)
-        log = TrafficLog()
-        channel = RpcChannel(log)
-        body = channel.call(
-            self.token_endpoint,
-            "token",
-            "mint",
-            # tiptoe-lint: disable=taint-wire -- enc_keys is the outer *encryption* of the inner secret; uploading it is the SS6.3 protocol
-            wire.encode_mint_request(enc_keys),
-        )
-        payload = wire.decode_token_payload(body)
-        hint_products = {
-            name: schemes[name].decrypt_hint_product(
-                keys[name], payload.hints[name]
+        with obs.span("token.acquire", services=len(schemes)):
+            keys, enc_keys, _ = make_client_keys(schemes, rng)
+            log = TrafficLog()
+            channel = RpcChannel(log)
+            body = channel.call(
+                self.token_endpoint,
+                "token",
+                "mint",
+                # tiptoe-lint: disable=taint-wire -- enc_keys is the outer *encryption* of the inner secret; uploading it is the SS6.3 protocol
+                wire.encode_mint_request(enc_keys),
             )
-            for name in schemes
-        }
+            payload = wire.decode_token_payload(body)
+            hint_products = {
+                name: schemes[name].decrypt_hint_product(
+                    keys[name], payload.hints[name]
+                )
+                for name in schemes
+            }
         return QueryToken(
             keys=keys,
             hint_products=hint_products,

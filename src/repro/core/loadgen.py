@@ -4,20 +4,32 @@ The paper measures throughput by simulating up to 19 clients against
 each service until the servers saturate, then reports queries/second
 per phase (text search: 0.5 q/s token generation, 2.9 q/s ranking,
 5.0 q/s URL retrieval).  This module drives the simulated services the
-same way: a batch of pre-built queries per phase, timed end to end on
-the server side.
+same way: a batch of pre-built queries per phase, each timed
+individually on the server side, so a run yields both throughput
+(queries/second) and the latency distribution (p50/p95/p99).
+
+Timing uses an injectable monotonic clock (``time.perf_counter`` by
+default; tests inject :class:`repro.obs.ManualClock`) -- wall-clock
+reads are banned in library code by the ``api-wallclock`` lint rule.
+Results export to the versioned ``BENCH_throughput.json`` /
+``BENCH_latency.json`` files (schema ``repro.obs.bench/v1``, see
+EXPERIMENTS.md) so every PR leaves a machine-readable perf trajectory.
 """
 
 from __future__ import annotations
 
+import pathlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.ranking import RankingClient
 from repro.embeddings.quantize import quantize
 from repro.lwe import sampling
+from repro.obs.clock import Clock
+from repro.obs.export import write_bench_json
+from repro.obs.metrics import MetricsRegistry, percentile
 
 
 @dataclass(frozen=True)
@@ -27,10 +39,29 @@ class PhaseThroughput:
     phase: str
     queries: int
     wall_seconds: float
+    latencies: tuple[float, ...] = field(default=())
 
     @property
     def queries_per_second(self) -> float:
         return self.queries / max(self.wall_seconds, 1e-12)
+
+    def latency_quantile(self, q: float) -> float | None:
+        """Exact per-query latency quantile, or None if not recorded."""
+        if not self.latencies:
+            return None
+        return percentile(self.latencies, q)
+
+    @property
+    def p50(self) -> float | None:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        return self.latency_quantile(0.95)
+
+    @property
+    def p99(self) -> float | None:
+        return self.latency_quantile(0.99)
 
 
 @dataclass
@@ -41,24 +72,98 @@ class ThroughputReport:
     ranking: PhaseThroughput
     url: PhaseThroughput
 
+    def phases(self) -> tuple[PhaseThroughput, PhaseThroughput, PhaseThroughput]:
+        return (self.token, self.ranking, self.url)
+
     def rows(self) -> list[tuple[str, float]]:
-        return [
-            (p.phase, p.queries_per_second)
-            for p in (self.token, self.ranking, self.url)
-        ]
+        return [(p.phase, p.queries_per_second) for p in self.phases()]
+
+    def throughput_data(self) -> dict:
+        """The ``data`` block of BENCH_throughput.json."""
+        return {
+            "phases": {
+                p.phase: {
+                    "queries": p.queries,
+                    "wall_seconds": p.wall_seconds,
+                    "queries_per_second": p.queries_per_second,
+                }
+                for p in self.phases()
+            }
+        }
+
+    def latency_data(self) -> dict:
+        """The ``data`` block of BENCH_latency.json."""
+        out = {}
+        for p in self.phases():
+            lats = p.latencies
+            out[p.phase] = {
+                "count": len(lats),
+                "mean_s": sum(lats) / len(lats) if lats else None,
+                "min_s": min(lats) if lats else None,
+                "max_s": max(lats) if lats else None,
+                "p50_s": p.p50,
+                "p95_s": p.p95,
+                "p99_s": p.p99,
+            }
+        return {"phases": out}
+
+
+def write_bench_files(
+    report: ThroughputReport, out_dir
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write BENCH_throughput.json + BENCH_latency.json; return paths."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    throughput = write_bench_json(
+        out_dir / "BENCH_throughput.json",
+        "throughput",
+        report.throughput_data(),
+    )
+    latency = write_bench_json(
+        out_dir / "BENCH_latency.json", "latency", report.latency_data()
+    )
+    return throughput, latency
+
+
+def _timed_phase(
+    phase: str,
+    jobs,
+    clock: Clock,
+    registry: MetricsRegistry | None,
+) -> PhaseThroughput:
+    """Run the prepared thunks, timing each one individually."""
+    latencies = []
+    for job in jobs:
+        start = clock()
+        job()
+        elapsed = clock() - start
+        latencies.append(elapsed)
+        if registry is not None:
+            registry.histogram(f"loadgen.{phase}.seconds").observe(elapsed)
+    return PhaseThroughput(
+        phase=phase,
+        queries=len(latencies),
+        wall_seconds=sum(latencies),
+        latencies=tuple(latencies),
+    )
 
 
 def measure_throughput(
     engine,
     num_queries: int = 8,
     rng: np.random.Generator | None = None,
+    clock: Clock | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ThroughputReport:
     """Saturate each service with pre-built queries and time it.
 
     Client-side work (embedding, encryption, decryption) is excluded,
-    matching the paper's server-throughput methodology.
+    matching the paper's server-throughput methodology.  Pass a
+    ``registry`` to additionally stream per-query latencies into
+    ``loadgen.<phase>.seconds`` histograms.
     """
     rng = sampling.resolve_rng(rng, fallback_seed=0)
+    clock = clock if clock is not None else time.perf_counter
     index = engine.index
 
     # Phase 1: token generation (the coordinator's offline work).
@@ -69,13 +174,17 @@ def measure_throughput(
         "url": index.url_scheme,
     }
     key_batches = [
-        make_client_keys(schemes, rng)[1] for _ in range(max(2, num_queries // 4))
+        make_client_keys(schemes, rng)[1]
+        for _ in range(max(2, num_queries // 4))
     ]
-    start = time.perf_counter()
-    for enc_keys in key_batches:
-        index.token_factory.mint(enc_keys)
-    token = PhaseThroughput(
-        "token", len(key_batches), time.perf_counter() - start
+    token = _timed_phase(
+        "token",
+        [
+            (lambda enc_keys=enc_keys: index.token_factory.mint(enc_keys))
+            for enc_keys in key_batches
+        ],
+        clock,
+        registry,
     )
 
     # Phase 2: ranking answers.
@@ -98,11 +207,14 @@ def measure_throughput(
         )
         for i in range(num_queries)
     ]
-    start = time.perf_counter()
-    for query in queries:
-        engine.ranking_service.answer(query)
-    ranking = PhaseThroughput(
-        "ranking", num_queries, time.perf_counter() - start
+    ranking = _timed_phase(
+        "ranking",
+        [
+            (lambda query=query: engine.ranking_service.answer(query))
+            for query in queries
+        ],
+        clock,
+        registry,
     )
 
     # Phase 3: URL answers.
@@ -115,9 +227,14 @@ def measure_throughput(
         url_queries.append(
             PirQuery(ciphertext=index.url_scheme.encrypt(url_keys, sel, rng))
         )
-    start = time.perf_counter()
-    for query in url_queries:
-        engine.url_service.answer(query)
-    url = PhaseThroughput("url", num_queries, time.perf_counter() - start)
+    url = _timed_phase(
+        "url",
+        [
+            (lambda query=query: engine.url_service.answer(query))
+            for query in url_queries
+        ],
+        clock,
+        registry,
+    )
 
     return ThroughputReport(token=token, ranking=ranking, url=url)

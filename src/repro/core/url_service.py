@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.costs import CostLedger
 from repro.corpus.urls import UrlBatch
 from repro.homenc.double import DoubleLheScheme
+from repro.obs import runtime as obs
 from repro.pir.database import PackedDatabase
 from repro.pir.simplepir import PirAnswer, PirQuery
 
@@ -28,7 +29,8 @@ class UrlService:
         self.ledger = CostLedger()
 
     def answer(self, query: PirQuery) -> PirAnswer:
-        values = self.scheme.apply(self.db.matrix, query.ciphertext)
+        with obs.span("url.answer", rows=self.db.num_rows):
+            values = self.scheme.apply(self.db.matrix, query.ciphertext)
         self.ledger.add("url", self.scheme.inner.apply_word_ops(self.db.num_rows))
         return PirAnswer(
             values=values,
@@ -48,9 +50,12 @@ class UrlService:
         from repro.lwe import modular
 
         q_bits = self.scheme.params.inner.q_bits
-        stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
-        matrix = modular.to_ring(self.db.matrix, q_bits)
-        out = modular.matmul(matrix, stacked, q_bits)
+        with obs.span(
+            "url.answer_batch", rows=self.db.num_rows, batch=len(queries)
+        ):
+            stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
+            matrix = modular.to_ring(self.db.matrix, q_bits)
+            out = modular.matmul(matrix, stacked, q_bits)
         self.ledger.add(
             "url",
             self.scheme.inner.apply_word_ops(self.db.num_rows) * len(queries),

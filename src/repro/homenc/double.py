@@ -43,6 +43,7 @@ import numpy as np
 from repro.lwe import modular, sampling
 from repro.lwe.params import LweParams
 from repro.lwe.regev import Ciphertext, RegevScheme, SecretKey
+from repro.obs import runtime as _obs
 from repro.rlwe.bfv import BfvCiphertext, BfvParams, BfvScheme, BfvSecretKey
 
 #: Default modulus-switch target: the largest prime below 2^32.
@@ -204,18 +205,23 @@ class DoubleLheScheme:
         switched = prep.switched_hint  # (rows, n_inner) mod T, uint64
         chunks = []
         for start in range(0, prep.rows, n_outer):
-            block = switched[start : start + n_outer]
-            # C has one polynomial per inner-secret index: column i of
-            # the hint block becomes the coefficients of C_i.
-            c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
-            c_polys[:, : block.shape[0]] = block.T
-            b_acc = []
-            a_acc = []
-            for ch, (p, ntt) in enumerate(zip(ring.primes, ring.ntts)):
-                c_ntt = ntt.forward(c_polys % np.uint64(p))
-                b_acc.append(_mulsum_mod(enc_key.z_b[:, ch, :], c_ntt, p))
-                a_acc.append(_mulsum_mod(enc_key.z_a[:, ch, :], c_ntt, p))
-            chunks.append(BfvCiphertext(b=np.stack(b_acc), a=np.stack(a_acc)))
+            # Kernel timer: the BFV homomorphic evaluation (one outer
+            # ciphertext per chunk) is the token path's hot loop.
+            with _obs.kernel_timer("bfv.apply"):
+                block = switched[start : start + n_outer]
+                # C has one polynomial per inner-secret index: column i
+                # of the hint block becomes the coefficients of C_i.
+                c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
+                c_polys[:, : block.shape[0]] = block.T
+                b_acc = []
+                a_acc = []
+                for ch, (p, ntt) in enumerate(zip(ring.primes, ring.ntts)):
+                    c_ntt = ntt.forward(c_polys % np.uint64(p))
+                    b_acc.append(_mulsum_mod(enc_key.z_b[:, ch, :], c_ntt, p))
+                    a_acc.append(_mulsum_mod(enc_key.z_a[:, ch, :], c_ntt, p))
+                chunks.append(
+                    BfvCiphertext(b=np.stack(b_acc), a=np.stack(a_acc))
+                )
         return CompressedHint(chunks=tuple(chunks), rows=prep.rows)
 
     # -- client-side recovery ---------------------------------------------------

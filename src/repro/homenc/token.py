@@ -29,6 +29,7 @@ from repro.homenc.double import (
 )
 from repro.lwe import modular, sampling
 from repro.lwe.regev import SecretKey
+from repro.obs import runtime as obs
 
 
 class TokenReuseError(RuntimeError):
@@ -113,8 +114,14 @@ class TokenFactory:
         if missing:
             raise ValueError(f"missing encrypted keys for services {missing}")
         hints = {}
-        for name, svc in self._services.items():
-            hints[name] = svc.scheme.evaluate_hint(enc_keys[name], svc.prep)
+        with obs.span("token.mint", services=len(self._services)):
+            for name, svc in self._services.items():
+                with obs.span(
+                    "token.evaluate_hint", service=name, rows=svc.prep.rows
+                ):
+                    hints[name] = svc.scheme.evaluate_hint(
+                        enc_keys[name], svc.prep
+                    )
         return TokenPayload(hints=hints)
 
 

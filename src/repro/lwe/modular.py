@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 #: Ciphertext moduli supported by the inner layer, keyed by bit width.
 SUPPORTED_Q_BITS = (32, 64)
 
@@ -83,8 +85,11 @@ def matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
     dtype = dtype_for(q_bits)
     a = np.asarray(a, dtype=dtype)
     b = np.asarray(b, dtype=dtype)
-    with np.errstate(over="ignore"):
-        return a @ b
+    # Kernel timer: the ranking/URL scans bottom out here.  Disabled
+    # observability costs one global read + branch (see repro.obs).
+    with _obs.kernel_timer("lwe.matmul"):
+        with np.errstate(over="ignore"):
+            return a @ b
 
 
 def matvec(a: np.ndarray, v: np.ndarray, q_bits: int) -> np.ndarray:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.lwe import modular, sampling
 from repro.lwe.params import LweParams
+from repro.obs import runtime as _obs
 
 
 @dataclass(frozen=True)
@@ -134,10 +135,12 @@ class RegevScheme:
         """Homomorphically compute ``Enc(M v)`` -- the online hot loop.
 
         Returns the evaluated ciphertext vector ``a = M c`` in Z_q^l.
-        This is the ~2*N word operations per query of SS6.1.
+        This is the ~2*N word operations per query of SS6.1.  The
+        ``kernel.lwe.apply`` timer contains ``kernel.lwe.matmul``.
         """
         matrix = self._check_matrix(matrix)
-        return modular.matvec(matrix, ct.c, self.params.q_bits)
+        with _obs.kernel_timer("lwe.apply"):
+            return modular.matvec(matrix, ct.c, self.params.q_bits)
 
     def decrypt(
         self, sk: SecretKey, hint: np.ndarray, answer: np.ndarray

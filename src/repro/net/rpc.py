@@ -20,21 +20,48 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.net.transport import TrafficLog
+from repro.obs import runtime as obs
 
 _FRAME = struct.Struct("<16sI")
 
+#: Hard cap on encoded method names; the frame header is fixed-width.
+MAX_METHOD_BYTES = 16
+
 
 def frame(method: str, payload: bytes) -> bytes:
-    """Length-prefixed message framing: [method:16][len:4][payload]."""
-    name = method.encode()[:16].ljust(16, b"\0")
-    return _FRAME.pack(name, len(payload)) + payload
+    """Length-prefixed message framing: [method:16][len:4][payload].
+
+    Method names longer than the 16-byte header field are rejected
+    rather than truncated: silent truncation made two long names alias
+    to the same handler on dispatch.
+    """
+    name = method.encode()
+    if len(name) > MAX_METHOD_BYTES:
+        raise ValueError(
+            f"method name {method!r} encodes to {len(name)} bytes;"
+            f" the frame header holds at most {MAX_METHOD_BYTES}"
+        )
+    return _FRAME.pack(name.ljust(MAX_METHOD_BYTES, b"\0"), len(payload)) + payload
 
 
 def unframe(blob: bytes) -> tuple[str, bytes]:
-    name, length = _FRAME.unpack_from(blob)
-    payload = blob[_FRAME.size : _FRAME.size + length]
-    if len(payload) != length:
+    """Parse one frame; the blob must be exactly header + payload.
+
+    Rejects both truncation (payload shorter than declared) and
+    trailing garbage (payload longer than declared): a frame that
+    round-trips is byte-identical to what ``frame`` produced.
+    """
+    if len(blob) < _FRAME.size:
         raise ValueError("truncated RPC frame")
+    name, length = _FRAME.unpack_from(blob)
+    payload = blob[_FRAME.size :]
+    if len(payload) < length:
+        raise ValueError("truncated RPC frame")
+    if len(payload) > length:
+        raise ValueError(
+            f"RPC frame carries {len(payload) - length} trailing bytes"
+            " beyond the declared payload length"
+        )
     return name.rstrip(b"\0").decode(), payload
 
 
@@ -55,7 +82,16 @@ class ServiceEndpoint:
         handler = self.handlers.get(method)
         if handler is None:
             raise KeyError(f"{self.name}: no such method {method!r}")
-        return frame(method, handler(payload))
+        with obs.span(
+            "rpc.dispatch",
+            service=self.name,
+            method=method,
+            request_bytes=len(request),
+        ) as sp:
+            response = frame(method, handler(payload))
+            if sp is not None:
+                sp.set(response_bytes=len(response))
+        return response
 
 
 @dataclass
@@ -72,9 +108,15 @@ class RpcChannel:
         payload: bytes,
     ) -> bytes:
         request = frame(method, payload)
-        self.log.record(phase, "up", len(request))
-        response = endpoint.dispatch(request)
-        self.log.record(phase, "down", len(response))
+        with obs.span("rpc.call", phase=phase, method=method) as sp:
+            self.log.record(phase, "up", len(request))
+            response = endpoint.dispatch(request)
+            self.log.record(phase, "down", len(response))
+            if sp is not None:
+                sp.set(bytes_up=len(request), bytes_down=len(response))
+            obs.count("rpc.calls")
+            obs.count("rpc.bytes_up", len(request))
+            obs.count("rpc.bytes_down", len(response))
         got_method, body = unframe(response)
         if got_method != method:
             raise ValueError(

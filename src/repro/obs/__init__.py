@@ -1,0 +1,91 @@
+"""repro.obs -- observability for the Tiptoe serving stack.
+
+Spans (where a query's time goes), metrics (latency distributions,
+kernel timers, counters), JSON exporters (per-query traces and the
+BENCH_*.json perf trajectory), and a unified text report that folds in
+the existing ``CostLedger`` / ``TrafficLog`` totals.
+
+Off by default and nearly free when off: library call sites go through
+:mod:`repro.obs.runtime`, whose disabled fast path is one global read
+plus one branch.  Enable with::
+
+    from repro.obs import runtime as obs
+
+    tracer, registry = obs.enable()
+    ...
+    obs.disable()
+
+Privacy contract: spans and metrics record *names, sizes, counts, and
+times* only -- never query text, scores, cluster ids, or key material
+(docs/SECURITY.md, "What the observability layer records").
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    TRACE_SCHEMA,
+    dump_trace,
+    metrics_to_dict,
+    read_bench_json,
+    span_to_dict,
+    trace_to_dict,
+    write_bench_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.report import render_report, render_span_tree
+from repro.obs.runtime import (
+    count,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    kernel_timer,
+    metrics,
+    observe,
+    span,
+    traced,
+    tracer,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Clock",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MONOTONIC",
+    "ManualClock",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "count",
+    "current_span",
+    "disable",
+    "dump_trace",
+    "enable",
+    "enabled",
+    "kernel_timer",
+    "metrics",
+    "metrics_to_dict",
+    "observe",
+    "percentile",
+    "read_bench_json",
+    "render_report",
+    "render_span_tree",
+    "span",
+    "span_to_dict",
+    "trace_to_dict",
+    "traced",
+    "tracer",
+    "write_bench_json",
+]

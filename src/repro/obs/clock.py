@@ -1,0 +1,47 @@
+"""Injectable monotonic clocks.
+
+Every duration the observability layer records comes from a *clock*:
+a zero-argument callable returning monotonic seconds as a float.  The
+production clock is :func:`time.perf_counter`; tests inject a
+:class:`ManualClock` and advance it by hand, which makes every span
+duration and histogram bucket deterministic.
+
+Library code never reads the wall clock -- ``time.time()`` is banned
+by the ``api-wallclock`` lint rule (wall time is neither monotonic nor
+reproducible, and absolute timestamps are one more thing a trace could
+leak).  Exported traces therefore carry only *relative* offsets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A clock is any zero-argument callable returning monotonic seconds.
+Clock = Callable[[], float]
+
+#: The production clock: CPython's highest-resolution monotonic timer.
+MONOTONIC: Clock = time.perf_counter
+
+
+class ManualClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    >>> clock = ManualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self._now += float(seconds)

@@ -1,0 +1,261 @@
+"""Counters, gauges, and fixed-bucket latency histograms.
+
+The registry is the process's numeric view of the serving stack:
+counters for monotonic totals (queries answered, RPC bytes), gauges
+for point-in-time values (workers alive), and histograms for latency
+distributions.  Histograms use *fixed* exponential buckets -- a
+quarter-decade grid from 1 microsecond to 100 seconds -- so two runs
+(or two machines) always bucket identically and snapshots can be
+diffed across PRs.
+
+Quantiles (p50/p95/p99) are estimated by linear interpolation inside
+the bucket containing the target rank, clamped to the observed
+min/max; :func:`percentile` gives the exact order statistic when the
+raw samples are at hand (the load generator uses it for BENCH_*.json).
+
+Everything is lock-protected and cheap: one ``bisect`` per observation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.obs.clock import MONOTONIC, Clock
+
+#: Quarter-decade latency bucket upper bounds, 1e-6 s .. 1e2 s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    10.0 ** (exp / 4.0) for exp in range(-24, 9)
+)
+
+
+def percentile(samples, q: float) -> float:
+    """Exact linear-interpolated percentile of raw samples.
+
+    ``q`` is in [0, 1].  Raises on an empty sample set -- callers
+    decide what an absent distribution means.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile rank must be in [0, 1]")
+    data = sorted(samples)
+    if not data:
+        raise ValueError("cannot take a percentile of no samples")
+    if len(data) == 1:
+        return float(data[0])
+    pos = q * (len(data) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value; set freely."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimates."""
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float | None:
+        return self._sum / self._count if self._count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the q-quantile from the bucket counts.
+
+        Linear interpolation within the target bucket, clamped to the
+        observed [min, max]; None if nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile rank must be in [0, 1]")
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            lo_seen, hi_seen = self._min, self._max
+        if count == 0:
+            return None
+        target = q * count
+        cumulative = 0
+        for idx, bucket_count in enumerate(counts):
+            if cumulative + bucket_count >= target and bucket_count > 0:
+                lower = self.bounds[idx - 1] if idx > 0 else 0.0
+                upper = (
+                    self.bounds[idx]
+                    if idx < len(self.bounds)
+                    else (hi_seen if hi_seen is not None else lower)
+                )
+                frac = (target - cumulative) / bucket_count
+                est = lower + frac * (upper - lower)
+                return min(max(est, lo_seen), hi_seen)
+            cumulative += bucket_count
+        return hi_seen
+
+    @property
+    def p50(self) -> float | None:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float | None:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict:
+        """A JSON-ready digest of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class _HistogramTimer:
+    """Times a block into a histogram using the registry's clock."""
+
+    __slots__ = ("_hist", "_clock", "_start")
+
+    def __init__(self, hist: Histogram, clock: Clock):
+        self._hist = hist
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._hist.observe(self._clock() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics; one per process (usually)."""
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock: Clock = clock if clock is not None else MONOTONIC
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as"
+                    f" {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        if buckets is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, buckets)
+
+    def timer(self, name: str) -> _HistogramTimer:
+        """Context manager timing a block into ``histogram(name)``."""
+        return _HistogramTimer(self.histogram(name), self.clock)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every registered metric."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = metric.summary()
+        return out

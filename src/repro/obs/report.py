@@ -1,0 +1,114 @@
+"""Human-readable rendering: span trees, metric tables, unified totals.
+
+One report joins the three accounting systems the repo already has:
+
+* the **span tree** of a query (where the time went),
+* the **metrics registry** (latency distributions, kernel timers),
+* the existing **CostLedger** (word operations -> core-seconds) and
+  **TrafficLog** (bytes per phase) totals,
+
+so ``python -m repro obs-report`` shows time, compute, and bytes in a
+single view.  Pure string formatting -- no I/O, no clock reads.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_span_tree(root: Span, indent: int = 0) -> list[str]:
+    """One line per span: name, duration, and its recorded attributes."""
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+    pad = "  " * indent
+    line = f"{pad}{root.name:<{max(28 - len(pad), 1)}s} {_fmt_seconds(root.duration):>10s}"
+    if attrs:
+        line += f"  [{attrs}]"
+    lines = [line]
+    for child in root.children:
+        lines.extend(render_span_tree(child, indent + 1))
+    return lines
+
+
+def render_report(
+    *,
+    metrics: MetricsRegistry | None = None,
+    trace: Span | None = None,
+    ledger=None,
+    traffic=None,
+) -> str:
+    """The unified text report (see module docstring)."""
+    sections: list[str] = []
+
+    if trace is not None:
+        sections.append("== last query trace ==")
+        sections.extend(render_span_tree(trace))
+        sections.append("")
+
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        if snapshot["histograms"]:
+            sections.append("== latency histograms ==")
+            header = (
+                f"{'histogram':<32s} {'count':>7s} {'mean':>10s}"
+                f" {'p50':>10s} {'p95':>10s} {'p99':>10s}"
+            )
+            sections.append(header)
+            for name, digest in snapshot["histograms"].items():
+                sections.append(
+                    f"{name:<32s} {digest['count']:>7d}"
+                    f" {_fmt_seconds(digest['mean']):>10s}"
+                    f" {_fmt_seconds(digest['p50']):>10s}"
+                    f" {_fmt_seconds(digest['p95']):>10s}"
+                    f" {_fmt_seconds(digest['p99']):>10s}"
+                )
+            sections.append("")
+        if snapshot["counters"]:
+            sections.append("== counters ==")
+            for name, value in snapshot["counters"].items():
+                sections.append(f"{name:<32s} {value:>12,d}")
+            sections.append("")
+        if snapshot["gauges"]:
+            sections.append("== gauges ==")
+            for name, value in snapshot["gauges"].items():
+                sections.append(f"{name:<32s} {value:>12,.3f}")
+            sections.append("")
+
+    if ledger is not None:
+        sections.append("== server compute (CostLedger) ==")
+        sections.append(
+            f"{'component':<32s} {'word ops':>14s} {'core-seconds':>13s}"
+        )
+        for component in sorted(ledger.word_ops):
+            sections.append(
+                f"{component:<32s} {ledger.total_ops(component):>14,d}"
+                f" {ledger.core_seconds(component):>13.6f}"
+            )
+        sections.append(
+            f"{'total':<32s} {ledger.total_ops():>14,d}"
+            f" {ledger.core_seconds():>13.6f}"
+        )
+        sections.append("")
+
+    if traffic is not None:
+        sections.append("== traffic (TrafficLog) ==")
+        sections.append(f"{'phase':<32s} {'bytes up':>12s} {'bytes down':>12s}")
+        for phase, (up, down) in traffic.phase_summary().items():
+            sections.append(f"{phase:<32s} {up:>12,d} {down:>12,d}")
+        sections.append(
+            f"{'total':<32s} {traffic.bytes_up():>12,d}"
+            f" {traffic.bytes_down():>12,d}"
+        )
+        sections.append("")
+
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,167 @@
+"""Spans and traces: where one query's time goes.
+
+A :class:`Span` is a named interval with attributes and children; a
+*trace* is the tree rooted at a span opened with no parent.  The
+:class:`Tracer` hands out spans as context managers::
+
+    tracer = Tracer()
+    with tracer.span("client.search") as root:
+        with tracer.span("ranking", bytes_up=1234):
+            ...
+
+Thread model: the "current span" stack is thread-local, so spans
+opened on the same thread nest automatically.  Worker threads (which
+have no ambient stack) attach to the caller's span by passing
+``parent=`` explicitly; child-list mutation is locked, so concurrent
+workers attach safely.
+
+Privacy contract (docs/SECURITY.md): span names are static strings and
+attributes are sizes, counts, and times only -- never query text,
+scores, cluster choices, or key material.  The secret-taint lint runs
+over this package like any other.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.clock import MONOTONIC, Clock
+
+
+@dataclass
+class Span:
+    """One named, timed interval in a trace tree."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from start to end, or None while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (sizes, counts -- never secret values)."""
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def child_names(self) -> list[str]:
+        return [c.name for c in self.children]
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and seals it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_parent", "_attrs", "_is_root", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, parent: Span | None, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._parent = parent
+        self._attrs = attrs
+        self._is_root = False
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self.span, self._is_root = self._tracer._open(
+            self._name, self._parent, self._attrs
+        )
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Record only the exception *type* -- messages may embed data.
+        error = exc_type.__name__ if exc_type is not None else None
+        self._tracer._close(self.span, self._is_root, error)
+        return False
+
+
+class Tracer:
+    """Collects span trees; one finished root span per trace."""
+
+    def __init__(self, clock: Clock | None = None, max_traces: int = 64):
+        if max_traces < 1:
+            raise ValueError("max_traces must be at least 1")
+        self.clock: Clock = clock if clock is not None else MONOTONIC
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._traces: list[Span] = []
+
+    # -- the public surface ------------------------------------------------
+
+    def span(self, name: str, parent: Span | None = None, **attrs):
+        """Open a span as a context manager.
+
+        With no explicit ``parent`` the span nests under the current
+        span of the calling thread (or starts a new trace if there is
+        none).  Pool workers pass the coordinator's span explicitly.
+        """
+        return _SpanContext(self, name, parent, attrs)
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def traces(self) -> tuple[Span, ...]:
+        """All finished traces, oldest first (bounded by max_traces)."""
+        with self._lock:
+            return tuple(self._traces)
+
+    def last_trace(self) -> Span | None:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(
+        self, name: str, parent: Span | None, attrs
+    ) -> tuple[Span, bool]:
+        span = Span(name=name, start=self.clock(), attrs=dict(attrs))
+        if parent is None:
+            parent = self.current()
+        if parent is not None:
+            with self._lock:
+                parent.children.append(span)
+        self._stack().append(span)
+        return span, parent is None
+
+    def _close(self, span: Span | None, is_root: bool, error: str | None) -> None:
+        if span is None:
+            return
+        span.end = self.clock()
+        if error is not None:
+            span.attrs["error"] = error
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit; drop through to it
+            del stack[stack.index(span) :]
+        if is_root:
+            with self._lock:
+                self._traces.append(span)
+                if len(self._traces) > self.max_traces:
+                    del self._traces[: -self.max_traces]

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 #: Largest usable NTT modulus: products of two residues must fit uint64.
 MAX_PRIME_BITS = 31
 
@@ -135,42 +137,44 @@ class NttContext:
 
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Negacyclic NTT along the last axis; input values must be < p."""
-        p = np.uint64(self.p)
-        n = self.n
-        out = np.ascontiguousarray(a, dtype=np.uint64).copy()
-        lead = out.shape[:-1]
-        t = n
-        m = 1
-        while m < n:
-            t //= 2
-            view = out.reshape(*lead, m, 2, t)
-            s = self._psi_rev[m : 2 * m].reshape(m, 1)
-            u = view[..., 0, :].copy()
-            v = view[..., 1, :] * s % p
-            view[..., 0, :] = (u + v) % p
-            view[..., 1, :] = (u + p - v) % p
-            m *= 2
-        return out
+        with _obs.kernel_timer("ntt.forward"):
+            p = np.uint64(self.p)
+            n = self.n
+            out = np.ascontiguousarray(a, dtype=np.uint64).copy()
+            lead = out.shape[:-1]
+            t = n
+            m = 1
+            while m < n:
+                t //= 2
+                view = out.reshape(*lead, m, 2, t)
+                s = self._psi_rev[m : 2 * m].reshape(m, 1)
+                u = view[..., 0, :].copy()
+                v = view[..., 1, :] * s % p
+                view[..., 0, :] = (u + v) % p
+                view[..., 1, :] = (u + p - v) % p
+                m *= 2
+            return out
 
     def inverse(self, a: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT along the last axis."""
-        p = np.uint64(self.p)
-        n = self.n
-        out = np.ascontiguousarray(a, dtype=np.uint64).copy()
-        lead = out.shape[:-1]
-        t = 1
-        m = n
-        while m > 1:
-            h = m // 2
-            view = out.reshape(*lead, h, 2, t)
-            s = self._inv_psi_rev[h : 2 * h].reshape(h, 1)
-            u = view[..., 0, :].copy()
-            v = view[..., 1, :].copy()
-            view[..., 0, :] = (u + v) % p
-            view[..., 1, :] = (u + p - v) * s % p
-            t *= 2
-            m = h
-        return out * self._n_inv % p
+        with _obs.kernel_timer("ntt.inverse"):
+            p = np.uint64(self.p)
+            n = self.n
+            out = np.ascontiguousarray(a, dtype=np.uint64).copy()
+            lead = out.shape[:-1]
+            t = 1
+            m = n
+            while m > 1:
+                h = m // 2
+                view = out.reshape(*lead, h, 2, t)
+                s = self._inv_psi_rev[h : 2 * h].reshape(h, 1)
+                u = view[..., 0, :].copy()
+                v = view[..., 1, :].copy()
+                view[..., 0, :] = (u + v) % p
+                view[..., 1, :] = (u + p - v) * s % p
+                t *= 2
+                m = h
+            return out * self._n_inv % p
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Product of two polynomials in Z_p[x]/(x^n + 1)."""

@@ -9,3 +9,10 @@ def validates_with_assert(x):
 def chatty(x):
     print("value:", x)  # BAD: library module writing to stdout
     return x
+
+
+def wall_clock_timing():
+    import time
+
+    start = time.time()  # BAD: wall-clock; use perf_counter / Clock
+    return start

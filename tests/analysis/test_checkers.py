@@ -65,6 +65,7 @@ class TestApiChecker:
         rules = active_rules(CORPUS / "bad_api.py")
         assert rules["api-assert"] == 1
         assert rules["api-print"] == 1
+        assert rules["api-wallclock"] == 1
 
     def test_good_file_is_clean(self):
         assert not active_rules(CORPUS / "good_api.py")

@@ -76,3 +76,127 @@ class TestBatchedAnswers:
             service.answer_batch(queries)
         batched_s = time.perf_counter() - t0
         assert batched_s < individual_s * 1.5
+
+
+class TestParallelBatch:
+    """Regression: answer_batch ran shards serially even when
+    ``parallel=True``; it must fan out AND stay bit-identical."""
+
+    def _build(self, engine, parallel):
+        index = engine.index
+        service = ShardedRankingService.build(
+            index.ranking_scheme, index.layout.matrix, index.layout.dim, 4
+        )
+        service.parallel = parallel
+        return service
+
+    def test_parallel_batch_bit_identical_to_serial(self, engine, batch_setup):
+        _, queries = batch_setup
+        serial = self._build(engine, parallel=False)
+        parallel = self._build(engine, parallel=True)
+        try:
+            a_serial = serial.answer_batch(queries)
+            a_parallel = parallel.answer_batch(queries)
+            for got, want in zip(a_parallel, a_serial):
+                assert np.array_equal(got.values, want.values)
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_parallel_batch_matches_individual_answers(self, engine, batch_setup):
+        _, queries = batch_setup
+        with self._build(engine, parallel=True) as service:
+            individual = [service.answer(q).values for q in queries]
+            batched = [a.values for a in service.answer_batch(queries)]
+        for got, want in zip(batched, individual):
+            assert np.array_equal(got, want)
+
+    def test_parallel_batch_runs_on_pool_threads(
+        self, engine, batch_setup, monkeypatch
+    ):
+        import threading
+
+        from repro.core import cluster_runtime
+        from repro.lwe import modular
+
+        _, queries = batch_setup
+        threads = set()
+        real_matmul = modular.matmul
+
+        def spying_matmul(a, b, q_bits):
+            threads.add(threading.get_ident())
+            return real_matmul(a, b, q_bits)
+
+        monkeypatch.setattr(cluster_runtime.modular, "matmul", spying_matmul)
+        with self._build(engine, parallel=True) as service:
+            service.answer_batch(queries)
+        # The regression ran every shard on the calling thread; the fix
+        # hands all shard scans to pool threads.
+        assert threads and threading.get_ident() not in threads
+
+    def test_worker_failure_blocks_parallel_batch(self, engine, batch_setup):
+        _, queries = batch_setup
+        with self._build(engine, parallel=True) as service:
+            service.fail_worker(2)
+            with pytest.raises(WorkerFailure):
+                service.answer_batch(queries)
+
+
+class TestPoolLifecycle:
+    """Regression: the shard thread pool was never shut down."""
+
+    def test_close_shuts_down_pool(self, engine, batch_setup):
+        _, queries = batch_setup
+        service = ShardedRankingService.build(
+            engine.index.ranking_scheme,
+            engine.index.layout.matrix,
+            engine.index.layout.dim,
+            3,
+        )
+        service.parallel = True
+        service.answer(queries[0])
+        assert service._pool is not None
+        service.close()
+        assert service._pool is None
+        service.close()  # idempotent
+
+    def test_answer_after_close_recreates_pool(self, engine, batch_setup):
+        _, queries = batch_setup
+        service = ShardedRankingService.build(
+            engine.index.ranking_scheme,
+            engine.index.layout.matrix,
+            engine.index.layout.dim,
+            3,
+        )
+        service.parallel = True
+        want = service.answer(queries[0]).values
+        service.close()
+        got = service.answer(queries[0]).values
+        assert np.array_equal(got, want)
+        service.close()
+
+    def test_context_manager_closes(self, engine, batch_setup):
+        _, queries = batch_setup
+        with ShardedRankingService.build(
+            engine.index.ranking_scheme,
+            engine.index.layout.matrix,
+            engine.index.layout.dim,
+            3,
+        ) as service:
+            service.parallel = True
+            service.answer(queries[0])
+            assert service._pool is not None
+        assert service._pool is None
+
+    def test_engine_close_reaches_ranking_pool(self, corpus):
+        from repro import TiptoeConfig, TiptoeEngine
+
+        with TiptoeEngine.build(
+            corpus.texts()[:120],
+            corpus.urls()[:120],
+            TiptoeConfig(),
+            rng=np.random.default_rng(4),
+        ) as engine:
+            engine.ranking_service.parallel = True
+            engine.search(corpus.documents[0].text, np.random.default_rng(5))
+        assert engine.ranking_service._pool is None

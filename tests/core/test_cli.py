@@ -39,3 +39,30 @@ class TestCommands:
         assert main(["quality", "--docs", "150", "--queries", "10"]) == 0
         out = capsys.readouterr().out
         assert "MRR@100" in out
+
+    def test_obs_report_runs_and_disables_obs(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import TRACE_SCHEMA, runtime as obs
+
+        trace_path = tmp_path / "TRACE_q.json"
+        assert main([
+            "obs-report", "--docs", "120", "--queries", "1",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "client.search" in out
+        assert "kernel.lwe.matmul" in out
+        assert "CostLedger" in out and "TrafficLog" in out
+        doc = json.loads(trace_path.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert not obs.enabled()  # command cleans up the global switch
+
+    def test_obs_report_json_mode(self, capsys):
+        import json
+
+        assert main(["obs-report", "--docs", "120", "--queries", "1",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "metrics_snapshot"
+        assert doc["data"]["counters"]["client.searches"] == 1

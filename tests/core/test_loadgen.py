@@ -1,9 +1,16 @@
 """Tests for the throughput load generator."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.core.loadgen import PhaseThroughput, measure_throughput
+from repro.core.loadgen import (
+    PhaseThroughput,
+    measure_throughput,
+    write_bench_files,
+)
+from repro.obs import BENCH_SCHEMA, ManualClock, MetricsRegistry
 
 
 class TestPhaseThroughput:
@@ -14,6 +21,21 @@ class TestPhaseThroughput:
     def test_zero_time_guard(self):
         p = PhaseThroughput(phase="x", queries=1, wall_seconds=0.0)
         assert p.queries_per_second > 0
+
+    def test_latencies_default_to_absent(self):
+        p = PhaseThroughput(phase="x", queries=2, wall_seconds=1.0)
+        assert p.latencies == ()
+        assert p.p50 is None and p.p95 is None and p.p99 is None
+
+    def test_exact_latency_quantiles(self):
+        p = PhaseThroughput(
+            phase="x",
+            queries=4,
+            wall_seconds=1.0,
+            latencies=(0.1, 0.2, 0.3, 0.4),
+        )
+        assert p.p50 == pytest.approx(0.25)
+        assert p.latency_quantile(1.0) == pytest.approx(0.4)
 
 
 class TestMeasureThroughput:
@@ -32,3 +54,49 @@ class TestMeasureThroughput:
         assert report.ranking.queries == 4
         assert report.url.queries == 4
         assert report.token.queries >= 1
+
+    def test_injected_clock_makes_latencies_deterministic(self, engine):
+        """Each query is timed individually through the injected clock."""
+        clock = ManualClock()
+        report = measure_throughput(
+            engine, num_queries=3, rng=np.random.default_rng(2), clock=clock
+        )
+        for phase in report.phases():
+            assert len(phase.latencies) == phase.queries
+            # The manual clock never advanced: all latencies exactly 0.
+            assert phase.latencies == (0.0,) * phase.queries
+            assert phase.wall_seconds == 0.0
+
+    def test_registry_collects_per_phase_histograms(self, engine):
+        registry = MetricsRegistry(clock=ManualClock())
+        report = measure_throughput(
+            engine,
+            num_queries=3,
+            rng=np.random.default_rng(3),
+            registry=registry,
+        )
+        for phase in ("token", "ranking", "url"):
+            hist = registry.histogram(f"loadgen.{phase}.seconds")
+            assert hist.count == getattr(report, phase).queries
+
+
+class TestBenchFiles:
+    def test_write_bench_files_schema_and_content(self, engine, tmp_path):
+        report = measure_throughput(
+            engine, num_queries=3, rng=np.random.default_rng(4)
+        )
+        tp_path, lat_path = write_bench_files(report, tmp_path)
+        assert tp_path.name == "BENCH_throughput.json"
+        assert lat_path.name == "BENCH_latency.json"
+        tp = json.loads(tp_path.read_text())
+        lat = json.loads(lat_path.read_text())
+        assert tp["schema"] == lat["schema"] == BENCH_SCHEMA
+        assert tp["bench"] == "throughput" and lat["bench"] == "latency"
+        ranking = tp["data"]["phases"]["ranking"]
+        assert ranking["queries"] == 3
+        assert ranking["queries_per_second"] == pytest.approx(
+            report.ranking.queries_per_second
+        )
+        lat_ranking = lat["data"]["phases"]["ranking"]
+        assert lat_ranking["count"] == 3
+        assert lat_ranking["p50_s"] == pytest.approx(report.ranking.p50)

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.net import wire
-from repro.net.rpc import FRAME_BYTES, RpcChannel, ServiceEndpoint, frame, unframe
+from repro.net.rpc import (
+    FRAME_BYTES,
+    MAX_METHOD_BYTES,
+    RpcChannel,
+    ServiceEndpoint,
+    frame,
+    unframe,
+)
 from repro.net.transport import TrafficLog
 
 
@@ -18,9 +25,32 @@ class TestFraming:
         with pytest.raises(ValueError):
             unframe(blob[:-1])
 
-    def test_method_name_capped_at_16(self):
-        method, _ = unframe(frame("a" * 30, b""))
-        assert method == "a" * 16
+    def test_header_shorter_than_fixed_fields_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            unframe(b"\x00" * (FRAME_BYTES - 1))
+
+    def test_oversized_method_name_raises(self):
+        """Regression: frame() used to silently truncate to 16 bytes,
+        so two distinct long method names could alias on the wire."""
+        with pytest.raises(ValueError, match="16"):
+            frame("a" * (MAX_METHOD_BYTES + 1), b"")
+
+    def test_max_length_method_name_round_trips(self):
+        name = "m" * MAX_METHOD_BYTES
+        method, payload = unframe(frame(name, b"xy"))
+        assert method == name and payload == b"xy"
+
+    def test_non_ascii_method_counted_in_bytes(self):
+        # 9 chars but 18 UTF-8 bytes: the byte length is what must fit.
+        with pytest.raises(ValueError):
+            frame("é" * 9, b"")
+
+    def test_trailing_garbage_rejected(self):
+        """Regression: unframe() used to ignore bytes past the declared
+        payload length, silently accepting corrupted frames."""
+        blob = frame("answer", b"\x01\x02") + b"\x99"
+        with pytest.raises(ValueError, match="trailing"):
+            unframe(blob)
 
 
 class TestEndpoint:

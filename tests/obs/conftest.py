@@ -1,0 +1,12 @@
+"""Obs tests never leak global state into the rest of the suite."""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    runtime.disable()
+    yield
+    runtime.disable()

@@ -1,0 +1,82 @@
+"""Trace and BENCH JSON exporters: schemas, offsets, round trips."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BENCH_SCHEMA,
+    TRACE_SCHEMA,
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    dump_trace,
+    metrics_to_dict,
+    read_bench_json,
+    span_to_dict,
+    trace_to_dict,
+    write_bench_json,
+)
+
+
+@pytest.fixture()
+def trace():
+    clock = ManualClock(start=100.0)  # non-zero epoch: offsets must hide it
+    tracer = Tracer(clock=clock)
+    with tracer.span("root", queries=1):
+        clock.advance(1.0)
+        with tracer.span("child"):
+            clock.advance(0.5)
+        clock.advance(0.25)
+    return tracer.last_trace()
+
+
+class TestTraceExport:
+    def test_times_are_offsets_from_root(self, trace):
+        doc = span_to_dict(trace)
+        assert doc["start_s"] == 0.0  # the 100 s epoch never appears
+        assert doc["end_s"] == pytest.approx(1.75)
+        (child,) = doc["children"]
+        assert child["start_s"] == pytest.approx(1.0)
+        assert child["duration_s"] == pytest.approx(0.5)
+
+    def test_attrs_survive(self, trace):
+        assert span_to_dict(trace)["attrs"] == {"queries": 1}
+
+    def test_envelope_schema_and_total(self, trace):
+        doc = trace_to_dict(trace)
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["total_seconds"] == pytest.approx(1.75)
+
+    def test_dump_trace_round_trips_through_json(self, trace, tmp_path):
+        path = dump_trace(trace, tmp_path / "TRACE_q.json")
+        doc = json.loads(path.read_text())
+        assert doc["root"]["name"] == "root"
+        assert doc["root"]["children"][0]["name"] == "child"
+
+
+class TestBenchExport:
+    def test_write_then_read(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "BENCH_x.json", "throughput", {"phases": {}}
+        )
+        doc = read_bench_json(path)
+        assert doc == {
+            "schema": BENCH_SCHEMA,
+            "bench": "throughput",
+            "data": {"phases": {}},
+        }
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/v0", "data": {}}))
+        with pytest.raises(ValueError):
+            read_bench_json(path)
+
+    def test_metrics_snapshot_envelope(self):
+        reg = MetricsRegistry(clock=ManualClock())
+        reg.counter("c").inc()
+        doc = metrics_to_dict(reg)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["bench"] == "metrics_snapshot"
+        assert doc["data"]["counters"] == {"c": 1}

@@ -1,0 +1,137 @@
+"""Counters, gauges, histograms, and exact percentiles."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    ManualClock,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_set(self):
+        assert percentile([3, 1, 2], 0.5) == 2.0
+
+    def test_interpolates_between_order_statistics(self):
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_rank_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(1.5)
+        assert reg.gauge("g").value == 1.5
+
+
+class TestHistogram:
+    def test_default_buckets_span_us_to_100s(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(1e2)
+
+    def test_count_sum_mean(self):
+        h = Histogram("h")
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.006)
+        assert h.mean == pytest.approx(0.002)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("h")
+        h.observe(0.5)
+        # One sample: every quantile is that sample, not a bucket edge.
+        assert h.p50 == 0.5
+        assert h.p99 == 0.5
+
+    def test_quantile_ordering(self):
+        h = Histogram("h")
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        assert h.p50 <= h.p95 <= h.p99
+        assert 0.001 <= h.p50 <= 0.1
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h")
+        assert h.p50 is None
+        assert h.mean is None
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram("h")
+        h.observe(1e6)  # beyond the last bound
+        assert h.count == 1
+        assert h.p99 == 1e6
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_summary_is_json_ready(self):
+        h = Histogram("h")
+        h.observe(0.25)
+        s = h.summary()
+        assert s["count"] == 1 and s["min"] == s["max"] == 0.25
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_timer_uses_the_injected_clock(self):
+        clock = ManualClock()
+        reg = MetricsRegistry(clock=clock)
+        with reg.timer("op.seconds"):
+            clock.advance(0.125)
+        h = reg.histogram("op.seconds")
+        assert h.count == 1
+        assert h.total == pytest.approx(0.125)
+
+    def test_snapshot_partitions_by_kind(self):
+        reg = MetricsRegistry(clock=ManualClock())
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ("a", "b")

@@ -1,0 +1,145 @@
+"""Span/trace semantics under a deterministic manual clock."""
+
+import threading
+
+import pytest
+
+from repro.obs import ManualClock, Tracer
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestNesting:
+    def test_child_nests_under_ambient_parent(self, tracer, clock):
+        with tracer.span("root") as root:
+            clock.advance(1.0)
+            with tracer.span("child") as child:
+                clock.advance(0.5)
+            clock.advance(0.25)
+        assert root.children == [child]
+        assert root.duration == pytest.approx(1.75)
+        assert child.duration == pytest.approx(0.5)
+        assert child.start - root.start == pytest.approx(1.0)
+
+    def test_sibling_order_is_preserved(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert root.child_names() == ["a", "b"]
+
+    def test_root_span_becomes_a_trace(self, tracer):
+        with tracer.span("query"):
+            pass
+        assert tracer.last_trace().name == "query"
+        assert len(tracer.traces()) == 1
+
+    def test_nested_span_is_not_its_own_trace(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["root"]
+
+    def test_current_tracks_the_innermost_span(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("root") as root:
+            assert tracer.current() is root
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is root
+        assert tracer.current() is None
+
+
+class TestAttributes:
+    def test_attrs_from_open_and_set(self, tracer):
+        with tracer.span("s", rows=3) as sp:
+            sp.set(bytes_up=128)
+        assert sp.attrs == {"rows": 3, "bytes_up": 128}
+
+    def test_error_records_exception_type_only(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("secret-laden message")
+        sp = tracer.last_trace()
+        assert sp.attrs["error"] == "RuntimeError"
+        assert "secret" not in str(sp.attrs.values())
+
+    def test_find_collects_descendants_by_name(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("worker"):
+                pass
+            with tracer.span("worker"):
+                pass
+        assert len(root.find("worker")) == 2
+        assert root.find("root") == [root]
+
+
+class TestThreads:
+    def test_explicit_parent_attaches_worker_spans(self, tracer, clock):
+        """Pool workers have no ambient stack; parent= wires them in."""
+        with tracer.span("coord") as coord:
+
+            def work():
+                with tracer.span("worker", parent=coord):
+                    pass
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(coord.find("worker")) == 4
+        # The workers attached to the coordinator, not to the trace list.
+        assert [t.name for t in tracer.traces()] == ["coord"]
+
+    def test_threads_do_not_share_the_ambient_stack(self, tracer):
+        seen = {}
+
+        def work():
+            seen["current"] = tracer.current()
+
+        with tracer.span("root"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert seen["current"] is None
+
+
+class TestBounds:
+    def test_trace_buffer_is_bounded(self, clock):
+        tracer = Tracer(clock=clock, max_traces=3)
+        for i in range(7):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["t4", "t5", "t6"]
+
+    def test_max_traces_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+    def test_clear_empties_the_buffer(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.traces() == ()
+        assert tracer.last_trace() is None
+
+
+class TestManualClock:
+    def test_advance_moves_time_forward(self, clock):
+        t0 = clock()
+        clock.advance(2.5)
+        assert clock() - t0 == pytest.approx(2.5)
+
+    def test_negative_advance_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
