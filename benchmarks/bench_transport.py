@@ -1,0 +1,107 @@
+"""Transport overhead: loopback vs TCP round trips (SS8.1 context).
+
+The paper reports end-to-end latency over a real network; this repo's
+default transport is in-process loopback.  This bench measures what
+the socket plane itself costs -- same services, same wire encoding,
+one path dispatching in-process and the other crossing a local TCP
+socket through ``ServerRunner``.  The delta bounds the serialization +
+framing + syscall overhead a single-host deployment adds on top of
+the cryptographic work (the dominant term at paper scale is the
+server's linear scan, not the transport).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import TiptoeConfig, TiptoeEngine
+from repro.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.net.rpc import RpcChannel
+from repro.net.tcp import ServerRunner, connect_transport
+from repro.net.transport import TrafficLog
+
+
+@pytest.fixture(scope="module")
+def transport_engine():
+    corpus = SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=150, seed=23)
+    )
+    engine = TiptoeEngine.build(
+        corpus.texts(),
+        corpus.urls(),
+        TiptoeConfig(),
+        rng=np.random.default_rng(23),
+    )
+    yield engine
+    engine.close()
+
+
+def _time_round_trips(channel, rounds: int) -> list[float]:
+    """Per-call latency of the cheapest endpoint (hint download)."""
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        channel.call("hint", "hint", "url", b"")
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def test_loopback_vs_tcp_round_trip(transport_engine, benchmark):
+    rounds = 30
+    loop_channel = RpcChannel(TrafficLog(), transport_engine.transport)
+
+    with ServerRunner(transport_engine.services.values(), port=0) as runner:
+        host, port = runner.address
+        tcp = connect_transport(host, port, timeout=10.0)
+        tcp_channel = RpcChannel(TrafficLog(), tcp)
+
+        def run():
+            return (
+                _time_round_trips(loop_channel, rounds),
+                _time_round_trips(tcp_channel, rounds),
+            )
+
+        loop_s, tcp_s = benchmark.pedantic(run, rounds=1, iterations=1)
+        tcp.close()
+
+    loop_p50 = sorted(loop_s)[len(loop_s) // 2]
+    tcp_p50 = sorted(tcp_s)[len(tcp_s) // 2]
+    emit(
+        "BENCH_transport",
+        [
+            f"{'path':>10s} {'p50 us':>10s} {'min us':>10s}",
+            f"{'loopback':>10s} {loop_p50 * 1e6:10.1f} {min(loop_s) * 1e6:10.1f}",
+            f"{'tcp':>10s} {tcp_p50 * 1e6:10.1f} {min(tcp_s) * 1e6:10.1f}",
+            f"socket overhead p50: {(tcp_p50 - loop_p50) * 1e6:.1f} us/call",
+        ],
+    )
+    # Sanity, not a perf assertion: both paths completed every call.
+    assert len(loop_s) == len(tcp_s) == rounds
+
+
+def test_tcp_search_end_to_end(transport_engine, benchmark):
+    """A whole private search over the socket plane."""
+    with ServerRunner(transport_engine.services.values(), port=0) as runner:
+        host, port = runner.address
+        remote = TiptoeEngine.connect(
+            transport_engine.index, host, port
+        )
+
+        result = benchmark.pedantic(
+            lambda: remote.search("alpha beta", np.random.default_rng(3)),
+            rounds=1,
+            iterations=1,
+        )
+        up, down = result.traffic.bytes_up(), result.traffic.bytes_down()
+        remote.close()
+
+    emit(
+        "BENCH_transport_search",
+        [
+            f"results: {len(result.results)}",
+            f"traffic: {up:,} B up / {down:,} B down",
+        ],
+    )
+    assert result.results

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.base import Checker
 from repro.analysis.checkers.api import ApiHygieneChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
+from repro.analysis.checkers.net import TransportSeamChecker
 from repro.analysis.checkers.rng import RngHygieneChecker
 from repro.analysis.checkers.taint import SecretTaintChecker
 
@@ -16,6 +17,7 @@ def build_checkers(rules: set[str] | None = None) -> list[Checker]:
         SecretTaintChecker(),
         RngHygieneChecker(),
         ApiHygieneChecker(),
+        TransportSeamChecker(),
     ]
     if rules is None:
         return checkers
@@ -39,6 +41,7 @@ __all__ = [
     "DtypeDisciplineChecker",
     "RngHygieneChecker",
     "SecretTaintChecker",
+    "TransportSeamChecker",
     "all_rules",
     "build_checkers",
 ]

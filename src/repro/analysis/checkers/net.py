@@ -1,0 +1,67 @@
+"""The transport-seam rule: all request bytes cross a Transport.
+
+The serving stack's refactor (DESIGN.md, "Deployment") makes
+:class:`repro.net.transport.Transport` the only path by which request
+bytes reach a service: the client-side channel addresses services by
+name, and only a transport implementation may hand a frame to
+``ServiceEndpoint.dispatch``.  Code that dispatches on an endpoint
+object directly would run in-process only -- it silently breaks the
+moment the deployment is split across machines, and it bypasses the
+traffic accounting the evaluation depends on.
+
+``net-dispatch`` therefore flags any ``*.dispatch(...)`` call outside
+:mod:`repro.net` itself.  The name-based heuristic is deliberate: in
+this codebase ``dispatch`` belongs to the RPC vocabulary, so a new
+method of that name outside the net package deserves a second look
+(and a justified suppression if it is genuinely unrelated).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, FileContext
+from repro.analysis.findings import Finding, RuleSpec
+
+
+class TransportSeamChecker(Checker):
+    name = "net"
+    rules = (
+        RuleSpec(
+            rule="net-dispatch",
+            summary=(
+                "ServiceEndpoint.dispatch called outside repro.net;"
+                " route the request through an RpcChannel + Transport"
+            ),
+            invariant=(
+                "every request crosses the transport seam, so in-process"
+                " and socket deployments run the same code path"
+            ),
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The seam's own implementations (loopback, the socket server)
+        # are the one legitimate home of dispatch calls.
+        parts = ctx.parts[:-1]
+        return not ("repro" in parts and "net" in parts)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "dispatch"
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "net-dispatch",
+                        node,
+                        "direct endpoint dispatch bypasses the transport"
+                        " seam; call RpcChannel.call(service, ...) so the"
+                        " request works over loopback and sockets alike",
+                    )
+                )
+        return findings

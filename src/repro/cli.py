@@ -13,6 +13,14 @@ params
 obs-report
     Run instrumented queries and print the observability report
     (span tree, kernel latency histograms, cost/traffic totals).
+build-index
+    Run the batch jobs over a synthetic corpus and persist the index
+    artifacts to a directory.
+serve
+    Cold-start the full service roster from saved artifacts and listen
+    on TCP (the deployment entry point).
+query
+    Run private searches against a running ``serve`` over TCP.
 """
 
 from __future__ import annotations
@@ -151,6 +159,68 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    from repro.core.config import TiptoeConfig
+    from repro.core.indexer import TiptoeIndex
+    from repro.corpus import SyntheticCorpus, SyntheticCorpusConfig
+
+    corpus = SyntheticCorpus.generate(
+        SyntheticCorpusConfig(num_docs=args.docs, seed=args.seed)
+    )
+    index = TiptoeIndex.build(
+        corpus.texts(),
+        corpus.urls(),
+        TiptoeConfig(),
+        rng=np.random.default_rng(args.seed),
+    )
+    index.save(args.out)
+    print(f"index over {args.docs} documents written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.indexer import TiptoeIndex
+    from repro.core.services import build_services
+    from repro.net.tcp import ServerRunner
+
+    index = TiptoeIndex.load(args.artifacts)
+    runner = ServerRunner(
+        build_services(index).values(),
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+    )
+    runner.start()
+    host, port = runner.address
+    # The bound port line is the hand-off contract with `query` (and
+    # the CI smoke test): printed first and flushed immediately.
+    print(f"serving on {host}:{port}", flush=True)
+    try:
+        runner.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.engine import TiptoeEngine
+    from repro.core.indexer import TiptoeIndex
+
+    index = TiptoeIndex.load(args.artifacts)
+    engine = TiptoeEngine.connect(index, args.host, args.port)
+    try:
+        result = engine.search(args.query, np.random.default_rng(args.seed))
+        for r in result.results[: args.top]:
+            print(f"  score={r.score:6d}  {r.url or '(outside fetched batch)'}")
+        up, down = result.traffic.bytes_up(), result.traffic.bytes_down()
+        print(f"traffic: {up:,} B up / {down:,} B down")
+    finally:
+        engine.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tiptoe private-search reproduction"
@@ -194,6 +264,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the metrics snapshot as JSON instead of the text report",
     )
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    build_index = sub.add_parser(
+        "build-index", help="run the batch jobs and persist the artifacts"
+    )
+    build_index.add_argument("out", type=str, help="artifact directory")
+    build_index.add_argument("--docs", type=int, default=400)
+    build_index.add_argument("--seed", type=int, default=0)
+    build_index.set_defaults(func=_cmd_build_index)
+
+    serve = sub.add_parser(
+        "serve", help="serve saved index artifacts over TCP"
+    )
+    serve.add_argument("artifacts", type=str, help="artifact directory")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; the bound port is printed)",
+    )
+    serve.add_argument("--workers", type=int, default=8)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="run a private search against a running serve"
+    )
+    query.add_argument("artifacts", type=str, help="artifact directory")
+    query.add_argument("query", type=str)
+    query.add_argument("--host", type=str, default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--top", type=int, default=5)
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

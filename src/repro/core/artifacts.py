@@ -1,0 +1,394 @@
+"""Versioned persistence for TiptoeIndex build outputs.
+
+The batch jobs (SS3.2) are expensive -- embedding, clustering, and the
+cryptographic preprocessing all scale with the corpus -- so a
+deployment runs them once and serves from the result.  This module
+writes everything :class:`~repro.core.indexer.TiptoeIndex` produced
+into a directory, and loads it back *bit-identically*: searches
+against a loaded index return exactly the bytes the original index
+would have (the regression suite asserts this).
+
+Layout of an artifact directory (schema ``repro.index/v1``)::
+
+    manifest.json   -- schema tag, config, scheme parameters (with the
+                       public A-seeds), database scalars, build ledger
+    vocab.json      -- the LSA embedder's term dictionary
+    arrays.npz      -- every numpy array: ranking layout, centroids,
+                       hints (raw + modulus-switched), the packed URL
+                       database, embeddings, PCA/LSA projections
+    blobs.bin       -- the compressed URL batches, u32-length-prefixed
+
+Ragged structures (cluster membership lists, per-batch doc ids) are
+stored flattened next to an offsets array.  Floats ride through JSON
+losslessly (``repr`` round-trips IEEE doubles exactly), and the LWE
+``A`` matrices are regenerated from their stored seeds, which is why
+bit-identical reloads are possible at all.
+
+``v1`` persists indexes whose embedder is the in-repo
+:class:`~repro.embeddings.lsa.LsaEmbedder` (or none, for the
+precomputed-embeddings path); foreign embedder objects are rejected
+with a clear error rather than pickled.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterIndex
+from repro.core.config import TiptoeConfig
+from repro.core.costs import CostLedger
+from repro.corpus.urls import UrlBatch
+from repro.embeddings.lsa import LsaEmbedder
+from repro.embeddings.pca import PcaReducer
+from repro.embeddings.vocab import Vocabulary
+from repro.homenc.double import (
+    DoubleLheParams,
+    DoubleLheScheme,
+    PreprocessedMatrix,
+)
+from repro.homenc.token import TokenFactory
+from repro.lwe.params import LweParams, SecurityLevel
+from repro.pir.database import PackedDatabase
+
+SCHEMA = "repro.index/v1"
+
+_MANIFEST = "manifest.json"
+_VOCAB = "vocab.json"
+_ARRAYS = "arrays.npz"
+_BLOBS = "blobs.bin"
+
+_BLOB_LEN = struct.Struct("<I")
+
+
+class ArtifactError(RuntimeError):
+    """The directory does not hold a loadable index artifact."""
+
+
+# -- ragged helpers -----------------------------------------------------------
+
+
+def _flatten(lists) -> tuple[np.ndarray, np.ndarray]:
+    """(flat values, offsets) for a list of int lists; offsets has one
+    entry per list plus a final sentinel, so list i is
+    ``flat[offsets[i]:offsets[i + 1]]``."""
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    for i, members in enumerate(lists):
+        offsets[i + 1] = offsets[i] + len(members)
+    flat = np.fromiter(
+        (x for members in lists for x in members),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return flat, offsets
+
+
+def _unflatten(flat: np.ndarray, offsets: np.ndarray) -> list[list[int]]:
+    return [
+        [int(x) for x in flat[offsets[i] : offsets[i + 1]]]
+        for i in range(len(offsets) - 1)
+    ]
+
+
+# -- scheme (de)serialization -------------------------------------------------
+
+
+def _scheme_manifest(scheme: DoubleLheScheme) -> dict:
+    params = scheme.params
+    inner = params.inner
+    return {
+        "inner": {
+            "n": inner.n,
+            "q_bits": inner.q_bits,
+            "p": inner.p,
+            "sigma": inner.sigma,
+            "m": inner.m,
+        },
+        "outer_n": params.outer_n,
+        "outer_prime_bits": params.outer_prime_bits,
+        "outer_num_primes": params.outer_num_primes,
+        "outer_sigma": params.outer_sigma,
+        "switch_modulus": params.switch_modulus,
+        "a_seed": scheme.inner.a_seed.hex(),
+    }
+
+
+def _scheme_from_manifest(entry: dict) -> DoubleLheScheme:
+    return DoubleLheScheme(
+        DoubleLheParams(
+            inner=LweParams(**entry["inner"]),
+            outer_n=entry["outer_n"],
+            outer_prime_bits=entry["outer_prime_bits"],
+            outer_num_primes=entry["outer_num_primes"],
+            outer_sigma=entry["outer_sigma"],
+            switch_modulus=entry["switch_modulus"],
+        ),
+        a_seed=bytes.fromhex(entry["a_seed"]),
+    )
+
+
+def _config_manifest(config: TiptoeConfig) -> dict:
+    from dataclasses import fields
+
+    out = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        out[f.name] = value.value if f.name == "security" else value
+    return out
+
+
+def _config_from_manifest(entry: dict) -> TiptoeConfig:
+    entry = dict(entry)
+    entry["security"] = SecurityLevel(entry["security"])
+    return TiptoeConfig(**entry)
+
+
+# -- save ---------------------------------------------------------------------
+
+
+def save_index(index, path: str | Path) -> Path:
+    """Write one index into ``path`` (created if needed)."""
+    from repro.core.indexer import TiptoeIndex  # noqa: F401 (docs anchor)
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    embedder = index.embedder
+    if embedder is not None and not isinstance(embedder, LsaEmbedder):
+        raise ArtifactError(
+            f"schema {SCHEMA} persists LsaEmbedder-based indexes only;"
+            f" got embedder of type {type(embedder).__name__}"
+            " (rebuild from embeddings, or keep the embedder external)"
+        )
+
+    arrays: dict[str, np.ndarray] = {
+        "layout_matrix": index.layout.matrix,
+        "cluster_sizes": index.layout.cluster_sizes,
+        "cluster_offsets": index.layout.cluster_offsets,
+        "centroids": index.clusters.centroids,
+        "url_db_matrix": index.url_db.matrix,
+        "ranking_hint": index.ranking_prep.hint,
+        "ranking_switched_hint": index.ranking_prep.switched_hint,
+        "url_hint": index.url_prep.hint,
+        "url_switched_hint": index.url_prep.switched_hint,
+        "embeddings": index.embeddings,
+    }
+    (
+        arrays["cluster_docs_flat"],
+        arrays["cluster_docs_offsets"],
+    ) = _flatten(index.clusters.assignments)
+    (
+        arrays["doc_clusters_flat"],
+        arrays["doc_clusters_offsets"],
+    ) = _flatten(index.clusters.doc_to_clusters)
+    (
+        arrays["batch_doc_ids_flat"],
+        arrays["batch_doc_ids_offsets"],
+    ) = _flatten([b.doc_ids for b in index.url_batches])
+    if index.url_position_map is not None:
+        arrays["url_position_map"] = index.url_position_map
+    if index.pca is not None:
+        arrays["pca_mean"] = index.pca.mean
+        arrays["pca_components"] = index.pca.components
+        arrays["pca_evr"] = index.pca.explained_variance_ratio
+    if embedder is not None:
+        arrays["lsa_projection"] = embedder.projection
+
+    manifest = {
+        "schema": SCHEMA,
+        "config": _config_manifest(index.config),
+        "quantization_gain": index.quantization_gain,
+        "build_ledger": index.build_ledger.word_ops,
+        "schemes": {
+            "ranking": _scheme_manifest(index.ranking_scheme),
+            "url": _scheme_manifest(index.url_scheme),
+        },
+        "url_db": {
+            "p": index.url_db.p,
+            "bits_per_digit": index.url_db.bits_per_digit,
+            "num_records": index.url_db.num_records,
+            "record_bytes": index.url_db.record_bytes,
+            "records_per_column": index.url_db.records_per_column,
+            "slot_digits": index.url_db.slot_digits,
+        },
+        "layout_dim": index.layout.dim,
+        "embedder": None
+        if embedder is None
+        else {"kind": "lsa", "dim": embedder.dim},
+        "prep_rows": {
+            "ranking": index.ranking_prep.rows,
+            "url": index.url_prep.rows,
+        },
+    }
+
+    with (path / _ARRAYS).open("wb") as fh:
+        np.savez(fh, **arrays)
+    with (path / _BLOBS).open("wb") as fh:
+        for batch in index.url_batches:
+            fh.write(_BLOB_LEN.pack(len(batch.payload)))
+            fh.write(batch.payload)
+    if embedder is not None:
+        vocab = embedder.vocab
+        (path / _VOCAB).write_text(
+            json.dumps(
+                {
+                    "term_to_id": vocab.term_to_id,
+                    "doc_freq": vocab.doc_freq,
+                    "num_docs": vocab.num_docs,
+                }
+            )
+        )
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return path
+
+
+# -- load ---------------------------------------------------------------------
+
+
+def _read_blobs(path: Path) -> list[bytes]:
+    data = path.read_bytes()
+    blobs = []
+    cursor = 0
+    while cursor < len(data):
+        if cursor + _BLOB_LEN.size > len(data):
+            raise ArtifactError(f"{path.name}: truncated blob length prefix")
+        (length,) = _BLOB_LEN.unpack_from(data, cursor)
+        cursor += _BLOB_LEN.size
+        if cursor + length > len(data):
+            raise ArtifactError(
+                f"{path.name}: blob declares {length} bytes but only"
+                f" {len(data) - cursor} remain"
+            )
+        blobs.append(data[cursor : cursor + length])
+        cursor += length
+    return blobs
+
+
+def load_index(path: str | Path):
+    """Load an index saved by :func:`save_index`."""
+    from repro.core.indexer import RankingLayout, TiptoeIndex
+
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no {_MANIFEST} in {path}")
+    manifest = json.loads(manifest_path.read_text())
+    schema = manifest.get("schema")
+    if schema != SCHEMA:
+        raise ArtifactError(
+            f"artifact schema is {schema!r}, this build reads {SCHEMA!r}"
+        )
+
+    with np.load(path / _ARRAYS) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+
+    config = _config_from_manifest(manifest["config"])
+
+    cluster_docs = _unflatten(
+        arrays["cluster_docs_flat"], arrays["cluster_docs_offsets"]
+    )
+    clusters = ClusterIndex(
+        centroids=arrays["centroids"],
+        assignments=cluster_docs,
+        doc_to_clusters=_unflatten(
+            arrays["doc_clusters_flat"], arrays["doc_clusters_offsets"]
+        ),
+    )
+    layout = RankingLayout(
+        matrix=arrays["layout_matrix"],
+        cluster_doc_ids=[list(m) for m in cluster_docs],
+        cluster_sizes=arrays["cluster_sizes"],
+        cluster_offsets=arrays["cluster_offsets"],
+        dim=int(manifest["layout_dim"]),
+    )
+
+    payloads = _read_blobs(path / _BLOBS)
+    batch_ids = _unflatten(
+        arrays["batch_doc_ids_flat"], arrays["batch_doc_ids_offsets"]
+    )
+    if len(payloads) != len(batch_ids):
+        raise ArtifactError(
+            f"{len(payloads)} URL payloads but {len(batch_ids)} id lists"
+        )
+    url_batches = [
+        UrlBatch(payload=payload, doc_ids=tuple(ids))
+        for payload, ids in zip(payloads, batch_ids)
+    ]
+
+    db_meta = manifest["url_db"]
+    url_db = PackedDatabase(
+        matrix=arrays["url_db_matrix"],
+        p=db_meta["p"],
+        bits_per_digit=db_meta["bits_per_digit"],
+        num_records=db_meta["num_records"],
+        record_bytes=db_meta["record_bytes"],
+    )
+    url_db.records_per_column = db_meta["records_per_column"]
+    url_db.slot_digits = db_meta["slot_digits"]
+
+    ranking_scheme = _scheme_from_manifest(manifest["schemes"]["ranking"])
+    url_scheme = _scheme_from_manifest(manifest["schemes"]["url"])
+    ranking_prep = PreprocessedMatrix(
+        hint=arrays["ranking_hint"],
+        switched_hint=arrays["ranking_switched_hint"],
+        rows=int(manifest["prep_rows"]["ranking"]),
+    )
+    url_prep = PreprocessedMatrix(
+        hint=arrays["url_hint"],
+        switched_hint=arrays["url_switched_hint"],
+        rows=int(manifest["prep_rows"]["url"]),
+    )
+    token_factory = TokenFactory()
+    token_factory.register("ranking", ranking_scheme, ranking_prep)
+    token_factory.register("url", url_scheme, url_prep)
+
+    embedder = None
+    if manifest["embedder"] is not None:
+        if manifest["embedder"]["kind"] != "lsa":
+            raise ArtifactError(
+                f"unknown embedder kind {manifest['embedder']['kind']!r}"
+            )
+        vocab_meta = json.loads((path / _VOCAB).read_text())
+        embedder = LsaEmbedder(
+            dim=int(manifest["embedder"]["dim"]),
+            vocab=Vocabulary(
+                term_to_id=vocab_meta["term_to_id"],
+                doc_freq=vocab_meta["doc_freq"],
+                num_docs=vocab_meta["num_docs"],
+            ),
+            projection=arrays["lsa_projection"],
+        )
+
+    pca = None
+    if "pca_components" in arrays:
+        pca = PcaReducer(
+            mean=arrays["pca_mean"],
+            components=arrays["pca_components"],
+            explained_variance_ratio=arrays["pca_evr"],
+        )
+
+    ledger = CostLedger()
+    for component, ops in manifest["build_ledger"].items():
+        ledger.add(component, ops)
+
+    return TiptoeIndex(
+        config=config,
+        embedder=embedder,
+        pca=pca,
+        clusters=clusters,
+        layout=layout,
+        url_batches=url_batches,
+        url_db=url_db,
+        ranking_scheme=ranking_scheme,
+        url_scheme=url_scheme,
+        ranking_prep=ranking_prep,
+        url_prep=url_prep,
+        token_factory=token_factory,
+        build_ledger=ledger,
+        embeddings=arrays["embeddings"],
+        url_position_map=arrays.get("url_position_map"),
+        quantization_gain=float(manifest["quantization_gain"]),
+    )

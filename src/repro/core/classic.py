@@ -50,12 +50,10 @@ class ClassicTiptoeClient:
 
     def fetch_hints(self) -> None:
         """The one-time hint download (the cost Tiptoe eliminates)."""
-        channel = RpcChannel(self.hint_traffic)
-        body = channel.call(
-            self.engine.hint_endpoint, "hint", "ranking", b""
-        )
+        channel = RpcChannel(self.hint_traffic, self.engine.transport)
+        body = channel.call("hint", "hint", "ranking", b"")
         ranking_hint, _ = wire.decode_matrix(body)
-        body = channel.call(self.engine.hint_endpoint, "hint", "url", b"")
+        body = channel.call("hint", "hint", "url", b"")
         url_hint, _ = wire.decode_matrix(body)
         self._hints = {"ranking": ranking_hint, "url": url_hint}
 
@@ -71,7 +69,7 @@ class ClassicTiptoeClient:
         engine = self.engine
         index = engine.index
         traffic = TrafficLog()
-        channel = RpcChannel(traffic)
+        channel = RpcChannel(traffic, engine.transport)
 
         # Fresh inner keys per query -- same single-use rule as tokens.
         rank_keys = index.ranking_scheme.gen_keys(self.rng)
@@ -86,7 +84,7 @@ class ClassicTiptoeClient:
             rank_keys, quantized, cluster, self.rng
         )
         body = channel.call(
-            engine.ranking_endpoint,
+            "ranking",
             "ranking",
             "answer",
             # tiptoe-lint: disable=taint-wire -- the ciphertext IS the wire format; semantic security (decision-LWE) covers what it reveals
@@ -107,7 +105,7 @@ class ClassicTiptoeClient:
         batch_index = self.url_client.batch_of_position(best_storage)
         url_query = self.url_client.build_query(url_keys, batch_index, self.rng)
         body = channel.call(
-            engine.url_endpoint,
+            "url",
             "url",
             "answer",
             # tiptoe-lint: disable=taint-wire -- the ciphertext IS the wire format; semantic security (decision-LWE) covers what it reveals

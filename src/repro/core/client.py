@@ -125,13 +125,13 @@ class TiptoeClient:
             # Step 2: private ranking within that cluster.  Queries
             # travel as serialized RPC messages; the channel logs real
             # wire sizes.
-            channel = RpcChannel(traffic)
+            channel = RpcChannel(traffic, self.engine.transport)
             with obs.span("ranking"):
                 rank_query = self.ranking.build_query(
                     keys["ranking"], quantized, cluster, self.rng
                 )
                 body = channel.call(
-                    self.engine.ranking_endpoint,
+                    "ranking",
                     "ranking",
                     "answer",
                     wire.encode_ciphertext(rank_query.ciphertext),
@@ -160,7 +160,7 @@ class TiptoeClient:
                     keys["url"], batch_index, self.rng
                 )
                 body = channel.call(
-                    self.engine.url_endpoint,
+                    "url",
                     "url",
                     "answer",
                     wire.encode_ciphertext(url_query.ciphertext),

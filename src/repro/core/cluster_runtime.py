@@ -19,6 +19,9 @@ from repro.core.costs import CostLedger
 from repro.core.ranking import RankingAnswer, RankingQuery
 from repro.homenc.double import DoubleLheScheme
 from repro.lwe import modular
+from repro.net import wire
+from repro.net.rpc import ServiceEndpoint
+from repro.net.service import Service
 from repro.obs import runtime as obs
 
 
@@ -53,12 +56,15 @@ class RankingWorker:
 
 
 @dataclass
-class ShardedRankingService:
+class ShardedRankingService(Service):
     """The coordinator plus its worker fleet.
 
     With ``parallel=True`` the coordinator fans chunks out to a thread
     pool -- NumPy's integer matmul releases the GIL, so shards really
     do run concurrently, mirroring the paper's parallel workers.
+
+    As a :class:`~repro.net.service.Service` its wire interface is one
+    ``answer`` method carrying a serialized ciphertext.
     """
 
     workers: list[RankingWorker]
@@ -66,6 +72,27 @@ class ShardedRankingService:
     ledger: CostLedger = field(default_factory=CostLedger)
     parallel: bool = False
     _pool: object = field(default=None, repr=False)
+
+    service_name = "ranking"
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("answer", self._handle_answer)
+
+    def _handle_answer(self, payload: bytes) -> bytes:
+        ct = wire.decode_ciphertext(payload, self.scheme.params.inner)
+        answer = self.answer(RankingQuery(ciphertext=ct))
+        return wire.encode_answer(
+            answer.values, self.scheme.params.inner.q_bits
+        )
+
+    def health(self) -> dict:
+        alive = sum(1 for w in self.workers if w.alive)
+        return {
+            "service": self.service_name,
+            "status": "ok" if alive == len(self.workers) else "degraded",
+            "workers": len(self.workers),
+            "alive": alive,
+        }
 
     @classmethod
     def build(

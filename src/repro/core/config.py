@@ -40,6 +40,16 @@ class TiptoeConfig:
     results_per_query: int = 100
     #: Sample size for k-means training; None uses the full corpus.
     cluster_sample_size: int | None = None
+    #: Per-call RPC deadline in seconds (socket transport only).
+    rpc_timeout_s: float = 5.0
+    #: Total tries per RPC (first attempt + retries) on transient errors.
+    rpc_max_attempts: int = 3
+    #: Wait before the first retry, in seconds.
+    rpc_backoff_base_s: float = 0.05
+    #: Growth factor between consecutive retry waits.
+    rpc_backoff_multiplier: float = 2.0
+    #: Ceiling on any single retry wait, in seconds.
+    rpc_backoff_max_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 1:
@@ -52,6 +62,10 @@ class TiptoeConfig:
             raise ValueError("need at least one worker")
         if self.url_batch_size < 1:
             raise ValueError("URL batch size must be positive")
+        if self.rpc_timeout_s <= 0:
+            raise ValueError("RPC timeout must be positive")
+        if self.rpc_max_attempts < 1:
+            raise ValueError("need at least one RPC attempt")
 
     @property
     def effective_dim(self) -> int:
@@ -75,6 +89,17 @@ class TiptoeConfig:
         if self.target_cluster_size is not None:
             return self.target_cluster_size
         return max(2, int(math.isqrt(num_docs)))
+
+    def retry_policy(self):
+        """The RPC retry schedule these knobs describe."""
+        from repro.net.transport import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.rpc_max_attempts,
+            base_backoff_s=self.rpc_backoff_base_s,
+            backoff_multiplier=self.rpc_backoff_multiplier,
+            max_backoff_s=self.rpc_backoff_max_s,
+        )
 
     def with_(self, **changes) -> "TiptoeConfig":
         """A modified copy (used heavily by the ablation harness)."""

@@ -18,64 +18,106 @@ never ``print`` (enforced by the ``api-print`` lint rule).
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.client import TiptoeClient
-from repro.core.cluster_runtime import ShardedRankingService
 from repro.core.config import TiptoeConfig
 from repro.core.indexer import TiptoeIndex
-from repro.core.ranking import RankingQuery
-from repro.core.url_service import UrlService
+from repro.core.services import build_services
 from repro.homenc.token import QueryToken
 from repro.homenc.token import make_client_keys
-from repro.lwe import sampling
-from repro.lwe.regev import Ciphertext
 from repro.net import wire
 from repro.net.rpc import RpcChannel, ServiceEndpoint
-from repro.net.transport import LinkModel, TrafficLog
+from repro.net.transport import LinkModel, LoopbackTransport, TrafficLog
+from repro.net.transport import Transport
 from repro.obs import runtime as obs
-from repro.pir.simplepir import PirQuery
 
 logger = logging.getLogger(__name__)
 
 
 class TiptoeEngine:
-    """One Tiptoe deployment: batch-job output plus running services."""
+    """One Tiptoe deployment: batch-job output plus running services.
+
+    By default the engine stands up the full service roster in-process
+    and binds them behind a :class:`LoopbackTransport` -- bit-identical
+    to direct dispatch.  Pass ``transport`` to run *remote*: the engine
+    then keeps only the client-side state (schemes, layout, client
+    metadata) and sends every request over the given transport, e.g. a
+    socket transport pointed at ``python -m repro serve``.
+    """
 
     def __init__(
         self,
         index: TiptoeIndex,
         link: LinkModel | None = None,
         query_embedder=None,
+        transport: Transport | None = None,
     ):
         self.index = index
         self.link = link if link is not None else LinkModel()
-        self.ranking_service = ShardedRankingService.build(
-            index.ranking_scheme,
-            index.layout.matrix,
-            dim=index.layout.dim,
-            num_workers=index.config.num_workers,
-        )
-        self.url_service = UrlService(index.url_db, index.url_scheme)
         self._query_embedder = query_embedder
-        self._build_endpoints()
+        if transport is None:
+            self.services = build_services(index)
+            self.transport: Transport = LoopbackTransport(
+                {
+                    name: service.endpoint
+                    for name, service in self.services.items()
+                }
+            )
+            for service in self.services.values():
+                service.open()
+        else:
+            self.services = {}
+            self.transport = transport
+        self.ranking_service = self.services.get("ranking")
+        self.url_service = self.services.get("url")
         logger.info(
-            "engine up: %d clusters, %d ranking workers",
+            "engine up (%s): %d clusters, %d ranking workers",
+            "loopback" if self.services else "remote",
             len(index.layout.cluster_offsets),
             index.config.num_workers,
         )
 
+    @classmethod
+    def connect(
+        cls,
+        index: TiptoeIndex,
+        host: str,
+        port: int,
+        link: LinkModel | None = None,
+        query_embedder=None,
+    ) -> "TiptoeEngine":
+        """A remote engine: client state from ``index``, requests over
+        TCP to a running ``python -m repro serve`` with retry/deadline
+        policy taken from the index's config."""
+        from repro.net.tcp import connect_transport
+
+        config = index.config
+        transport = connect_transport(
+            host,
+            port,
+            timeout=config.rpc_timeout_s,
+            policy=config.retry_policy(),
+        )
+        return cls(
+            index=index,
+            link=link,
+            query_embedder=query_embedder,
+            transport=transport,
+        )
+
     def close(self) -> None:
-        """Tear down service resources (the ranking worker pool).
+        """Tear down services (worker pools) and the transport.
 
         Idempotent; also available as a context manager::
 
             with TiptoeEngine.build(...) as engine:
                 ...
         """
-        self.ranking_service.close()
+        for service in self.services.values():
+            service.close()
+        self.transport.close()
 
     def __enter__(self) -> "TiptoeEngine":
         return self
@@ -84,50 +126,23 @@ class TiptoeEngine:
         self.close()
         return False
 
-    def _build_endpoints(self) -> None:
-        """Serialized service interfaces -- what the network carries."""
-        self.ranking_endpoint = ServiceEndpoint("ranking")
-        self.ranking_endpoint.register("answer", self._handle_ranking)
-        self.url_endpoint = ServiceEndpoint("url")
-        self.url_endpoint.register("answer", self._handle_url)
-        self.token_endpoint = ServiceEndpoint("token")
-        self.token_endpoint.register("mint", self._handle_mint)
-        self.hint_endpoint = ServiceEndpoint("hint")
-        self.hint_endpoint.register("ranking", self._handle_ranking_hint)
-        self.hint_endpoint.register("url", self._handle_url_hint)
+    # -- back-compat endpoint access (in-process tests poke these) -------------
 
-    def _handle_ranking_hint(self, payload: bytes) -> bytes:
-        return wire.encode_matrix(
-            self.index.ranking_prep.hint,
-            self.index.ranking_scheme.params.inner.q_bits,
-        )
+    @property
+    def ranking_endpoint(self) -> ServiceEndpoint:
+        return self.services["ranking"].endpoint
 
-    def _handle_url_hint(self, payload: bytes) -> bytes:
-        return wire.encode_matrix(
-            self.index.url_prep.hint,
-            self.index.url_scheme.params.inner.q_bits,
-        )
+    @property
+    def url_endpoint(self) -> ServiceEndpoint:
+        return self.services["url"].endpoint
 
-    def _handle_ranking(self, payload: bytes) -> bytes:
-        ct = wire.decode_ciphertext(
-            payload, self.index.ranking_scheme.params.inner
-        )
-        answer = self.ranking_service.answer(RankingQuery(ciphertext=ct))
-        return wire.encode_answer(
-            answer.values, self.index.ranking_scheme.params.inner.q_bits
-        )
+    @property
+    def token_endpoint(self) -> ServiceEndpoint:
+        return self.services["token"].endpoint
 
-    def _handle_url(self, payload: bytes) -> bytes:
-        ct = wire.decode_ciphertext(payload, self.index.url_scheme.params.inner)
-        answer = self.url_service.answer(PirQuery(ciphertext=ct))
-        return wire.encode_answer(
-            answer.values, self.index.url_scheme.params.inner.q_bits
-        )
-
-    def _handle_mint(self, payload: bytes) -> bytes:
-        enc_keys = wire.decode_mint_request(payload)
-        minted = self.index.token_factory.mint(enc_keys)
-        return wire.encode_token_payload(minted)
+    @property
+    def hint_endpoint(self) -> ServiceEndpoint:
+        return self.services["hint"].endpoint
 
     # -- construction ----------------------------------------------------------
 
@@ -197,9 +212,9 @@ class TiptoeEngine:
         with obs.span("token.acquire", services=len(schemes)):
             keys, enc_keys, _ = make_client_keys(schemes, rng)
             log = TrafficLog()
-            channel = RpcChannel(log)
+            channel = RpcChannel(log, self.transport)
             body = channel.call(
-                self.token_endpoint,
+                "token",
                 "token",
                 "mint",
                 # tiptoe-lint: disable=taint-wire -- enc_keys is the outer *encryption* of the inner secret; uploading it is the SS6.3 protocol

@@ -289,6 +289,26 @@ class TiptoeIndex:
         )
         return db, scheme
 
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the build outputs (see :mod:`repro.core.artifacts`).
+
+        A later ``TiptoeIndex.load(path)`` -- typically in a
+        ``python -m repro serve`` process -- reconstructs an index
+        whose searches are bit-identical to this one's.
+        """
+        from repro.core.artifacts import save_index
+
+        save_index(self, path)
+
+    @classmethod
+    def load(cls, path) -> "TiptoeIndex":
+        """Load an index previously written by :meth:`save`."""
+        from repro.core.artifacts import load_index
+
+        return load_index(path)
+
     # -- accessors -----------------------------------------------------------
 
     @property

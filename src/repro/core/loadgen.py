@@ -154,6 +154,7 @@ def measure_throughput(
     rng: np.random.Generator | None = None,
     clock: Clock | None = None,
     registry: MetricsRegistry | None = None,
+    via_rpc: bool = False,
 ) -> ThroughputReport:
     """Saturate each service with pre-built queries and time it.
 
@@ -161,10 +162,27 @@ def measure_throughput(
     matching the paper's server-throughput methodology.  Pass a
     ``registry`` to additionally stream per-query latencies into
     ``loadgen.<phase>.seconds`` histograms.
+
+    With ``via_rpc=True`` every job crosses the engine's transport
+    (``RpcChannel.call`` with wire encoding) instead of invoking the
+    service objects directly, so the measurement includes serialization
+    and -- against a socket transport -- the network itself.  This is
+    also the only mode a remote-connected engine supports, since it
+    holds no local service objects.
     """
     rng = sampling.resolve_rng(rng, fallback_seed=0)
     clock = clock if clock is not None else time.perf_counter
     index = engine.index
+    if not via_rpc and engine.ranking_service is None:
+        raise ValueError(
+            "this engine is remote-connected; pass via_rpc=True"
+        )
+    if via_rpc:
+        from repro.net import wire
+        from repro.net.rpc import RpcChannel
+        from repro.net.transport import TrafficLog
+
+        channel = RpcChannel(TrafficLog(), engine.transport)
 
     # Phase 1: token generation (the coordinator's offline work).
     from repro.homenc.token import make_client_keys
@@ -177,15 +195,20 @@ def measure_throughput(
         make_client_keys(schemes, rng)[1]
         for _ in range(max(2, num_queries // 4))
     ]
-    token = _timed_phase(
-        "token",
-        [
+    if via_rpc:
+        mint_blobs = [
+            wire.encode_mint_request(enc_keys) for enc_keys in key_batches
+        ]
+        token_jobs = [
+            (lambda blob=blob: channel.call("token", "token", "mint", blob))
+            for blob in mint_blobs
+        ]
+    else:
+        token_jobs = [
             (lambda enc_keys=enc_keys: index.token_factory.mint(enc_keys))
             for enc_keys in key_batches
-        ],
-        clock,
-        registry,
-    )
+        ]
+    token = _timed_phase("token", token_jobs, clock, registry)
 
     # Phase 2: ranking answers.
     client = RankingClient(
@@ -207,15 +230,24 @@ def measure_throughput(
         )
         for i in range(num_queries)
     ]
-    ranking = _timed_phase(
-        "ranking",
-        [
+    if via_rpc:
+        rank_blobs = [
+            wire.encode_ciphertext(query.ciphertext) for query in queries
+        ]
+        ranking_jobs = [
+            (
+                lambda blob=blob: channel.call(
+                    "ranking", "ranking", "answer", blob
+                )
+            )
+            for blob in rank_blobs
+        ]
+    else:
+        ranking_jobs = [
             (lambda query=query: engine.ranking_service.answer(query))
             for query in queries
-        ],
-        clock,
-        registry,
-    )
+        ]
+    ranking = _timed_phase("ranking", ranking_jobs, clock, registry)
 
     # Phase 3: URL answers.
     url_keys = index.url_scheme.gen_keys(rng)
@@ -227,14 +259,19 @@ def measure_throughput(
         url_queries.append(
             PirQuery(ciphertext=index.url_scheme.encrypt(url_keys, sel, rng))
         )
-    url = _timed_phase(
-        "url",
-        [
+    if via_rpc:
+        url_blobs = [
+            wire.encode_ciphertext(query.ciphertext) for query in url_queries
+        ]
+        url_jobs = [
+            (lambda blob=blob: channel.call("url", "url", "answer", blob))
+            for blob in url_blobs
+        ]
+    else:
+        url_jobs = [
             (lambda query=query: engine.url_service.answer(query))
             for query in url_queries
-        ],
-        clock,
-        registry,
-    )
+        ]
+    url = _timed_phase("url", url_jobs, clock, registry)
 
     return ThroughputReport(token=token, ranking=ranking, url=url)

@@ -1,0 +1,97 @@
+"""The serving-plane roster: every service a deployment runs.
+
+One Tiptoe deployment serves four names:
+
+``ranking``
+    The sharded coordinator (:class:`ShardedRankingService`).
+``url``
+    The URL PIR server (:class:`UrlService`).
+``token``
+    The mint of SS6.3 (:class:`TokenMintService`), which evaluates the
+    double layer over the hints under client-supplied encrypted keys.
+``hint``
+    Raw hint download (:class:`HintService`) for the classic
+    (hint-storing) client mode -- the counterfactual SS6 measures
+    against.
+
+:func:`build_services` assembles all four from a built
+:class:`~repro.core.indexer.TiptoeIndex`; the result plugs equally
+into an in-process :class:`~repro.net.transport.LoopbackTransport` or
+a :class:`~repro.net.tcp.ServerRunner` listening on TCP.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster_runtime import ShardedRankingService
+from repro.core.url_service import UrlService
+from repro.net import wire
+from repro.net.rpc import ServiceEndpoint
+from repro.net.service import Service
+
+
+class TokenMintService(Service):
+    """The query-token mint (SS6.3).
+
+    ``mint`` takes the client's outer-encrypted inner keys and returns
+    the double-layer hint products; nothing here depends on any future
+    query.
+    """
+
+    service_name = "token"
+
+    def __init__(self, token_factory):
+        self.token_factory = token_factory
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("mint", self._handle_mint)
+
+    def _handle_mint(self, payload: bytes) -> bytes:
+        enc_keys = wire.decode_mint_request(payload)
+        minted = self.token_factory.mint(enc_keys)
+        return wire.encode_token_payload(minted)
+
+
+class HintService(Service):
+    """Raw hint download for the classic client mode (SS6.1).
+
+    Token-mode clients never call this; it exists so the hint-storage
+    counterfactual is measurable over the same wire as everything else.
+    """
+
+    service_name = "hint"
+
+    def __init__(self, index):
+        self.index = index
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("ranking", self._handle_ranking_hint)
+        endpoint.register("url", self._handle_url_hint)
+
+    def _handle_ranking_hint(self, payload: bytes) -> bytes:
+        return wire.encode_matrix(
+            self.index.ranking_prep.hint,
+            self.index.ranking_scheme.params.inner.q_bits,
+        )
+
+    def _handle_url_hint(self, payload: bytes) -> bytes:
+        return wire.encode_matrix(
+            self.index.url_prep.hint,
+            self.index.url_scheme.params.inner.q_bits,
+        )
+
+
+def build_services(index) -> dict[str, Service]:
+    """Stand up the full service roster for one built index."""
+    ranking = ShardedRankingService.build(
+        index.ranking_scheme,
+        index.layout.matrix,
+        dim=index.layout.dim,
+        num_workers=index.config.num_workers,
+    )
+    services: list[Service] = [
+        ranking,
+        UrlService(index.url_db, index.url_scheme),
+        TokenMintService(index.token_factory),
+        HintService(index),
+    ]
+    return {service.service_name: service for service in services}

@@ -15,18 +15,44 @@ import numpy as np
 from repro.core.costs import CostLedger
 from repro.corpus.urls import UrlBatch
 from repro.homenc.double import DoubleLheScheme
+from repro.net import wire
+from repro.net.rpc import ServiceEndpoint
+from repro.net.service import Service
 from repro.obs import runtime as obs
 from repro.pir.database import PackedDatabase
 from repro.pir.simplepir import PirAnswer, PirQuery
 
 
-class UrlService:
-    """Server side: a PIR server over the packed batch database."""
+class UrlService(Service):
+    """Server side: a PIR server over the packed batch database.
+
+    As a :class:`~repro.net.service.Service` its wire interface is one
+    ``answer`` method carrying a serialized ciphertext.
+    """
+
+    service_name = "url"
 
     def __init__(self, db: PackedDatabase, scheme: DoubleLheScheme):
         self.db = db
         self.scheme = scheme
         self.ledger = CostLedger()
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("answer", self._handle_answer)
+
+    def _handle_answer(self, payload: bytes) -> bytes:
+        ct = wire.decode_ciphertext(payload, self.scheme.params.inner)
+        answer = self.answer(PirQuery(ciphertext=ct))
+        return wire.encode_answer(
+            answer.values, self.scheme.params.inner.q_bits
+        )
+
+    def health(self) -> dict:
+        return {
+            "service": self.service_name,
+            "status": "ok",
+            "rows": self.db.num_rows,
+        }
 
     def answer(self, query: PirQuery) -> PirAnswer:
         with obs.span("url.answer", rows=self.db.num_rows):

@@ -1,12 +1,37 @@
-"""Simulated networking: byte accounting and the latency model.
+"""The network stack: transports, RPC framing, services, and accounting.
 
-The paper's testbed links client and coordinator over a simulated
-100 Mbps / 50 ms-RTT connection (SS8.1) and reports per-phase traffic
-(Table 7).  This subpackage provides the same accounting for the
-in-process reproduction: every protocol message is logged with a
-phase tag and direction, and latency is modeled from the link.
+Three layers:
+
+* :mod:`repro.net.transport` -- the :class:`Transport` seam
+  (loopback by default), retry policy, traffic logging, and the
+  simulated client link of SS8.1.
+* :mod:`repro.net.rpc` -- message framing and the client-side
+  :class:`RpcChannel` with honest on-the-wire byte accounting.
+* :mod:`repro.net.tcp` + :mod:`repro.net.service` -- the socket
+  transport, the server runner, and the common service lifecycle,
+  so the same stack runs in-process or across real machines.
 """
 
-from repro.net.transport import LinkModel, TrafficLog
+from repro.net.service import Service
+from repro.net.transport import (
+    LinkModel,
+    LoopbackTransport,
+    RetryingTransport,
+    RetryPolicy,
+    TrafficLog,
+    Transport,
+    TransportError,
+    TransportTimeout,
+)
 
-__all__ = ["LinkModel", "TrafficLog"]
+__all__ = [
+    "LinkModel",
+    "LoopbackTransport",
+    "RetryPolicy",
+    "RetryingTransport",
+    "Service",
+    "TrafficLog",
+    "Transport",
+    "TransportError",
+    "TransportTimeout",
+]

@@ -1,16 +1,18 @@
-"""An in-process RPC layer with honest on-the-wire byte accounting.
+"""The RPC layer with honest on-the-wire byte accounting.
 
-The simulation's client and services exchange *serialized* messages
-through :class:`RpcChannel`: every call encodes its request, hands the
-bytes to the service endpoint, decodes the serialized response, and
+The client and services exchange *serialized* messages through
+:class:`RpcChannel`: every call encodes its request, hands the bytes
+to a :class:`~repro.net.transport.Transport` (loopback by default, a
+real socket in a deployment), decodes the serialized response, and
 logs both sizes (plus framing) into the caller's
 :class:`~repro.net.transport.TrafficLog`.  The traffic numbers the
 evaluation reports are therefore lengths of real encodings, not
 estimates.
 
-This models exactly what crosses the network in the paper's
-deployment; it deliberately does not model serialization *time*
-(negligible next to the homomorphic scan).
+The channel never touches a service object directly -- all request
+bytes cross the transport seam (enforced by the ``net-dispatch`` lint
+rule), which is what lets the same client code run in-process or
+against ``python -m repro serve`` over TCP.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.net.transport import TrafficLog
+from repro.net.transport import Transport, TrafficLog
 from repro.obs import runtime as obs
 
 _FRAME = struct.Struct("<16sI")
@@ -96,21 +98,33 @@ class ServiceEndpoint:
 
 @dataclass
 class RpcChannel:
-    """Client-side channel: serializes, dispatches, and counts bytes."""
+    """Client-side channel: serializes, transports, and counts bytes.
+
+    ``call`` addresses services by *name*; the bound transport decides
+    what that name means (an in-process endpoint for loopback, a TCP
+    listener for sockets).  ``timeout`` is the per-call deadline in
+    seconds, forwarded to transports that support one.
+    """
 
     log: TrafficLog
+    transport: Transport
 
     def call(
         self,
-        endpoint: ServiceEndpoint,
+        service: str,
         phase: str,
         method: str,
         payload: bytes,
+        timeout: float | None = None,
     ) -> bytes:
         request = frame(method, payload)
-        with obs.span("rpc.call", phase=phase, method=method) as sp:
+        with obs.span(
+            "rpc.call", service=service, phase=phase, method=method
+        ) as sp:
             self.log.record(phase, "up", len(request))
-            response = endpoint.dispatch(request)
+            response = self.transport.request(
+                service, request, timeout=timeout
+            )
             self.log.record(phase, "down", len(response))
             if sp is not None:
                 sp.set(bytes_up=len(request), bytes_down=len(response))

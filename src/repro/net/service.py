@@ -1,0 +1,66 @@
+"""The service plane: a common lifecycle for everything that serves.
+
+The paper's deployment (SS8) runs the ranking coordinator, the URL
+server, and the token mint as long-lived networked services.  This
+module gives the reproduction the same shape: a :class:`Service` owns
+one :class:`~repro.net.rpc.ServiceEndpoint` (built lazily from
+``register_endpoint``), and exposes ``open`` / ``close`` / ``health``
+so a :class:`~repro.net.tcp.ServerRunner` -- or the in-process engine
+-- can manage any set of services uniformly.
+
+Concrete services (`ShardedRankingService`, `UrlService`,
+`TokenMintService`, `HintService`) subclass this and register their
+wire handlers; nothing outside :mod:`repro.net` ever calls
+``endpoint.dispatch`` directly (the ``net-dispatch`` lint rule).
+"""
+
+from __future__ import annotations
+
+from repro.net.rpc import ServiceEndpoint
+
+
+class Service:
+    """Lifecycle + endpoint registration shared by all serving-plane
+    services.
+
+    Subclasses set ``service_name`` and implement
+    :meth:`register_endpoint`; the endpoint itself is built on first
+    access so construction stays cheap.  ``open`` / ``close`` default
+    to no-ops and must stay idempotent.  Also usable as a context
+    manager.
+    """
+
+    #: The wire-visible service name (<= 16 bytes when socket-framed).
+    service_name = "service"
+
+    @property
+    def endpoint(self) -> ServiceEndpoint:
+        """This service's dispatch table, built on first use."""
+        endpoint = self.__dict__.get("_endpoint")
+        if endpoint is None:
+            endpoint = ServiceEndpoint(self.service_name)
+            self.register_endpoint(endpoint)
+            self.__dict__["_endpoint"] = endpoint
+        return endpoint
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        """Register this service's method handlers on ``endpoint``."""
+        raise NotImplementedError
+
+    def open(self) -> None:
+        """Acquire runtime resources (pools, files).  Idempotent."""
+
+    def close(self) -> None:
+        """Release runtime resources.  Idempotent."""
+
+    def health(self) -> dict:
+        """A JSON-ready liveness/readiness summary."""
+        return {"service": self.service_name, "status": "ok"}
+
+    def __enter__(self) -> "Service":
+        self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

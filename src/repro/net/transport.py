@@ -1,10 +1,203 @@
-"""Traffic logging and the client-link latency model."""
+"""The transport seam, traffic logging, and the client-link latency model.
+
+This module defines the *transport plane* of the serving stack: the
+:class:`Transport` protocol is the only way request bytes reach a
+service.  :class:`RpcChannel <repro.net.rpc.RpcChannel>` talks to a
+transport and never to a service object, so the same client code runs
+in-process (:class:`LoopbackTransport`, the default -- bit-identical
+to the original direct dispatch) or across real sockets
+(:class:`repro.net.tcp.SocketTransport`).
+
+Failure handling lives here too: :class:`RetryPolicy` describes a
+bounded retry-with-exponential-backoff schedule and
+:class:`RetryingTransport` applies it to any transport whose calls can
+time out or lose their connection.
+
+Privacy note: a retry resends the *same* fixed-size ciphertext bytes.
+Every protocol message is semantically-secure ciphertext of
+query-independent size, so the traffic shape under retries still
+reveals nothing about the query (the retry count depends only on
+network weather, never on the plaintext).
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.obs import runtime as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.net.rpc import ServiceEndpoint
 
 MIB = 1024 * 1024
+
+
+# -- transport errors ---------------------------------------------------------
+
+
+class TransportError(RuntimeError):
+    """Base class for transport-plane failures."""
+
+
+class TransportTimeout(TransportError):
+    """The per-call deadline elapsed before a response arrived."""
+
+
+class TransportConnectionLost(TransportError):
+    """The underlying connection was reset or closed mid-call."""
+
+
+class TransportExhausted(TransportError):
+    """Every allowed attempt failed; the call cannot complete."""
+
+
+class RemoteCallError(TransportError):
+    """The server reached the handler but the handler raised.
+
+    Not retryable: the request arrived intact, so resending the same
+    bytes would deterministically fail again.
+    """
+
+
+#: Exception types a retry policy may act on.  Anything else (a server
+#: application error, a protocol violation) fails the call immediately.
+RETRYABLE_ERRORS = (TransportTimeout, TransportConnectionLost)
+
+
+# -- the transport protocol ---------------------------------------------------
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """One request/response exchange with a named service.
+
+    ``request`` carries an already-framed RPC request (see
+    :func:`repro.net.rpc.frame`) and returns the framed response.
+    Implementations raise :class:`TransportError` subclasses on
+    failure; ``timeout`` (seconds) bounds one call where the transport
+    supports deadlines.
+    """
+
+    def request(
+        self, service: str, request: bytes, *, timeout: float | None = None
+    ) -> bytes: ...
+
+    def close(self) -> None: ...
+
+
+class LoopbackTransport:
+    """Direct in-process dispatch -- the default transport.
+
+    Wraps a set of service endpoints; ``request`` hands the bytes to
+    the named endpoint synchronously.  Results are bit-identical to
+    calling the endpoint directly (this *is* the old code path, moved
+    behind the seam), so every in-process test and benchmark is
+    unaffected by the transport refactor.
+    """
+
+    def __init__(self, endpoints: dict[str, "ServiceEndpoint"]):
+        self._endpoints = dict(endpoints)
+
+    @property
+    def service_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    def request(
+        self, service: str, request: bytes, *, timeout: float | None = None
+    ) -> bytes:
+        endpoint = self._endpoints.get(service)
+        if endpoint is None:
+            raise TransportError(
+                f"no such service {service!r}; serving {self.service_names}"
+            )
+        return endpoint.dispatch(request)
+
+    def close(self) -> None:
+        """Nothing to release; loopback holds no OS resources."""
+
+
+# -- retry / deadline policy --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient failures.
+
+    ``max_attempts`` counts the first try: 3 attempts means at most two
+    retries.  The wait before retry ``k`` (k = 0 for the first retry)
+    is ``min(base * multiplier**k, max_backoff)`` seconds.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must not shrink between retries")
+
+    def backoff(self, retry_index: int) -> float:
+        """Seconds to wait before retry number ``retry_index`` (from 0)."""
+        if retry_index < 0:
+            raise ValueError("retry index cannot be negative")
+        return min(
+            self.base_backoff_s * self.backoff_multiplier**retry_index,
+            self.max_backoff_s,
+        )
+
+
+class RetryingTransport:
+    """Applies a :class:`RetryPolicy` to any inner transport.
+
+    Only :data:`RETRYABLE_ERRORS` (timeout, connection reset) trigger a
+    retry; server-side application errors propagate immediately.  Each
+    retry resends the byte-identical request -- see the module privacy
+    note.  ``sleep`` is injectable so tests can assert the backoff
+    schedule without waiting it out.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        import time
+
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    def request(
+        self, service: str, request: bytes, *, timeout: float | None = None
+    ) -> bytes:
+        last: TransportError | None = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                return self.inner.request(service, request, timeout=timeout)
+            except RETRYABLE_ERRORS as exc:
+                last = exc
+                if attempt + 1 >= self.policy.max_attempts:
+                    break
+                obs.count("rpc.retries")
+                self._sleep(self.policy.backoff(attempt))
+        raise TransportExhausted(
+            f"call to service {service!r} failed after"
+            f" {self.policy.max_attempts} attempts: {last}"
+        ) from last
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# -- the simulated client link ------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -38,18 +231,32 @@ class Message:
 
 @dataclass
 class TrafficLog:
-    """Per-phase byte accounting for one client session."""
+    """Per-phase byte accounting for one client session.
+
+    Thread-safe: with parallel shard fan-out and socket-server worker
+    pools, concurrent ``record`` calls interleave on shared logs, so
+    every mutation and every aggregate read takes the log's lock.
+    """
 
     messages: list[Message] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, phase: str, direction: str, num_bytes: int) -> None:
         if direction not in ("up", "down"):
             raise ValueError("direction must be 'up' or 'down'")
         if num_bytes < 0:
             raise ValueError("message size cannot be negative")
-        self.messages.append(
-            Message(phase=phase, direction=direction, num_bytes=int(num_bytes))
+        message = Message(
+            phase=phase, direction=direction, num_bytes=int(num_bytes)
         )
+        with self._lock:
+            self.messages.append(message)
+
+    def _snapshot(self) -> list[Message]:
+        with self._lock:
+            return list(self.messages)
 
     def bytes_up(self, phase: str | None = None) -> int:
         return self._total("up", phase)
@@ -63,13 +270,13 @@ class TrafficLog:
     def _total(self, direction: str, phase: str | None) -> int:
         return sum(
             m.num_bytes
-            for m in self.messages
+            for m in self._snapshot()
             if m.direction == direction and (phase is None or m.phase == phase)
         )
 
     def phases(self) -> list[str]:
         seen: list[str] = []
-        for m in self.messages:
+        for m in self._snapshot():
             if m.phase not in seen:
                 seen.append(m.phase)
         return seen
@@ -86,7 +293,7 @@ class TrafficLog:
         privacy tests to check sizes are query-independent."""
         return [
             m.num_bytes
-            for m in self.messages
+            for m in self._snapshot()
             if m.phase == phase and m.direction == direction
         ]
 

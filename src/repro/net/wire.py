@@ -11,6 +11,14 @@ protocol version:
 * ciphertext vectors: [u8 q_bits][u32 length][length words]
 * PIR / ranking answers: same layout
 * RLWE ciphertexts: [u16 k][u32 n][k*n u64 b][k*n u64 a]
+
+Every decoder validates declared lengths against the actual payload
+*before* touching ``np.frombuffer`` and raises a ``ValueError`` that
+names both sizes -- a truncated or corrupted frame (from a flaky
+transport, a crashed peer, or a malicious server) fails loudly instead
+of surfacing as an opaque numpy error or, worse, a misshaped array.
+Decoded arrays are always fresh writable copies, never read-only views
+into the network buffer.
 """
 
 from __future__ import annotations
@@ -28,6 +36,27 @@ _HEADER = struct.Struct("<BI")
 _RLWE_HEADER = struct.Struct("<HI")
 
 
+def _require_header(blob: bytes, header: struct.Struct, what: str) -> None:
+    if len(blob) < header.size:
+        raise ValueError(
+            f"{what}: payload is {len(blob)} bytes, expected at least"
+            f" {header.size} for the header"
+        )
+
+
+def _require_words(
+    blob: bytes, offset: int, count: int, word_bytes: int, what: str
+) -> None:
+    """Check a declared word count fits in the remaining payload."""
+    expected = count * word_bytes
+    available = len(blob) - offset
+    if available < expected:
+        raise ValueError(
+            f"{what}: payload is {available} bytes after the header,"
+            f" expected {expected} ({count} x {word_bytes}-byte words)"
+        )
+
+
 def encode_ciphertext(ct: Ciphertext) -> bytes:
     """Serialize an inner-layer ciphertext vector."""
     q_bits = ct.params.q_bits
@@ -36,12 +65,14 @@ def encode_ciphertext(ct: Ciphertext) -> bytes:
 
 
 def decode_ciphertext(blob: bytes, params: LweParams) -> Ciphertext:
+    _require_header(blob, _HEADER, "ciphertext")
     q_bits, length = _HEADER.unpack_from(blob)
     if q_bits != params.q_bits:
         raise ValueError(
             f"wire modulus 2^{q_bits} does not match parameters"
             f" (2^{params.q_bits})"
         )
+    _require_words(blob, _HEADER.size, length, q_bits // 8, "ciphertext")
     body = np.frombuffer(
         blob, dtype=dtype_for(q_bits), offset=_HEADER.size, count=length
     )
@@ -55,7 +86,11 @@ def encode_answer(values: np.ndarray, q_bits: int) -> bytes:
 
 
 def decode_answer(blob: bytes) -> tuple[np.ndarray, int]:
+    _require_header(blob, _HEADER, "answer")
     q_bits, length = _HEADER.unpack_from(blob)
+    if q_bits not in (32, 64):
+        raise ValueError(f"answer declares unsupported modulus 2^{q_bits}")
+    _require_words(blob, _HEADER.size, length, q_bits // 8, "answer")
     values = np.frombuffer(
         blob, dtype=dtype_for(q_bits), offset=_HEADER.size, count=length
     )
@@ -73,7 +108,13 @@ def encode_matrix(matrix: np.ndarray, q_bits: int) -> bytes:
 
 
 def decode_matrix(blob: bytes) -> tuple[np.ndarray, int]:
+    _require_header(blob, _MATRIX_HEADER, "matrix")
     q_bits, rows, cols = _MATRIX_HEADER.unpack_from(blob)
+    if q_bits not in (32, 64):
+        raise ValueError(f"matrix declares unsupported modulus 2^{q_bits}")
+    _require_words(
+        blob, _MATRIX_HEADER.size, rows * cols, q_bits // 8, "matrix"
+    )
     values = np.frombuffer(
         blob,
         dtype=dtype_for(q_bits),
@@ -94,7 +135,9 @@ def encode_rlwe(ct: BfvCiphertext) -> bytes:
 
 
 def decode_rlwe(blob: bytes) -> BfvCiphertext:
+    _require_header(blob, _RLWE_HEADER, "RLWE ciphertext")
     k, n = _RLWE_HEADER.unpack_from(blob)
+    _require_words(blob, _RLWE_HEADER.size, 2 * k * n, 8, "RLWE ciphertext")
     words = np.frombuffer(
         blob, dtype=np.uint64, offset=_RLWE_HEADER.size, count=2 * k * n
     )
@@ -120,8 +163,18 @@ def _pack_str(name: str) -> bytes:
 
 
 def _unpack_str(blob: bytes, pos: int) -> tuple[str, int]:
+    if len(blob) - pos < _U8.size:
+        raise ValueError(
+            f"string field: payload is {len(blob) - pos} bytes at offset"
+            f" {pos}, expected at least {_U8.size}"
+        )
     (length,) = _U8.unpack_from(blob, pos)
     pos += _U8.size
+    if len(blob) - pos < length:
+        raise ValueError(
+            f"string field: payload is {len(blob) - pos} bytes,"
+            f" expected {length}"
+        )
     return blob[pos : pos + length].decode(), pos + length
 
 
@@ -130,8 +183,18 @@ def _pack_blob(data: bytes) -> bytes:
 
 
 def _unpack_blob(blob: bytes, pos: int) -> tuple[bytes, int]:
+    if len(blob) - pos < _U32.size:
+        raise ValueError(
+            f"blob field: payload is {len(blob) - pos} bytes at offset"
+            f" {pos}, expected at least {_U32.size}"
+        )
     (length,) = _U32.unpack_from(blob, pos)
     pos += _U32.size
+    if len(blob) - pos < length:
+        raise ValueError(
+            f"blob field: payload is {len(blob) - pos} bytes,"
+            f" expected {length}"
+        )
     return blob[pos : pos + length], pos + length
 
 
@@ -157,19 +220,29 @@ def encode_mint_request(enc_keys: dict) -> bytes:
 
 
 def decode_mint_request(blob: bytes) -> dict:
+    _require_header(blob, _U16, "mint request")
     (num_unique,) = _U16.unpack_from(blob)
     pos = _U16.size
     unique = []
     for _ in range(num_unique):
         data, pos = _unpack_blob(blob, pos)
         unique.append(decode_encrypted_key(data))
+    if len(blob) - pos < _U16.size:
+        raise ValueError("mint request: truncated service count")
     (num_services,) = _U16.unpack_from(blob, pos)
     pos += _U16.size
     out = {}
     for _ in range(num_services):
         name, pos = _unpack_str(blob, pos)
+        if len(blob) - pos < _U16.size:
+            raise ValueError("mint request: truncated key index")
         (idx,) = _U16.unpack_from(blob, pos)
         pos += _U16.size
+        if idx >= len(unique):
+            raise ValueError(
+                f"mint request: service {name!r} references key {idx},"
+                f" but only {len(unique)} keys are present"
+            )
         out[name] = unique[idx]
     return out
 
@@ -186,6 +259,7 @@ def encode_token_payload(payload) -> bytes:
 def decode_token_payload(blob: bytes):
     from repro.homenc.token import TokenPayload
 
+    _require_header(blob, _U16, "token payload")
     (count,) = _U16.unpack_from(blob)
     pos = _U16.size
     hints = {}
@@ -209,8 +283,10 @@ def encode_encrypted_key(enc_key) -> bytes:
 def decode_encrypted_key(blob: bytes):
     from repro.homenc.double import EncryptedKey
 
+    _require_header(blob, _KEY_HEADER, "encrypted key")
     n_inner, k, n_outer = _KEY_HEADER.unpack_from(blob)
     count = n_inner * k * n_outer
+    _require_words(blob, _KEY_HEADER.size, 2 * count, 8, "encrypted key")
     words = np.frombuffer(
         blob, dtype=np.uint64, offset=_KEY_HEADER.size, count=2 * count
     )
@@ -232,10 +308,16 @@ def encode_compressed_hint(hint) -> bytes:
 def decode_compressed_hint(blob: bytes):
     from repro.homenc.double import CompressedHint
 
+    _require_header(blob, _HINT_HEADER, "compressed hint")
     num_chunks, rows = _HINT_HEADER.unpack_from(blob)
     chunks = []
     pos = _HINT_HEADER.size
-    for _ in range(num_chunks):
+    for i in range(num_chunks):
+        if len(blob) - pos < _RLWE_HEADER.size:
+            raise ValueError(
+                f"compressed hint: payload ends at chunk {i} of"
+                f" {num_chunks}"
+            )
         k, n = _RLWE_HEADER.unpack_from(blob, pos)
         size = _RLWE_HEADER.size + 2 * k * n * 8
         chunks.append(decode_rlwe(blob[pos : pos + size]))

@@ -1,0 +1,7 @@
+"""Known-bad transport-seam snippets (tiptoe-lint self-test corpus)."""
+
+
+def in_process_shortcut(engine, request):
+    # BAD: dispatching on the endpoint object skips the transport seam,
+    # so this code path silently breaks on a socket deployment.
+    return engine.ranking_endpoint.dispatch(request)

@@ -1,0 +1,7 @@
+"""Known-good transport-seam snippets: requests cross the channel."""
+
+
+def over_the_seam(channel, request_bytes):
+    # GOOD: the channel resolves the service by name through whatever
+    # transport is bound -- loopback in tests, TCP in a deployment.
+    return channel.call("ranking", "ranking", "answer", request_bytes)

@@ -76,6 +76,26 @@ class TestApiChecker:
         assert not active_rules(cli)
 
 
+class TestNetChecker:
+    def test_bad_file_trips_the_dispatch_rule(self):
+        rules = active_rules(CORPUS / "bad_net.py")
+        assert rules["net-dispatch"] == 1
+
+    def test_good_file_is_clean(self):
+        assert not active_rules(CORPUS / "good_net.py")
+
+    def test_net_package_itself_is_exempt(self, tmp_path):
+        """Transport implementations are the legitimate dispatch site."""
+        net_dir = tmp_path / "repro" / "net"
+        net_dir.mkdir(parents=True)
+        inside = net_dir / "loopback.py"
+        inside.write_text(
+            (CORPUS / "bad_net.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert not active_rules(inside)
+
+
 class TestFramework:
     def test_parse_error_becomes_a_finding(self, tmp_path):
         broken = tmp_path / "broken.py"

@@ -1,0 +1,130 @@
+"""The artifact plane: versioned save/load of a built index, and the
+bit-identity of searches served from a cold start."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import TiptoeEngine
+from repro.core.artifacts import (
+    SCHEMA,
+    ArtifactError,
+    load_index,
+    save_index,
+)
+from repro.core.indexer import TiptoeIndex
+
+
+@pytest.fixture(scope="module")
+def saved(engine, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts")
+    engine.index.save(path)
+    return path
+
+
+class TestRoundTrip:
+    def test_search_is_bit_identical_after_reload(self, engine, saved):
+        reloaded = TiptoeEngine(TiptoeIndex.load(saved))
+        for text in ("alpha beta", "gamma", "delta epsilon zeta"):
+            a = engine.search(text, rng=np.random.default_rng(42))
+            b = reloaded.search(text, rng=np.random.default_rng(42))
+            assert b.cluster == a.cluster
+            assert [(r.position, r.score, r.url) for r in b.results] == [
+                (r.position, r.score, r.url) for r in a.results
+            ]
+        reloaded.close()
+
+    def test_traffic_shape_survives_reload(self, engine, saved):
+        reloaded = TiptoeEngine(TiptoeIndex.load(saved))
+        a = engine.search("theta iota", rng=np.random.default_rng(1))
+        b = reloaded.search("theta iota", rng=np.random.default_rng(1))
+        assert b.traffic.total_bytes() == a.traffic.total_bytes()
+        reloaded.close()
+
+    def test_core_arrays_match_exactly(self, engine, saved):
+        index = engine.index
+        reloaded = load_index(saved)
+        np.testing.assert_array_equal(
+            reloaded.layout.matrix, index.layout.matrix
+        )
+        np.testing.assert_array_equal(
+            reloaded.url_db.matrix, index.url_db.matrix
+        )
+        np.testing.assert_array_equal(
+            reloaded.ranking_prep.hint, index.ranking_prep.hint
+        )
+        np.testing.assert_array_equal(
+            reloaded.url_prep.hint, index.url_prep.hint
+        )
+        np.testing.assert_array_equal(
+            reloaded.clusters.centroids, index.clusters.centroids
+        )
+        assert reloaded.config == index.config
+        assert reloaded.quantization_gain == index.quantization_gain
+
+    def test_schemes_regenerate_the_same_public_matrix(self, engine, saved):
+        reloaded = load_index(saved)
+        np.testing.assert_array_equal(
+            reloaded.ranking_scheme.inner.a,
+            engine.index.ranking_scheme.inner.a,
+        )
+        assert (
+            reloaded.url_scheme.inner.a_seed
+            == engine.index.url_scheme.inner.a_seed
+        )
+
+    def test_vocabulary_and_batches_survive(self, engine, saved):
+        index, reloaded = engine.index, load_index(saved)
+        assert (
+            reloaded.embedder.vocab.term_to_id
+            == index.embedder.vocab.term_to_id
+        )
+        assert len(reloaded.url_batches) == len(index.url_batches)
+        assert reloaded.url_batches[0].payload == index.url_batches[0].payload
+        assert (
+            reloaded.url_batches[-1].doc_ids == index.url_batches[-1].doc_ids
+        )
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_index(tmp_path)
+
+    def test_schema_mismatch(self, saved, tmp_path):
+        for name in ("manifest.json", "vocab.json", "arrays.npz", "blobs.bin"):
+            (tmp_path / name).write_bytes((saved / name).read_bytes())
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["schema"] = "repro.index/v999"
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="v999") as info:
+            load_index(tmp_path)
+        assert SCHEMA in str(info.value)  # tells the reader what *would* load
+
+    def test_truncated_blobs(self, saved, tmp_path):
+        for name in ("manifest.json", "vocab.json", "arrays.npz"):
+            (tmp_path / name).write_bytes((saved / name).read_bytes())
+        blobs = (saved / "blobs.bin").read_bytes()
+        (tmp_path / "blobs.bin").write_bytes(blobs[: len(blobs) - 7])
+        with pytest.raises(ArtifactError, match="remain"):
+            load_index(tmp_path)
+
+    def test_non_lsa_embedder_is_rejected_clearly(self, engine, tmp_path):
+        import dataclasses
+
+        class Exotic:
+            def embed(self, text):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        weird = dataclasses.replace(engine.index, embedder=Exotic())
+        with pytest.raises(ArtifactError, match="LsaEmbedder"):
+            save_index(weird, tmp_path)
+
+    def test_save_returns_the_directory_and_is_rerunnable(
+        self, engine, tmp_path
+    ):
+        out = save_index(engine.index, tmp_path / "idx")
+        assert (out / "manifest.json").exists()
+        again = save_index(engine.index, tmp_path / "idx")  # overwrite ok
+        assert again == out

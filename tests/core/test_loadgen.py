@@ -100,3 +100,28 @@ class TestBenchFiles:
         lat_ranking = lat["data"]["phases"]["ranking"]
         assert lat_ranking["count"] == 3
         assert lat_ranking["p50_s"] == pytest.approx(report.ranking.p50)
+
+
+class TestViaRpc:
+    def test_rpc_mode_reports_all_phases(self, engine):
+        report = measure_throughput(
+            engine, num_queries=3, rng=np.random.default_rng(4), via_rpc=True
+        )
+        assert [p for p, _ in report.rows()] == ["token", "ranking", "url"]
+        assert report.ranking.queries == 3
+        assert report.url.queries == 3
+
+    def test_remote_engine_requires_rpc_mode(self, engine):
+        from repro import TiptoeEngine
+        from repro.net.transport import LoopbackTransport
+
+        transport = LoopbackTransport(
+            {name: svc.endpoint for name, svc in engine.services.items()}
+        )
+        remote = TiptoeEngine(engine.index, transport=transport)
+        with pytest.raises(ValueError, match="via_rpc"):
+            measure_throughput(remote, num_queries=2)
+        report = measure_throughput(
+            remote, num_queries=2, rng=np.random.default_rng(5), via_rpc=True
+        )
+        assert report.url.queries == 2

@@ -1,0 +1,102 @@
+"""End-to-end deployment smoke: build artifacts, cold-start ``serve``
+in a subprocess, query it over TCP, and check the answers match an
+in-process engine loaded from the same artifacts."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import TiptoeEngine
+from repro.core.indexer import TiptoeIndex
+
+REPO = Path(__file__).resolve().parents[2]
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+def run_cli(*argv, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=ENV,
+        timeout=timeout,
+        check=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("deploy") / "index"
+    run_cli("build-index", str(out), "--docs", "120", "--seed", "0")
+    return out
+
+
+@pytest.fixture(scope="module")
+def serving(artifacts):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(artifacts), "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=ENV,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        if not line.startswith("serving on "):
+            proc.terminate()
+            raise RuntimeError(
+                f"serve did not come up: {line!r} / {proc.stderr.read()[:500]}"
+            )
+        host, port = line.removeprefix("serving on ").rsplit(":", 1)
+        yield host, int(port)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+class TestDeploymentSmoke:
+    def test_build_index_writes_the_artifact_set(self, artifacts):
+        names = {p.name for p in artifacts.iterdir()}
+        assert {
+            "manifest.json",
+            "vocab.json",
+            "arrays.npz",
+            "blobs.bin",
+        } <= names
+
+    def test_tcp_query_matches_in_process_engine(self, artifacts, serving):
+        host, port = serving
+        index = TiptoeIndex.load(artifacts)
+        local = TiptoeEngine(index)
+        remote = TiptoeEngine.connect(TiptoeIndex.load(artifacts), host, port)
+        try:
+            for text in ("alpha beta", "gamma delta"):
+                a = local.search(text, rng=np.random.default_rng(17))
+                b = remote.search(text, rng=np.random.default_rng(17))
+                assert b.cluster == a.cluster
+                assert [(r.position, r.score, r.url) for r in b.results] == [
+                    (r.position, r.score, r.url) for r in a.results
+                ]
+        finally:
+            remote.close()
+            local.close()
+
+    def test_query_command_prints_results_and_traffic(
+        self, artifacts, serving
+    ):
+        host, port = serving
+        out = run_cli(
+            "query",
+            str(artifacts),
+            "alpha beta",
+            "--host",
+            host,
+            "--port",
+            str(port),
+        ).stdout
+        assert "score=" in out
+        assert "B up" in out and "B down" in out

@@ -12,7 +12,7 @@ from repro.net.rpc import (
     frame,
     unframe,
 )
-from repro.net.transport import TrafficLog
+from repro.net.transport import LoopbackTransport, TrafficLog
 
 
 class TestFraming:
@@ -77,8 +77,8 @@ class TestChannel:
         ep = ServiceEndpoint("svc")
         ep.register("m", lambda b: b * 2)
         log = TrafficLog()
-        channel = RpcChannel(log)
-        out = channel.call(ep, "phase", "m", b"1234")
+        channel = RpcChannel(log, LoopbackTransport({"svc": ep}))
+        out = channel.call("svc", "phase", "m", b"1234")
         assert out == b"12341234"
         assert log.bytes_up("phase") == 4 + FRAME_BYTES
         assert log.bytes_down("phase") == 8 + FRAME_BYTES

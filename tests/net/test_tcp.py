@@ -1,0 +1,235 @@
+"""The socket plane: framing, deadlines, duplicate rejection, and the
+server runner, over both real sockets and scripted connections."""
+
+import socket
+
+import pytest
+
+from repro.net.rpc import ServiceEndpoint, frame, unframe
+from repro.net.service import Service
+from repro.net.tcp import (
+    MAX_FRAME_PAYLOAD,
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameConnection,
+    ServerRunner,
+    SocketTransport,
+    connect_transport,
+)
+from repro.net.transport import (
+    RemoteCallError,
+    TransportConnectionLost,
+    TransportError,
+    TransportTimeout,
+)
+from repro.obs.clock import ManualClock
+
+
+class EchoService(Service):
+    service_name = "echo"
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("upper", lambda b: b.upper())
+        endpoint.register("boom", self._boom)
+
+    def _boom(self, payload: bytes) -> bytes:
+        raise ValueError("handler exploded")
+
+
+@pytest.fixture()
+def server():
+    runner = ServerRunner([EchoService()], port=0)
+    runner.start()
+    yield runner
+    runner.close()
+
+
+class TestFrameConnection:
+    def test_round_trip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        a, b = FrameConnection(left), FrameConnection(right)
+        a.send_frame(7, "echo", STATUS_OK, b"payload")
+        rid, service, status, payload = b.recv_frame(timeout=2.0)
+        assert (rid, service, status, payload) == (7, "echo", 0, b"payload")
+        a.close()
+        b.close()
+
+    def test_peer_close_is_connection_lost(self):
+        left, right = socket.socketpair()
+        left.close()
+        with pytest.raises(TransportConnectionLost):
+            FrameConnection(right).recv_frame(timeout=2.0)
+
+    def test_absurd_declared_length_is_rejected(self):
+        left, right = socket.socketpair()
+        import struct
+
+        header = struct.Struct("<Q16sBI").pack(
+            1, b"echo".ljust(16, b"\0"), 0, MAX_FRAME_PAYLOAD + 1
+        )
+        left.sendall(header)
+        with pytest.raises(TransportError, match="maximum"):
+            FrameConnection(right).recv_frame(timeout=2.0)
+
+    def test_oversized_service_name_rejected_on_send(self):
+        left, _ = socket.socketpair()
+        with pytest.raises(ValueError, match="16"):
+            FrameConnection(left).send_frame(1, "x" * 17, STATUS_OK, b"")
+
+
+class TestSocketTransportAgainstServer:
+    def test_request_response(self, server):
+        host, port = server.address
+        transport = SocketTransport(host, port, timeout=5.0)
+        response = transport.request("echo", frame("upper", b"abc"))
+        assert unframe(response) == ("upper", b"ABC")
+        transport.close()
+
+    def test_handler_error_becomes_remote_call_error(self, server):
+        host, port = server.address
+        transport = SocketTransport(host, port, timeout=5.0)
+        with pytest.raises(RemoteCallError, match="handler exploded"):
+            transport.request("echo", frame("boom", b""))
+        transport.close()
+
+    def test_unknown_service_is_a_remote_error(self, server):
+        host, port = server.address
+        transport = SocketTransport(host, port, timeout=5.0)
+        with pytest.raises(RemoteCallError, match="no such service"):
+            transport.request("nope", frame("m", b""))
+        transport.close()
+
+    def test_meta_health_reports_every_service(self, server):
+        import json
+
+        host, port = server.address
+        transport = SocketTransport(host, port, timeout=5.0)
+        response = transport.request("_meta", frame("health", b""))
+        _, body = unframe(response)
+        report = json.loads(body)
+        assert report["echo"]["status"] == "ok"
+        transport.close()
+
+    def test_connect_transport_layers_retry(self, server):
+        host, port = server.address
+        transport = connect_transport(host, port, timeout=5.0)
+        response = transport.request("echo", frame("upper", b"zz"))
+        assert unframe(response) == ("upper", b"ZZ")
+        transport.close()
+
+    def test_sequential_requests_reuse_the_connection(self, server):
+        host, port = server.address
+        transport = SocketTransport(host, port, timeout=5.0)
+        for i in range(5):
+            payload = f"msg{i}".encode()
+            response = transport.request("echo", frame("upper", payload))
+            assert unframe(response) == ("upper", payload.upper())
+        transport.close()
+
+
+class FakeConnection:
+    """A scripted FrameConnection double.
+
+    ``script`` maps each incoming request id (in send order, 0-based)
+    to the list of frames to enqueue when that request is sent; each
+    entry is (rid_offset, status, payload) where the response's id is
+    the request's id plus the offset (0 = correct reply).
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.sent = []
+        self.queue = []
+
+    def send_frame(self, request_id, service, status, payload):
+        self.sent.append((request_id, service, payload))
+        for rid_offset, st, body in self.script.get(len(self.sent) - 1, []):
+            self.queue.append((request_id + rid_offset, service, st, body))
+
+    def recv_frame(self, timeout=None):
+        if not self.queue:
+            raise TransportTimeout("scripted: nothing left to receive")
+        return self.queue.pop(0)
+
+    def close(self):
+        pass
+
+
+class TestDuplicateRejection:
+    def test_stale_then_fresh_response_resolves_correctly(self):
+        ok = frame("m", b"fresh")
+        conn = FakeConnection(
+            {0: [(-1, STATUS_OK, b"stale"), (0, STATUS_OK, ok)]}
+        )
+        transport = SocketTransport(connect=lambda: conn)
+        assert transport.request("svc", b"req") == ok
+
+    def test_duplicate_responses_are_skipped_not_returned(self):
+        ok = frame("m", b"answer")
+        conn = FakeConnection(
+            {
+                0: [
+                    (-3, STATUS_OK, b"dup-a"),
+                    (-3, STATUS_OK, b"dup-a-again"),
+                    (0, STATUS_OK, ok),
+                ]
+            }
+        )
+        transport = SocketTransport(connect=lambda: conn)
+        assert transport.request("svc", b"req") == ok
+
+    def test_only_stale_responses_times_out(self):
+        conn = FakeConnection({0: [(-1, STATUS_OK, b"stale")]})
+        transport = SocketTransport(connect=lambda: conn, timeout=5.0)
+        with pytest.raises(TransportTimeout):
+            transport.request("svc", b"req")
+
+    def test_deadline_uses_the_injected_clock(self):
+        clock = ManualClock()
+
+        class SlowConn(FakeConnection):
+            def recv_frame(self, timeout=None):
+                clock.advance(10.0)  # simulate a stall
+                return super().recv_frame(timeout)
+
+        conn = SlowConn({0: [(-1, STATUS_OK, b"stale")] * 3})
+        transport = SocketTransport(connect=lambda: conn, clock=clock)
+        with pytest.raises(TransportTimeout, match="deadline"):
+            transport.request("svc", b"req", timeout=15.0)
+
+    def test_request_ids_increase_per_call(self):
+        conn = FakeConnection(
+            {i: [(0, STATUS_OK, frame("m", b"x"))] for i in range(3)}
+        )
+        transport = SocketTransport(connect=lambda: conn)
+        for _ in range(3):
+            transport.request("svc", b"req")
+        rids = [rid for rid, _, _ in conn.sent]
+        assert rids == sorted(rids) and len(set(rids)) == 3
+
+
+class TestServerRunner:
+    def test_duplicate_service_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServerRunner([EchoService(), EchoService()])
+
+    def test_needs_at_least_one_service(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ServerRunner([])
+
+    def test_close_is_idempotent_and_reports_address_only_when_up(self):
+        runner = ServerRunner([EchoService()], port=0)
+        with pytest.raises(RuntimeError):
+            runner.address
+        runner.start()
+        assert runner.address[1] > 0
+        runner.close()
+        runner.close()
+
+    def test_context_manager(self):
+        with ServerRunner([EchoService()], port=0) as runner:
+            host, port = runner.address
+            transport = SocketTransport(host, port, timeout=5.0)
+            response = transport.request("echo", frame("upper", b"cm"))
+            assert unframe(response) == ("upper", b"CM")
+            transport.close()

@@ -74,3 +74,52 @@ class TestRlwe:
         assert len(blob) == ct.wire_bytes() + wire.RLWE_HEADER_BYTES
         back = wire.decode_rlwe(blob)
         assert np.array_equal(scheme.decrypt(sk, back), np.arange(32))
+
+
+class TestTruncationHardening:
+    """Malformed blobs fail with a clear size message, never a numpy
+    reshape traceback, and decoders hand back writable arrays."""
+
+    def test_ciphertext_truncated_header(self, regev_ct):
+        scheme, _, _ = regev_ct
+        with pytest.raises(ValueError, match="expected at least"):
+            wire.decode_ciphertext(b"\x01", scheme.params)
+
+    def test_ciphertext_truncated_body_names_both_sizes(self, regev_ct):
+        scheme, _, ct = regev_ct
+        blob = wire.encode_ciphertext(ct)
+        with pytest.raises(ValueError, match=r"payload is .* expected"):
+            wire.decode_ciphertext(blob[:-3], scheme.params)
+
+    def test_answer_truncated_and_bad_modulus(self):
+        blob = wire.encode_answer(np.zeros(4, dtype=np.uint64), 64)
+        with pytest.raises(ValueError, match="expected"):
+            wire.decode_answer(blob[:-1])
+        with pytest.raises(ValueError, match="modulus"):
+            wire.decode_answer(b"\x07" + blob[1:])
+
+    def test_matrix_truncated(self):
+        blob = wire.encode_matrix(np.arange(12, dtype=np.uint64).reshape(3, 4), 64)
+        with pytest.raises(ValueError, match="expected"):
+            wire.decode_matrix(blob[: len(blob) - 8])
+
+    def test_rlwe_truncated(self):
+        from repro.rlwe import BfvParams, BfvScheme
+
+        scheme = BfvScheme(BfvParams.create(n=32, t=65537, num_primes=2))
+        rng = seeded_rng(5)
+        ct = scheme.encrypt(scheme.gen_secret(rng), np.arange(32), rng)
+        blob = wire.encode_rlwe(ct)
+        with pytest.raises(ValueError, match="expected"):
+            wire.decode_rlwe(blob[:-5])
+
+    def test_decoded_arrays_are_writable(self, regev_ct):
+        scheme, _, ct = regev_ct
+        back = wire.decode_ciphertext(
+            wire.encode_ciphertext(ct), scheme.params
+        )
+        back.c[0] += 1  # must not raise "read-only"
+        values, _ = wire.decode_answer(
+            wire.encode_answer(np.zeros(4, dtype=np.uint64), 64)
+        )
+        values[0] = 9
