@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.base import Checker
 from repro.analysis.checkers.api import ApiHygieneChecker
+from repro.analysis.checkers.batch import BatchPlaneChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
 from repro.analysis.checkers.net import TransportSeamChecker
 from repro.analysis.checkers.rng import RngHygieneChecker
@@ -18,6 +19,7 @@ def build_checkers(rules: set[str] | None = None) -> list[Checker]:
         RngHygieneChecker(),
         ApiHygieneChecker(),
         TransportSeamChecker(),
+        BatchPlaneChecker(),
     ]
     if rules is None:
         return checkers
@@ -38,6 +40,7 @@ def all_rules() -> list:
 
 __all__ = [
     "ApiHygieneChecker",
+    "BatchPlaneChecker",
     "DtypeDisciplineChecker",
     "RngHygieneChecker",
     "SecretTaintChecker",

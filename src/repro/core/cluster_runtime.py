@@ -1,12 +1,16 @@
-"""Coordinator and sharded workers (SS4.3).
+"""Coordinator and sharded workers (SS4.3), batch-first.
 
 The ranking matrix is vertically partitioned by cluster across W
 workers: worker i holds the column blocks of its clusters.  The
-coordinator splits the client's ciphertext -- the ciphertext is a
-vector over the same columns, so the split is a plain slice -- ships
-chunk i to worker i, and sums the partial answers mod q.  If any
-worker fails mid-query the coordinator cannot reply (the paper notes
-the same limitation and the replication remedy).
+coordinator splits the client ciphertexts -- stacked into a
+:class:`~repro.core.ranking.RankingBatch`, one query per column, so
+the split is a plain row-slice of the stack -- ships chunk i to worker
+i, and sums the partial answers mod q.  Each worker answers its chunk
+with a single matrix-matrix product over a cached
+:class:`~repro.lwe.modular.StackedPlan`, so a batch of Q queries
+streams the shard from memory once instead of Q times.  If any worker
+fails mid-batch the coordinator cannot reply for that batch (the paper
+notes the same limitation and the replication remedy).
 """
 
 from __future__ import annotations
@@ -16,7 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.costs import CostLedger
-from repro.core.ranking import RankingAnswer, RankingQuery
+from repro.core.ranking import (
+    RankingAnswer,
+    RankingBatch,
+    RankingBatchAnswer,
+    RankingQuery,
+)
 from repro.homenc.double import DoubleLheScheme
 from repro.lwe import modular
 from repro.net import wire
@@ -39,6 +48,21 @@ class RankingWorker:
     q_bits: int
     alive: bool = True
     ledger: CostLedger = field(default_factory=CostLedger)
+    _plan: modular.StackedPlan | None = field(default=None, repr=False)
+
+    def batch_plan(self) -> modular.StackedPlan:
+        """The shard's stacked-GEMM plan, built once and reused.
+
+        Like the SimplePIR hint, the plan is message-independent: it
+        depends only on the shard contents, never on any query.
+        """
+        if self._plan is None:
+            self._plan = modular.StackedPlan(self.matrix_slice, self.q_bits)
+        return self._plan
+
+    def drop_plan(self) -> None:
+        """Release the plan's float staging copy of the shard."""
+        self._plan = None
 
     def answer_chunk(self, ct_chunk: np.ndarray) -> np.ndarray:
         if not self.alive:
@@ -50,6 +74,19 @@ class RankingWorker:
         )
         return modular.matmul(self.matrix_slice, ct_chunk, self.q_bits)
 
+    def answer_stacked(self, chunk: np.ndarray) -> np.ndarray:
+        """Answer a (width, Q) stacked chunk with one GEMM.
+
+        Column i is bit-identical to ``answer_chunk(chunk[:, i])`` --
+        both are the exact mod-2^k ring product of the same operands.
+        """
+        if not self.alive:
+            raise WorkerFailure(f"worker {self.worker_id} is down")
+        if chunk.ndim != 2 or chunk.shape[0] != self.matrix_slice.shape[1]:
+            raise ValueError("stacked chunk does not match shard width")
+        self.ledger.add("ranking", 2 * self.matrix_slice.size * chunk.shape[1])
+        return self.batch_plan().matmul(chunk)
+
     def storage_bytes(self) -> int:
         """Shard size at 4-bit entries (what bounds RAM per machine)."""
         return self.matrix_slice.size // 2
@@ -60,11 +97,16 @@ class ShardedRankingService(Service):
     """The coordinator plus its worker fleet.
 
     With ``parallel=True`` the coordinator fans chunks out to a thread
-    pool -- NumPy's integer matmul releases the GIL, so shards really
-    do run concurrently, mirroring the paper's parallel workers.
+    pool -- NumPy's integer matmul and BLAS both release the GIL, so
+    shards really do run concurrently, mirroring the paper's parallel
+    workers.
 
-    As a :class:`~repro.net.service.Service` its wire interface is one
-    ``answer`` method carrying a serialized ciphertext.
+    As a :class:`~repro.net.service.Service` its wire interface is an
+    ``answer`` method carrying one serialized ciphertext and an
+    ``answer_batch`` method carrying a stacked query batch.  When a
+    :class:`~repro.core.scheduler.BatchScheduler` is attached,
+    single-query wire requests from concurrent transport threads are
+    routed through it so they coalesce into stacked batches.
     """
 
     workers: list[RankingWorker]
@@ -72,27 +114,56 @@ class ShardedRankingService(Service):
     ledger: CostLedger = field(default_factory=CostLedger)
     parallel: bool = False
     _pool: object = field(default=None, repr=False)
+    _scheduler: object = field(default=None, repr=False)
 
     service_name = "ranking"
 
     def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
         endpoint.register("answer", self._handle_answer)
+        endpoint.register("answer_batch", self._handle_answer_batch)
 
     def _handle_answer(self, payload: bytes) -> bytes:
         ct = wire.decode_ciphertext(payload, self.scheme.params.inner)
-        answer = self.answer(RankingQuery(ciphertext=ct))
+        query = RankingQuery(ciphertext=ct)
+        scheduler = self._scheduler
+        if scheduler is not None and scheduler.running:
+            answer = scheduler.submit(query)
+        else:
+            answer = self.answer(query)
         return wire.encode_answer(
             answer.values, self.scheme.params.inner.q_bits
         )
 
+    def _handle_answer_batch(self, payload: bytes) -> bytes:
+        batch = wire.decode_batch(payload, self.scheme.params.inner)
+        answer = self.answer_stacked(batch)
+        return wire.encode_batch_answer(
+            answer, self.scheme.params.inner.q_bits
+        )
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Install the admission queue used by `_handle_answer`.
+
+        The scheduler's lifecycle follows this service's ``open`` /
+        ``close`` once attached.
+        """
+        self._scheduler = scheduler
+
+    @property
+    def scheduler(self):
+        return self._scheduler
+
     def health(self) -> dict:
         alive = sum(1 for w in self.workers if w.alive)
-        return {
+        report = {
             "service": self.service_name,
             "status": "ok" if alive == len(self.workers) else "degraded",
             "workers": len(self.workers),
             "alive": alive,
         }
+        if self._scheduler is not None:
+            report["scheduler"] = self._scheduler.health()
+        return report
 
     @classmethod
     def build(
@@ -136,13 +207,20 @@ class ShardedRankingService(Service):
             self._pool = ThreadPoolExecutor(max_workers=len(self.workers))
         return self._pool
 
+    def open(self) -> None:
+        """Start the attached scheduler (if any).  Idempotent."""
+        if self._scheduler is not None:
+            self._scheduler.start()
+
     def close(self) -> None:
-        """Shut down the worker thread pool (idempotent).
+        """Shut down the scheduler and worker thread pool (idempotent).
 
         Without this the executor's non-daemon threads outlive the
         service and interpreter exit blocks joining them.  The service
         remains usable after close -- the pool is lazily recreated.
         """
+        if self._scheduler is not None:
+            self._scheduler.stop()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
@@ -191,33 +269,26 @@ class ShardedRankingService(Service):
             bytes_per_element=self.scheme.params.inner.bytes_per_element,
         )
 
-    def answer_batch(self, queries: list[RankingQuery]) -> list[RankingAnswer]:
-        """Answer several queries in one pass over the index.
+    def answer_stacked(self, batch: RankingBatch) -> RankingBatchAnswer:
+        """Answer a stacked batch: one GEMM per shard, summed mod q.
 
-        Stacking the ciphertexts into a matrix turns B matrix-vector
-        products into one matrix-matrix product -- the standard
-        server-side batching that lifts sustained throughput (the
-        index is streamed from memory once per batch instead of once
-        per query).  With ``parallel=True`` shards run concurrently on
-        the same thread pool as :meth:`answer`.  Answers are
-        bit-identical to individual calls either way: each worker's
-        partial is an exact ring product, and the mod-2^k accumulation
-        is summed in worker order.
+        Column i of the result is bit-identical to ``answer`` on query
+        i alone: each worker partial is the exact ring product of the
+        same operands, and mod-2^k accumulation is column-wise.  The
+        parallel/serial mode check is hoisted out of the per-worker
+        path, and the serial fallback accumulates in place (no
+        per-worker allocations beyond the partials themselves).
         """
-        if not queries:
-            return []
         q_bits = self.scheme.params.inner.q_bits
-        stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
+        stacked = batch.stacked
         with obs.span(
             "ranking.answer_batch",
             workers=len(self.workers),
-            batch=len(queries),
+            batch=batch.size,
             parallel=self.parallel,
         ) as coord_span:
 
             def run(worker: RankingWorker) -> np.ndarray:
-                if not worker.alive:
-                    raise WorkerFailure(f"worker {worker.worker_id} is down")
                 width = worker.matrix_slice.shape[1]
                 with obs.span(
                     "ranking.worker",
@@ -225,34 +296,48 @@ class ShardedRankingService(Service):
                     worker=worker.worker_id,
                     rows=worker.matrix_slice.shape[0],
                     cols=width,
-                    batch=len(queries),
+                    batch=batch.size,
                 ):
                     chunk = stacked[
                         worker.col_start : worker.col_start + width
                     ]
-                    partial = modular.matmul(
-                        worker.matrix_slice, chunk, q_bits
-                    )
-                worker.ledger.add(
-                    "ranking", 2 * worker.matrix_slice.size * len(queries)
-                )
-                return partial
+                    return worker.answer_stacked(chunk)
 
-            if self.parallel and len(self.workers) > 1:
+            use_pool = self.parallel and len(self.workers) > 1
+            if use_pool:
                 partials = list(self._ensure_pool().map(run, self.workers))
+                total = partials[0]
+                for partial in partials[1:]:
+                    np.add(total, partial, out=total)
             else:
-                partials = [run(w) for w in self.workers]
-            total = partials[0]
-            for partial in partials[1:]:
-                total = modular.add(total, partial, q_bits)
+                total = None
+                for worker in self.workers:
+                    partial = run(worker)
+                    if total is None:
+                        total = partial
+                    else:
+                        # Unsigned in-place add wraps mod 2^k exactly.
+                        np.add(total, partial, out=total)
         for worker in self.workers:
             self.ledger.merge(worker.ledger)
             worker.ledger = CostLedger()
-        per_element = self.scheme.params.inner.bytes_per_element
-        return [
-            RankingAnswer(values=total[:, i], bytes_per_element=per_element)
-            for i in range(len(queries))
-        ]
+        return RankingBatchAnswer(
+            stacked=total,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )
+
+    def answer_batch(self, queries: list[RankingQuery]) -> list[RankingAnswer]:
+        """Answer several queries in one pass over the index.
+
+        Stacking the ciphertexts into a matrix turns Q matrix-vector
+        products into one matrix-matrix product per shard -- the index
+        streams from memory once per batch instead of once per query.
+        Answers are bit-identical to individual :meth:`answer` calls.
+        """
+        if not queries:
+            return []
+        batch = RankingBatch.from_queries(queries)
+        return self.answer_stacked(batch).split()
 
     def fail_worker(self, worker_id: int) -> None:
         """Failure injection for tests/benchmarks."""
@@ -266,7 +351,7 @@ class ShardedRankingService(Service):
 
 
 @dataclass
-class ReplicatedRankingService:
+class ReplicatedRankingService(Service):
     """Sharded ranking with per-shard replication (SS4.3).
 
     "To improve latency and fault-tolerance at some operating cost,
@@ -274,11 +359,66 @@ class ReplicatedRankingService:
     Each shard is served by ``replicas`` identical workers; a query
     survives any failure pattern that leaves one live replica per
     shard.  Storage cost is ``replicas`` times the base deployment.
+
+    Carries the same :class:`~repro.net.service.Service` lifecycle as
+    the sharded coordinator, so a ``ServerRunner`` can host, health-
+    check, and close it: ``close`` releases every replica's cached
+    batch plan (the float staging copy of its shard) instead of
+    leaking them for the life of the process.
     """
 
     replica_groups: list[list[RankingWorker]]
     scheme: DoubleLheScheme
     ledger: CostLedger = field(default_factory=CostLedger)
+
+    service_name = "ranking"
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("answer", self._handle_answer)
+        endpoint.register("answer_batch", self._handle_answer_batch)
+
+    def _handle_answer(self, payload: bytes) -> bytes:
+        ct = wire.decode_ciphertext(payload, self.scheme.params.inner)
+        answer = self.answer(RankingQuery(ciphertext=ct))
+        return wire.encode_answer(
+            answer.values, self.scheme.params.inner.q_bits
+        )
+
+    def _handle_answer_batch(self, payload: bytes) -> bytes:
+        batch = wire.decode_batch(payload, self.scheme.params.inner)
+        answer = self.answer_stacked(batch)
+        return wire.encode_batch_answer(
+            answer, self.scheme.params.inner.q_bits
+        )
+
+    def health(self) -> dict:
+        """Degraded while any shard is below full replication; failed
+        once some shard has no live replica at all."""
+        live_per_shard = [
+            sum(1 for w in group if w.alive) for group in self.replica_groups
+        ]
+        if any(live == 0 for live in live_per_shard):
+            status = "failed"
+        elif any(
+            live < len(group)
+            for live, group in zip(live_per_shard, self.replica_groups)
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "service": self.service_name,
+            "status": status,
+            "shards": len(self.replica_groups),
+            "replicas": self.replicas,
+            "live_replicas": live_per_shard,
+        }
+
+    def close(self) -> None:
+        """Release every replica's cached batch plan.  Idempotent."""
+        for group in self.replica_groups:
+            for worker in group:
+                worker.drop_plan()
 
     @classmethod
     def build(
@@ -311,27 +451,26 @@ class ReplicatedRankingService:
     def replicas(self) -> int:
         return len(self.replica_groups[0])
 
+    def _first_live(self, group: list[RankingWorker]) -> RankingWorker:
+        for worker in group:
+            if worker.alive:
+                return worker
+        raise WorkerFailure(
+            f"all replicas of shard at column {group[0].col_start} are down"
+        )
+
     def answer(self, query: RankingQuery) -> RankingAnswer:
         """Fan out each chunk to the first live replica of its shard."""
         q_bits = self.scheme.params.inner.q_bits
         ct = query.ciphertext.c
         total = None
         for group in self.replica_groups:
-            partial = None
-            for worker in group:
-                if not worker.alive:
-                    continue
-                width = worker.matrix_slice.shape[1]
-                chunk = ct[worker.col_start : worker.col_start + width]
-                partial = worker.answer_chunk(chunk)
-                self.ledger.merge(worker.ledger)
-                worker.ledger = CostLedger()
-                break
-            if partial is None:
-                raise WorkerFailure(
-                    f"all replicas of shard at column {group[0].col_start}"
-                    " are down"
-                )
+            worker = self._first_live(group)
+            width = worker.matrix_slice.shape[1]
+            chunk = ct[worker.col_start : worker.col_start + width]
+            partial = worker.answer_chunk(chunk)
+            self.ledger.merge(worker.ledger)
+            worker.ledger = CostLedger()
             total = partial if total is None else modular.add(
                 total, partial, q_bits
             )
@@ -339,6 +478,32 @@ class ReplicatedRankingService:
             values=total,
             bytes_per_element=self.scheme.params.inner.bytes_per_element,
         )
+
+    def answer_stacked(self, batch: RankingBatch) -> RankingBatchAnswer:
+        """Batched fan-out: one GEMM on the first live replica per shard."""
+        total = None
+        for group in self.replica_groups:
+            worker = self._first_live(group)
+            width = worker.matrix_slice.shape[1]
+            chunk = batch.stacked[
+                worker.col_start : worker.col_start + width
+            ]
+            partial = worker.answer_stacked(chunk)
+            self.ledger.merge(worker.ledger)
+            worker.ledger = CostLedger()
+            if total is None:
+                total = partial
+            else:
+                np.add(total, partial, out=total)
+        return RankingBatchAnswer(
+            stacked=total,
+            bytes_per_element=self.scheme.params.inner.bytes_per_element,
+        )
+
+    def answer_batch(self, queries: list[RankingQuery]) -> list[RankingAnswer]:
+        if not queries:
+            return []
+        return self.answer_stacked(RankingBatch.from_queries(queries)).split()
 
     def fail_worker(self, shard: int, replica: int) -> None:
         self.replica_groups[shard][replica].alive = False

@@ -50,6 +50,12 @@ class TiptoeConfig:
     rpc_backoff_multiplier: float = 2.0
     #: Ceiling on any single retry wait, in seconds.
     rpc_backoff_max_s: float = 1.0
+    #: Largest cross-query batch the ranking scheduler coalesces; 1
+    #: disables the admission queue (every query runs immediately).
+    max_batch_size: int = 1
+    #: How long the scheduler holds an under-full batch open waiting
+    #: for more queries, in milliseconds.
+    max_batch_wait_ms: float = 2.0
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 1:
@@ -66,6 +72,10 @@ class TiptoeConfig:
             raise ValueError("RPC timeout must be positive")
         if self.rpc_max_attempts < 1:
             raise ValueError("need at least one RPC attempt")
+        if self.max_batch_size < 1:
+            raise ValueError("max batch size must be at least 1")
+        if self.max_batch_wait_ms < 0:
+            raise ValueError("max batch wait must be non-negative")
 
     @property
     def effective_dim(self) -> int:

@@ -19,6 +19,7 @@ EXPERIMENTS.md) so every PR leaves a machine-readable perf trajectory.
 from __future__ import annotations
 
 import pathlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -275,3 +276,177 @@ def measure_throughput(
     url = _timed_phase("url", url_jobs, clock, registry)
 
     return ThroughputReport(token=token, ranking=ranking, url=url)
+
+
+@dataclass(frozen=True)
+class ConcurrentLoadReport:
+    """Closed-loop multi-client ranking load, through the batcher."""
+
+    clients: int
+    queries: int
+    wall_seconds: float
+    latencies: tuple[float, ...]
+    batches: int
+    mean_batch_size: float
+    largest_batch: int
+    failed_queries: int
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / max(self.wall_seconds, 1e-12)
+
+    def latency_quantile(self, q: float) -> float | None:
+        if not self.latencies:
+            return None
+        return percentile(self.latencies, q)
+
+    def data(self) -> dict:
+        """A ``repro.obs.bench/v1``-ready data block."""
+        return {
+            "clients": self.clients,
+            "queries": self.queries,
+            "wall_seconds": self.wall_seconds,
+            "queries_per_second": self.queries_per_second,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "largest_batch": self.largest_batch,
+            "failed_queries": self.failed_queries,
+            "p50_s": self.latency_quantile(0.50),
+            "p95_s": self.latency_quantile(0.95),
+            "p99_s": self.latency_quantile(0.99),
+        }
+
+
+def measure_concurrent_ranking(
+    engine,
+    num_clients: int = 4,
+    queries_per_client: int = 4,
+    max_batch_size: int | None = None,
+    max_batch_wait_ms: float = 2.0,
+    rng: np.random.Generator | None = None,
+    clock: Clock | None = None,
+    registry: MetricsRegistry | None = None,
+) -> ConcurrentLoadReport:
+    """Closed-loop concurrent load: the mode that exercises the batcher.
+
+    ``num_clients`` threads each submit ``queries_per_client`` ranking
+    queries back-to-back (closed loop: a client sends its next query
+    only after its previous answer arrives), all through one
+    :class:`~repro.core.scheduler.BatchScheduler` in front of the
+    engine's ranking coordinator.  Because clients block in
+    ``submit``, concurrency is what fills batches -- exactly the
+    serving-path shape, where transport worker threads park in the
+    admission queue.
+
+    Uses the coordinator's attached scheduler when one is running
+    (i.e. the engine was built with ``max_batch_size > 1``); otherwise
+    a temporary scheduler is started for the run and stopped after.
+    Every answer is checked against nothing here -- bit-identity is the
+    test suite's job -- but failures are counted, not swallowed.
+    """
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    if queries_per_client < 1:
+        raise ValueError("need at least one query per client")
+    rng = sampling.resolve_rng(rng, fallback_seed=0)
+    clock = clock if clock is not None else time.perf_counter
+    index = engine.index
+    service = engine.ranking_service
+    if service is None:
+        raise ValueError(
+            "concurrent ranking load needs a local ranking service"
+        )
+
+    client = RankingClient(
+        index.ranking_scheme,
+        dim=index.layout.dim,
+        num_clusters=index.layout.num_clusters,
+    )
+    keys = index.ranking_scheme.gen_keys(rng)
+    per_client_queries = []
+    for c in range(num_clients):
+        per_client_queries.append(
+            [
+                client.build_query(
+                    keys,
+                    quantize(
+                        index.embeddings[(c + i) % index.num_docs]
+                        * index.quantization_gain,
+                        index.config.quantization(),
+                    ),
+                    (c + i) % index.layout.num_clusters,
+                    rng,
+                )
+                for i in range(queries_per_client)
+            ]
+        )
+
+    from repro.core.scheduler import BatchScheduler
+
+    attached = getattr(service, "scheduler", None)
+    if attached is not None and attached.running:
+        scheduler = attached
+        own_scheduler = False
+    else:
+        scheduler = BatchScheduler(
+            service,
+            max_batch_size=(
+                max_batch_size if max_batch_size is not None else num_clients
+            ),
+            max_batch_wait_ms=max_batch_wait_ms,
+        )
+        own_scheduler = True
+
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failures: list[BaseException] = []
+    stats_before = (scheduler.stats.batches, scheduler.stats.queries)
+
+    def run_client(qs) -> None:
+        mine = []
+        errs = []
+        for query in qs:
+            start = clock()
+            try:
+                scheduler.submit(query)
+            except Exception as exc:  # count, keep the loop closed
+                errs.append(exc)
+                continue
+            mine.append(clock() - start)
+        with lock:
+            latencies.extend(mine)
+            failures.extend(errs)
+
+    if own_scheduler:
+        scheduler.start()
+    try:
+        threads = [
+            threading.Thread(target=run_client, args=(qs,), daemon=True)
+            for qs in per_client_queries
+        ]
+        wall_start = clock()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_seconds = clock() - wall_start
+    finally:
+        if own_scheduler:
+            scheduler.stop()
+
+    if registry is not None:
+        hist = registry.histogram("loadgen.concurrent_ranking.seconds")
+        for lat in latencies:
+            hist.observe(lat)
+    batches = scheduler.stats.batches - stats_before[0]
+    answered = scheduler.stats.queries - stats_before[1]
+    return ConcurrentLoadReport(
+        clients=num_clients,
+        queries=len(latencies),
+        wall_seconds=wall_seconds,
+        latencies=tuple(latencies),
+        batches=batches,
+        mean_batch_size=answered / batches if batches else 0.0,
+        largest_batch=scheduler.stats.max_batch,
+        failed_queries=len(failures),
+    )

@@ -11,12 +11,14 @@ the answer contain exactly the chosen cluster's inner-product scores.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.costs import CostLedger
 from repro.homenc.double import DoubleLheScheme
-from repro.lwe.regev import Ciphertext
+from repro.lwe.params import LweParams
+from repro.lwe.regev import Ciphertext, stack_ciphertexts
 
 
 @dataclass
@@ -38,6 +40,79 @@ class RankingAnswer:
 
     def wire_bytes(self) -> int:
         return len(self.values) * self.bytes_per_element
+
+
+@dataclass
+class RankingBatch:
+    """Q stacked ranking queries: one ciphertext per column.
+
+    This is the unit the batch plane moves end to end: the scheduler
+    coalesces queries into one batch, the coordinator slices it by
+    shard, and each worker runs a single matrix-matrix product against
+    its column block.  Column order is the fan-out order, so answer
+    column i always belongs to query i.
+    """
+
+    stacked: np.ndarray  # (m, Q), one query ciphertext per column
+    params: LweParams
+
+    def __post_init__(self) -> None:
+        if self.stacked.ndim != 2:
+            raise ValueError("a ranking batch must be a (m, Q) matrix")
+        if self.stacked.shape[0] != self.params.m:
+            raise ValueError(
+                f"batch has {self.stacked.shape[0]} ciphertext rows,"
+                f" expected {self.params.m}"
+            )
+        if self.stacked.shape[1] == 0:
+            raise ValueError("a ranking batch must hold at least one query")
+
+    @classmethod
+    def from_queries(
+        cls, queries: Sequence[RankingQuery]
+    ) -> "RankingBatch":
+        """Stack Q individual queries into one batch (column i = query i)."""
+        if not queries:
+            raise ValueError("cannot build a batch from zero queries")
+        stacked = stack_ciphertexts([q.ciphertext for q in queries])
+        return cls(stacked=stacked, params=queries[0].ciphertext.params)
+
+    @property
+    def size(self) -> int:
+        return self.stacked.shape[1]
+
+    def wire_bytes(self) -> int:
+        return self.stacked.size * self.params.bytes_per_element
+
+
+@dataclass
+class RankingBatchAnswer:
+    """The stacked evaluated ciphertexts for one batch (column i =
+    query i's answer, bit-identical to the sequential path)."""
+
+    stacked: np.ndarray  # (rows, Q)
+    bytes_per_element: int
+
+    def __post_init__(self) -> None:
+        if self.stacked.ndim != 2:
+            raise ValueError("a batch answer must be a (rows, Q) matrix")
+
+    @property
+    def size(self) -> int:
+        return self.stacked.shape[1]
+
+    def split(self) -> list[RankingAnswer]:
+        """Fan the columns back out into per-query answers."""
+        return [
+            RankingAnswer(
+                values=self.stacked[:, i],
+                bytes_per_element=self.bytes_per_element,
+            )
+            for i in range(self.stacked.shape[1])
+        ]
+
+    def wire_bytes(self) -> int:
+        return self.stacked.size * self.bytes_per_element
 
 
 def build_query_vector(

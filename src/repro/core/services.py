@@ -81,13 +81,29 @@ class HintService(Service):
 
 
 def build_services(index) -> dict[str, Service]:
-    """Stand up the full service roster for one built index."""
+    """Stand up the full service roster for one built index.
+
+    When the config asks for cross-query batching
+    (``max_batch_size > 1``) the ranking coordinator gets a
+    :class:`~repro.core.scheduler.BatchScheduler` attached; its
+    dispatcher starts and stops with the service's ``open``/``close``.
+    """
     ranking = ShardedRankingService.build(
         index.ranking_scheme,
         index.layout.matrix,
         dim=index.layout.dim,
         num_workers=index.config.num_workers,
     )
+    if index.config.max_batch_size > 1:
+        from repro.core.scheduler import BatchScheduler
+
+        ranking.attach_scheduler(
+            BatchScheduler(
+                ranking,
+                max_batch_size=index.config.max_batch_size,
+                max_batch_wait_ms=index.config.max_batch_wait_ms,
+            )
+        )
     services: list[Service] = [
         ranking,
         UrlService(index.url_db, index.url_scheme),

@@ -36,6 +36,7 @@ class UrlService(Service):
         self.db = db
         self.scheme = scheme
         self.ledger = CostLedger()
+        self._plan = None  # lazy StackedPlan for batched answers
 
     def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
         endpoint.register("answer", self._handle_answer)
@@ -71,17 +72,15 @@ class UrlService(Service):
         """
         if not queries:
             return []
-        import numpy as np
+        from repro.lwe.regev import stack_ciphertexts
 
-        from repro.lwe import modular
-
-        q_bits = self.scheme.params.inner.q_bits
+        if self._plan is None:
+            self._plan = self.scheme.batch_plan(self.db.matrix)
         with obs.span(
             "url.answer_batch", rows=self.db.num_rows, batch=len(queries)
         ):
-            stacked = np.stack([q.ciphertext.c for q in queries], axis=1)
-            matrix = modular.to_ring(self.db.matrix, q_bits)
-            out = modular.matmul(matrix, stacked, q_bits)
+            stacked = stack_ciphertexts([q.ciphertext for q in queries])
+            out = self.scheme.apply_batch(None, stacked, plan=self._plan)
         self.ledger.add(
             "url",
             self.scheme.inner.apply_word_ops(self.db.num_rows) * len(queries),

@@ -37,6 +37,7 @@ evaluated ciphertexts, no hint download).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -224,6 +225,56 @@ class DoubleLheScheme:
                 )
         return CompressedHint(chunks=tuple(chunks), rows=prep.rows)
 
+    def evaluate_hint_batch(
+        self,
+        enc_keys: Sequence[EncryptedKey],
+        prep: PreprocessedMatrix,
+    ) -> list[CompressedHint]:
+        """Evaluate the outer layer for several clients in one hint pass.
+
+        The plaintext polynomials ``C_i`` -- and their forward NTTs,
+        the dominant per-chunk cost -- depend only on the hint block,
+        not on any client, so they are computed once per chunk and
+        reused across the batch.  Each client's pointwise products run
+        against that client's own encrypted key: per-client outer keys
+        never mix, so element i of the result is bit-identical to
+        ``evaluate_hint(enc_keys[i], prep)``.
+        """
+        if not enc_keys:
+            return []
+        n_outer = self.params.outer_n
+        n_inner = self.params.inner.n
+        ring = self.outer.ring
+        switched = prep.switched_hint
+        per_client: list[list[BfvCiphertext]] = [[] for _ in enc_keys]
+        for start in range(0, prep.rows, n_outer):
+            with _obs.kernel_timer("bfv.apply_batch"):
+                block = switched[start : start + n_outer]
+                c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
+                c_polys[:, : block.shape[0]] = block.T
+                # Shared across the batch: one NTT per RNS prime.
+                c_ntts = [
+                    ntt.forward(c_polys % np.uint64(p))
+                    for p, ntt in zip(ring.primes, ring.ntts)
+                ]
+                for client, enc_key in enumerate(enc_keys):
+                    b_acc = []
+                    a_acc = []
+                    for ch, p in enumerate(ring.primes):
+                        b_acc.append(
+                            _mulsum_mod(enc_key.z_b[:, ch, :], c_ntts[ch], p)
+                        )
+                        a_acc.append(
+                            _mulsum_mod(enc_key.z_a[:, ch, :], c_ntts[ch], p)
+                        )
+                    per_client[client].append(
+                        BfvCiphertext(b=np.stack(b_acc), a=np.stack(a_acc))
+                    )
+        return [
+            CompressedHint(chunks=tuple(chunks), rows=prep.rows)
+            for chunks in per_client
+        ]
+
     # -- client-side recovery ---------------------------------------------------
 
     def decrypt_hint_product(
@@ -250,6 +301,23 @@ class DoubleLheScheme:
     def apply(self, matrix: np.ndarray, ct: Ciphertext) -> np.ndarray:
         """Inner homomorphic evaluation (the online server hot loop)."""
         return self.inner.apply(matrix, ct)
+
+    def batch_plan(self, matrix: np.ndarray) -> modular.StackedPlan:
+        """Message-independent preprocessing for batched Apply calls."""
+        return self.inner.batch_plan(matrix)
+
+    def apply_batch(
+        self,
+        matrix: np.ndarray | None,
+        cts,
+        plan: modular.StackedPlan | None = None,
+    ) -> np.ndarray:
+        """Batched inner evaluation: Q stacked queries, one GEMM.
+
+        Column i of the (rows, Q) result is bit-identical to
+        ``apply(matrix, cts[i])``.
+        """
+        return self.inner.apply_batch(matrix, cts, plan=plan)
 
     def decrypt(
         self,

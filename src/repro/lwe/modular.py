@@ -154,6 +154,134 @@ def encode_message(m: np.ndarray, q_bits: int, p: int) -> np.ndarray:
         return m_red * dtype(delta)
 
 
+#: Smallest ciphertext limb width for which the BLAS path is worthwhile;
+#: below this the limb count makes dgemm slower than the native matmul.
+MIN_LIMB_BITS = 16
+
+#: float64 represents every integer of magnitude below 2^53 exactly.
+_FLOAT_EXACT_BITS = 53
+
+
+class StackedPlan:
+    """Preprocessed state for exact stacked products ``M @ B`` over Z_{2^k}.
+
+    Stacking Q query ciphertexts into the columns of one matrix ``B``
+    turns Q matrix-vector scans over ``M`` into a single matrix-matrix
+    product -- the database is streamed from memory once per batch
+    instead of once per query.  When the *centered* entries of ``M``
+    are small (always true for the ranking matrix, whose entries are
+    quantized embeddings, and for the packed URL database, whose
+    entries are digits mod p), the product is additionally routed
+    through float64 BLAS: each ciphertext column is split into limbs of
+    ``limb_bits`` bits chosen so that every partial sum of
+    ``M_centered @ limb`` stays strictly below 2^53 in magnitude.
+    Every term and every intermediate sum of each dgemm is then an
+    exactly representable integer, so the limbs recombine with
+    wraparound shifts into the exact mod-2^k result.  Column i of the
+    output is bit-identical to ``matvec(M, B[:, i], q_bits)`` whichever
+    path runs.
+
+    Matrices whose centered entries are too large for an exact limb
+    split fall back to the native unsigned integer matmul (also exact).
+    The plan is message-independent -- it depends only on ``M``, like
+    the SimplePIR hint -- so it is computed once per long-lived matrix;
+    the float64 copy costs one extra 8-byte word per entry.
+    """
+
+    def __init__(self, matrix: np.ndarray, q_bits: int):
+        self.q_bits = q_bits
+        self.ring = to_ring(np.asarray(matrix), q_bits)
+        if self.ring.ndim != 2:
+            raise ValueError("a stacked plan needs a 2-D matrix")
+        rows, cols = self.ring.shape
+        signed = centered(self.ring, q_bits)
+        if signed.size:
+            # Python-int bound: abs() of the most negative int64 would
+            # overflow inside numpy, so take both extremes exactly.
+            bound = max(-int(signed.min()), int(signed.max()))
+        else:
+            bound = 0
+        self.entry_bound = bound
+        limb_bits = min(
+            q_bits,
+            _FLOAT_EXACT_BITS
+            - 1
+            - bound.bit_length()
+            - max(cols, 1).bit_length(),
+        )
+        while limb_bits > 0 and (
+            bound * ((1 << limb_bits) - 1) * cols >= 1 << _FLOAT_EXACT_BITS
+        ):
+            limb_bits -= 1
+        if limb_bits >= MIN_LIMB_BITS:
+            self.limb_bits = limb_bits
+            # tiptoe-lint: disable=dtype-signed-cast -- the BLAS fast path runs on the centered representatives; exactness is guaranteed by the limb-width bound above
+            self._float = signed.astype(np.float64)
+        else:
+            self.limb_bits = 0
+            self._float = None
+
+    @property
+    def uses_blas(self) -> bool:
+        """True when the exact float64 limb path is active."""
+        return self._float is not None
+
+    @property
+    def rows(self) -> int:
+        return self.ring.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.ring.shape[1]
+
+    def matmul(self, stacked: np.ndarray) -> np.ndarray:
+        """The exact stacked product ``M @ B`` in Z_{2^q_bits}.
+
+        ``stacked`` has shape (cols, Q): one query ciphertext per
+        column.  Returns the (rows, Q) evaluated columns.
+        """
+        dtype = dtype_for(self.q_bits)
+        stacked = np.asarray(stacked, dtype=dtype)
+        if stacked.ndim != 2:
+            raise ValueError(
+                f"stacked ciphertexts must form a (cols, Q) matrix;"
+                f" got shape {stacked.shape}"
+            )
+        if stacked.shape[0] != self.cols:
+            raise ValueError(
+                f"stacked ciphertexts have {stacked.shape[0]} rows,"
+                f" expected {self.cols}"
+            )
+        if self._float is None:
+            return matmul(self.ring, stacked, self.q_bits)
+        with _obs.kernel_timer("lwe.matmul_batch"):
+            limb_bits = self.limb_bits
+            num_limbs = -(-self.q_bits // limb_bits)
+            wide = stacked.astype(np.uint64)  # lossless widening for uint32
+            mask = np.uint64((1 << limb_bits) - 1)
+            acc = np.zeros((self.rows, stacked.shape[1]), dtype=np.uint64)
+            with np.errstate(over="ignore"):
+                for j in range(num_limbs):
+                    shift = np.uint64(limb_bits * j)
+                    limb = ((wide >> shift) & mask).astype(np.float64)
+                    exact = self._float @ limb  # every partial sum < 2^53
+                    # tiptoe-lint: disable=dtype-signed-cast -- exact holds signed integers below 2^53; int64 view then uint64 is the value mod 2^64
+                    part = exact.astype(np.int64).view(np.uint64)
+                    acc += part << shift
+            # Truncation to uint32 is reduction mod 2^32 (2^32 | 2^64).
+            return acc if self.q_bits == 64 else acc.astype(dtype)
+
+
+def stacked_matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
+    """One-shot exact stacked product over Z_{2^q_bits}.
+
+    Column i of the result is bit-identical to ``matvec(a, b[:, i],
+    q_bits)``.  Long-lived matrices should build a :class:`StackedPlan`
+    once instead (this convenience re-derives the plan every call).
+    """
+    return StackedPlan(a, q_bits).matmul(b)
+
+
 def mod_switch(values: np.ndarray, q_bits: int, new_modulus: int) -> np.ndarray:
     """Rescale Z_{2^q_bits} elements to Z_{new_modulus} by rounding.
 

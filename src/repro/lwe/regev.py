@@ -25,6 +25,7 @@ integer matrix-vector product.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -66,6 +67,23 @@ class Ciphertext:
     def upload_bytes(self) -> int:
         """Wire size of this ciphertext (the seed for A is amortized)."""
         return self.params.ciphertext_bytes(len(self.c))
+
+
+def stack_ciphertexts(cts: Sequence[Ciphertext]) -> np.ndarray:
+    """Stack Q ciphertext vectors into the (m, Q) column matrix.
+
+    This is the wire layout of the cross-query batch plane: one query
+    per column, so a batched Apply is a single matrix-matrix product.
+    """
+    if not cts:
+        raise ValueError("cannot stack an empty ciphertext batch")
+    params = cts[0].params
+    for ct in cts[1:]:
+        if ct.params != params:
+            raise ValueError(
+                "all ciphertexts in a batch must share one parameter set"
+            )
+    return np.stack([ct.c for ct in cts], axis=1)
 
 
 @dataclass
@@ -141,6 +159,39 @@ class RegevScheme:
         matrix = self._check_matrix(matrix)
         with _obs.kernel_timer("lwe.apply"):
             return modular.matvec(matrix, ct.c, self.params.q_bits)
+
+    def batch_plan(self, matrix: np.ndarray) -> modular.StackedPlan:
+        """Message-independent preprocessing for batched Apply calls.
+
+        Like the hint, the plan depends only on ``M``; long-lived
+        servers build it once and feed it to :meth:`apply_batch`.
+        """
+        return modular.StackedPlan(self._check_matrix(matrix), self.params.q_bits)
+
+    def apply_batch(
+        self,
+        matrix: np.ndarray | None,
+        cts: Sequence[Ciphertext] | np.ndarray,
+        plan: modular.StackedPlan | None = None,
+    ) -> np.ndarray:
+        """Homomorphically evaluate ``M`` against Q stacked queries.
+
+        ``cts`` is either a sequence of ciphertexts or an already
+        stacked (m, Q) column matrix.  Returns the (rows, Q) evaluated
+        columns; column i is bit-identical to ``apply(matrix, cts[i])``
+        (both paths are exact mod-2^k ring arithmetic).  Pass a
+        precomputed ``plan`` to skip the per-call preprocessing, in
+        which case ``matrix`` may be None.
+        """
+        if plan is None:
+            if matrix is None:
+                raise ValueError("apply_batch needs a matrix or a plan")
+            plan = self.batch_plan(matrix)
+        stacked = (
+            cts if isinstance(cts, np.ndarray) else stack_ciphertexts(cts)
+        )
+        with _obs.kernel_timer("lwe.apply_batch"):
+            return plan.matmul(stacked)
 
     def decrypt(
         self, sk: SecretKey, hint: np.ndarray, answer: np.ndarray

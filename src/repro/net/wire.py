@@ -97,6 +97,70 @@ def decode_answer(blob: bytes) -> tuple[np.ndarray, int]:
     return values.copy(), q_bits
 
 
+_BATCH_HEADER = struct.Struct("<BIH")
+
+
+def encode_batch(batch) -> bytes:
+    """Serialize a stacked query batch: [u8 q_bits][u32 m][u16 Q][m*Q words].
+
+    Words are C-order over the (m, Q) stack, so the columns (queries)
+    interleave; the count is validated on decode before any reshape.
+    """
+    q_bits = batch.params.q_bits
+    m, q = batch.stacked.shape
+    body = np.ascontiguousarray(
+        batch.stacked, dtype=dtype_for(q_bits)
+    ).tobytes()
+    return _BATCH_HEADER.pack(q_bits, m, q) + body
+
+
+def decode_batch(blob: bytes, params: LweParams):
+    from repro.core.ranking import RankingBatch
+
+    _require_header(blob, _BATCH_HEADER, "query batch")
+    q_bits, m, q = _BATCH_HEADER.unpack_from(blob)
+    if q_bits != params.q_bits:
+        raise ValueError(
+            f"wire modulus 2^{q_bits} does not match parameters"
+            f" (2^{params.q_bits})"
+        )
+    if q == 0:
+        raise ValueError("query batch declares zero queries")
+    _require_words(blob, _BATCH_HEADER.size, m * q, q_bits // 8, "query batch")
+    words = np.frombuffer(
+        blob, dtype=dtype_for(q_bits), offset=_BATCH_HEADER.size, count=m * q
+    )
+    return RankingBatch(stacked=words.reshape(m, q).copy(), params=params)
+
+
+def encode_batch_answer(answer, q_bits: int) -> bytes:
+    """Serialize a stacked answer: [u8 q_bits][u32 rows][u16 Q][rows*Q words]."""
+    rows, q = answer.stacked.shape
+    body = np.ascontiguousarray(
+        answer.stacked, dtype=dtype_for(q_bits)
+    ).tobytes()
+    return _BATCH_HEADER.pack(q_bits, rows, q) + body
+
+
+def decode_batch_answer(blob: bytes) -> tuple[np.ndarray, int]:
+    """Decode a stacked answer into the (rows, Q) matrix and q_bits."""
+    _require_header(blob, _BATCH_HEADER, "batch answer")
+    q_bits, rows, q = _BATCH_HEADER.unpack_from(blob)
+    if q_bits not in (32, 64):
+        raise ValueError(
+            f"batch answer declares unsupported modulus 2^{q_bits}"
+        )
+    if q == 0:
+        raise ValueError("batch answer declares zero queries")
+    _require_words(
+        blob, _BATCH_HEADER.size, rows * q, q_bits // 8, "batch answer"
+    )
+    words = np.frombuffer(
+        blob, dtype=dtype_for(q_bits), offset=_BATCH_HEADER.size, count=rows * q
+    )
+    return words.reshape(rows, q).copy(), q_bits
+
+
 _MATRIX_HEADER = struct.Struct("<BII")
 
 

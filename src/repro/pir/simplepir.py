@@ -19,9 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.homenc.double import DoubleLheParams, DoubleLheScheme
-from repro.lwe import sampling
+from repro.lwe import modular, sampling
 from repro.lwe.params import LweParams, SecurityLevel, select_params
-from repro.lwe.regev import Ciphertext, SecretKey
+from repro.lwe.regev import Ciphertext, SecretKey, stack_ciphertexts
 from repro.pir.database import PackedDatabase
 
 
@@ -62,6 +62,7 @@ class SimplePirServer:
         self.db = db
         self.scheme = scheme
         self.prep = scheme.preprocess(db.matrix)
+        self._plan: modular.StackedPlan | None = None
 
     def answer(self, query: PirQuery) -> PirAnswer:
         """The online hot loop: one matrix-vector product over the DB."""
@@ -70,6 +71,25 @@ class SimplePirServer:
             values=values,
             bytes_per_element=self.scheme.params.inner.bytes_per_element,
         )
+
+    def answer_batch(self, queries: list[PirQuery]) -> list[PirAnswer]:
+        """Answer Q queries with one matrix-matrix product over the DB.
+
+        Column i of the stacked product is bit-identical to
+        ``answer(queries[i]).values``; the batch plan is built lazily
+        and reused across calls (it depends only on the database).
+        """
+        if not queries:
+            return []
+        if self._plan is None:
+            self._plan = self.scheme.batch_plan(self.db.matrix)
+        stacked = stack_ciphertexts([q.ciphertext for q in queries])
+        values = self.scheme.apply_batch(None, stacked, plan=self._plan)
+        per_el = self.scheme.params.inner.bytes_per_element
+        return [
+            PirAnswer(values=values[:, i], bytes_per_element=per_el)
+            for i in range(len(queries))
+        ]
 
     def hint(self) -> np.ndarray:
         """The raw hint, for classic (hint-download) mode."""

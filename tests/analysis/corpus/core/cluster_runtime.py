@@ -1,0 +1,36 @@
+"""Known-bad batch-plane snippets (tiptoe-lint self-test corpus).
+
+This file deliberately carries the name of a batch-plane hot module so
+the ``batch-loop`` rule binds; every loop below is the per-query
+regression the rule exists to catch.
+"""
+
+
+def per_query_loop(service, queries):
+    # BAD: one matrix-vector product per query streams the index from
+    # memory Q times; stack the queries and run one GEMM.
+    answers = []
+    for query in queries:
+        answers.append(service.answer(query))
+    return answers
+
+
+def per_query_comprehension(modular, matrix, chunks, q_bits):
+    # BAD: same regression, comprehension spelling.
+    return [modular.matmul(matrix, chunk, q_bits) for chunk in chunks]
+
+
+def per_query_apply(scheme, matrix, cts):
+    # BAD: scheme.apply is the per-query kernel entry point.
+    out = []
+    while cts:
+        out.append(scheme.apply(matrix, cts.pop()))
+    return out
+
+
+def per_worker_matvec(modular, workers, ct, q_bits):
+    # BAD: matvec in a loop over workers is still one scan per call
+    # when the ciphertext could be a stacked matrix.
+    return [
+        modular.matvec(worker.matrix_slice, ct, q_bits) for worker in workers
+    ]

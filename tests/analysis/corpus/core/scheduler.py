@@ -1,0 +1,29 @@
+"""Known-good batch-plane snippets (tiptoe-lint self-test corpus).
+
+Named after the scheduler hot module so the ``batch-loop`` rule binds;
+everything here is the stacked idiom the rule wants, plus the loop
+shapes that are legitimately per-item (no kernel call inside).
+"""
+
+
+def stacked_batch(service, batch):
+    # GOOD: one stacked GEMM per shard via the batched entry point.
+    return service.answer_stacked(batch)
+
+
+def fan_answers_out(slots, answers):
+    # GOOD: looping to distribute results is not a kernel loop.
+    for slot, answer in zip(slots, answers):
+        slot.resolve(answer)
+
+
+def per_worker_stacked(workers, stacked):
+    # GOOD: per-worker loop over the *batched* entry point -- each
+    # iteration is one GEMM over that worker's shard, not one query.
+    return [worker.answer_stacked(stacked) for worker in workers]
+
+
+def outside_any_loop(service, query):
+    # GOOD: a single per-query call not inside a loop (the serial
+    # single-query path is allowed to exist as a fallback).
+    return service.answer(query)

@@ -116,18 +116,17 @@ class TestParallelBatch:
     ):
         import threading
 
-        from repro.core import cluster_runtime
-        from repro.lwe import modular
+        from repro.core.cluster_runtime import RankingWorker
 
         _, queries = batch_setup
         threads = set()
-        real_matmul = modular.matmul
+        real_answer = RankingWorker.answer_stacked
 
-        def spying_matmul(a, b, q_bits):
+        def spying_answer(worker, chunk):
             threads.add(threading.get_ident())
-            return real_matmul(a, b, q_bits)
+            return real_answer(worker, chunk)
 
-        monkeypatch.setattr(cluster_runtime.modular, "matmul", spying_matmul)
+        monkeypatch.setattr(RankingWorker, "answer_stacked", spying_answer)
         with self._build(engine, parallel=True) as service:
             service.answer_batch(queries)
         # The regression ran every shard on the calling thread; the fix

@@ -125,3 +125,104 @@ class TestViaRpc:
             remote, num_queries=2, rng=np.random.default_rng(5), via_rpc=True
         )
         assert report.url.queries == 2
+
+
+class TestConcurrentRanking:
+    """The closed-loop multi-client mode that exercises the batcher."""
+
+    def test_reports_all_queries(self, engine):
+        from repro.core.loadgen import measure_concurrent_ranking
+
+        report = measure_concurrent_ranking(
+            engine,
+            num_clients=4,
+            queries_per_client=2,
+            rng=np.random.default_rng(0),
+        )
+        assert report.clients == 4
+        assert report.queries == 8
+        assert report.failed_queries == 0
+        assert report.batches >= 1
+        assert report.queries_per_second > 0
+        assert len(report.latencies) == 8
+
+    def test_concurrency_fills_batches(self, engine):
+        from repro.core.loadgen import measure_concurrent_ranking
+
+        report = measure_concurrent_ranking(
+            engine,
+            num_clients=6,
+            queries_per_client=2,
+            max_batch_size=6,
+            max_batch_wait_ms=25.0,
+            rng=np.random.default_rng(1),
+        )
+        assert report.failed_queries == 0
+        assert report.mean_batch_size > 1
+        assert report.largest_batch > 1
+
+    def test_uses_attached_scheduler(self, corpus):
+        from repro import TiptoeConfig, TiptoeEngine
+        from repro.core.loadgen import measure_concurrent_ranking
+
+        cfg = TiptoeConfig(max_batch_size=4, max_batch_wait_ms=2.0)
+        with TiptoeEngine.build(
+            corpus.texts()[:100],
+            corpus.urls()[:100],
+            cfg,
+            rng=np.random.default_rng(2),
+        ) as engine:
+            scheduler = engine.ranking_service.scheduler
+            report = measure_concurrent_ranking(
+                engine,
+                num_clients=4,
+                queries_per_client=2,
+                rng=np.random.default_rng(3),
+            )
+            # Ran through the engine's own scheduler, not a private one.
+            assert scheduler.stats.queries >= report.queries
+            assert scheduler.running
+        assert report.failed_queries == 0
+
+    def test_registry_collects_latencies(self, engine):
+        from repro.core.loadgen import measure_concurrent_ranking
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report = measure_concurrent_ranking(
+            engine,
+            num_clients=2,
+            queries_per_client=2,
+            rng=np.random.default_rng(4),
+            registry=registry,
+        )
+        hist = registry.histogram("loadgen.concurrent_ranking.seconds")
+        assert hist.count == report.queries
+
+    def test_data_block_is_bench_ready(self, engine):
+        from repro.core.loadgen import measure_concurrent_ranking
+
+        report = measure_concurrent_ranking(
+            engine,
+            num_clients=2,
+            queries_per_client=2,
+            rng=np.random.default_rng(5),
+        )
+        data = report.data()
+        for key in (
+            "clients",
+            "queries",
+            "queries_per_second",
+            "batches",
+            "mean_batch_size",
+            "p50_s",
+        ):
+            assert key in data
+
+    def test_input_validation(self, engine):
+        from repro.core.loadgen import measure_concurrent_ranking
+
+        with pytest.raises(ValueError):
+            measure_concurrent_ranking(engine, num_clients=0)
+        with pytest.raises(ValueError):
+            measure_concurrent_ranking(engine, queries_per_client=0)

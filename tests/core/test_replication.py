@@ -104,3 +104,103 @@ class TestReplication:
                 2,
                 replicas=0,
             )
+
+
+class TestReplicatedLifecycle:
+    """ReplicatedRankingService carries the full Service lifecycle."""
+
+    def _build(self, engine, replicas=2):
+        index = engine.index
+        return ReplicatedRankingService.build(
+            index.ranking_scheme,
+            index.layout.matrix,
+            dim=index.layout.dim,
+            num_workers=3,
+            replicas=replicas,
+        )
+
+    def test_is_a_service(self, replicated):
+        from repro.net.service import Service
+
+        assert isinstance(replicated, Service)
+        assert replicated.service_name == "ranking"
+
+    def test_health_transitions(self, engine):
+        service = self._build(engine)
+        assert service.health()["status"] == "ok"
+        service.fail_worker(shard=0, replica=0)
+        report = service.health()
+        assert report["status"] == "degraded"
+        assert report["live_replicas"][0] == 1
+        service.fail_worker(shard=0, replica=1)
+        assert service.health()["status"] == "failed"
+
+    def test_close_releases_cached_plans(self, engine):
+        _, _, _, query = make_query(engine, 11)
+        service = self._build(engine)
+        service.answer_batch([query])
+        assert any(
+            w._plan is not None
+            for group in service.replica_groups
+            for w in group
+        )
+        service.close()
+        assert all(
+            w._plan is None
+            for group in service.replica_groups
+            for w in group
+        )
+        service.close()  # idempotent
+
+    def test_context_manager(self, engine):
+        _, _, _, query = make_query(engine, 12)
+        with self._build(engine) as service:
+            service.answer_batch([query])
+        assert all(
+            w._plan is None
+            for group in service.replica_groups
+            for w in group
+        )
+
+    def test_wire_endpoint_answers(self, engine):
+        from repro.net import wire
+        from repro.net.rpc import frame, unframe
+
+        _, _, _, query = make_query(engine, 13)
+        with self._build(engine) as service:
+            blob = wire.encode_ciphertext(query.ciphertext)
+            _, payload = unframe(
+                service.endpoint.dispatch(frame("answer", blob))
+            )
+            values, _ = wire.decode_answer(payload)
+            assert np.array_equal(values, service.answer(query).values)
+
+
+class TestReplicatedBatching:
+    def test_answer_batch_bit_identical(self, engine, replicated):
+        queries = [make_query(engine, 20 + i)[3] for i in range(3)]
+        individual = [replicated.answer(q).values for q in queries]
+        batched = replicated.answer_batch(queries)
+        for got, want in zip(batched, individual):
+            assert np.array_equal(got.values, want)
+
+    def test_empty_batch(self, replicated):
+        assert replicated.answer_batch([]) == []
+
+    def test_batch_survives_single_replica_failures(self, engine):
+        service = ReplicatedRankingService.build(
+            engine.index.ranking_scheme,
+            engine.index.layout.matrix,
+            dim=engine.index.layout.dim,
+            num_workers=3,
+            replicas=2,
+        )
+        queries = [make_query(engine, 30 + i)[3] for i in range(2)]
+        want = [a.values for a in service.answer_batch(queries)]
+        service.fail_worker(shard=1, replica=0)
+        got = [a.values for a in service.answer_batch(queries)]
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+        service.fail_worker(shard=1, replica=1)
+        with pytest.raises(WorkerFailure):
+            service.answer_batch(queries)

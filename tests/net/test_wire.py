@@ -123,3 +123,95 @@ class TestTruncationHardening:
             wire.encode_answer(np.zeros(4, dtype=np.uint64), 64)
         )
         values[0] = 9
+
+
+class TestQueryBatch:
+    """Stacked query/answer batch codecs for the batch plane."""
+
+    def _batch(self, regev_ct, count=3):
+        from repro.core.ranking import RankingBatch, RankingQuery
+
+        scheme, sk, _ = regev_ct
+        rng = seeded_rng(11)
+        queries = [
+            RankingQuery(
+                ciphertext=scheme.encrypt(sk, np.arange(20) % 256, rng)
+            )
+            for _ in range(count)
+        ]
+        return RankingBatch.from_queries(queries)
+
+    def test_round_trip(self, regev_ct):
+        scheme, _, _ = regev_ct
+        batch = self._batch(regev_ct)
+        back = wire.decode_batch(wire.encode_batch(batch), scheme.params)
+        assert np.array_equal(back.stacked, batch.stacked)
+        assert back.size == batch.size
+
+    def test_declared_size_matches_encoding(self, regev_ct):
+        batch = self._batch(regev_ct)
+        blob = wire.encode_batch(batch)
+        assert len(blob) == batch.wire_bytes() + wire._BATCH_HEADER.size
+
+    def test_modulus_mismatch_rejected(self, regev_ct):
+        batch = self._batch(regev_ct)
+        other = LweParams(n=32, q_bits=32, p=256, sigma=6.4, m=20)
+        with pytest.raises(ValueError, match="modulus"):
+            wire.decode_batch(wire.encode_batch(batch), other)
+
+    def test_truncated_batch_rejected(self, regev_ct):
+        scheme, _, _ = regev_ct
+        blob = wire.encode_batch(self._batch(regev_ct))
+        with pytest.raises(ValueError, match="expected"):
+            wire.decode_batch(blob[:-4], scheme.params)
+        with pytest.raises(ValueError, match="expected at least"):
+            wire.decode_batch(b"\x40", scheme.params)
+
+    def test_zero_query_batch_rejected(self, regev_ct):
+        scheme, _, _ = regev_ct
+        blob = wire._BATCH_HEADER.pack(scheme.params.q_bits, 20, 0)
+        with pytest.raises(ValueError, match="zero queries"):
+            wire.decode_batch(blob, scheme.params)
+
+
+class TestBatchAnswer:
+    def _answer(self, q_bits=64, rows=6, count=3):
+        from repro.core.ranking import RankingBatchAnswer
+
+        rng = np.random.default_rng(12)
+        stacked = rng.integers(0, 2**31, size=(rows, count)).astype(
+            np.uint32 if q_bits == 32 else np.uint64
+        )
+        return RankingBatchAnswer(stacked=stacked, bytes_per_element=q_bits // 8)
+
+    @pytest.mark.parametrize("q_bits", [32, 64])
+    def test_round_trip(self, q_bits):
+        answer = self._answer(q_bits)
+        blob = wire.encode_batch_answer(answer, q_bits)
+        back, got_bits = wire.decode_batch_answer(blob)
+        assert got_bits == q_bits
+        assert np.array_equal(back, answer.stacked)
+
+    def test_size_matches_accounting(self):
+        answer = self._answer(64)
+        blob = wire.encode_batch_answer(answer, 64)
+        assert len(blob) == answer.wire_bytes() + wire._BATCH_HEADER.size
+
+    def test_truncated_and_bad_modulus_rejected(self):
+        blob = wire.encode_batch_answer(self._answer(64), 64)
+        with pytest.raises(ValueError, match="expected"):
+            wire.decode_batch_answer(blob[:-1])
+        with pytest.raises(ValueError, match="modulus"):
+            wire.decode_batch_answer(b"\x07" + blob[1:])
+
+    def test_zero_query_answer_rejected(self):
+        blob = wire._BATCH_HEADER.pack(64, 6, 0)
+        with pytest.raises(ValueError, match="zero queries"):
+            wire.decode_batch_answer(blob)
+
+    def test_split_columns_are_the_queries_answers(self):
+        answer = self._answer(64, rows=4, count=3)
+        parts = answer.split()
+        assert len(parts) == 3
+        for i, part in enumerate(parts):
+            assert np.array_equal(part.values, answer.stacked[:, i])
