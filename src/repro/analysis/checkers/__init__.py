@@ -6,6 +6,7 @@ from repro.analysis.base import Checker
 from repro.analysis.checkers.api import ApiHygieneChecker
 from repro.analysis.checkers.batch import BatchPlaneChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
+from repro.analysis.checkers.hotpath import HotPathPrecomputeChecker
 from repro.analysis.checkers.net import TransportSeamChecker
 from repro.analysis.checkers.rng import RngHygieneChecker
 from repro.analysis.checkers.taint import SecretTaintChecker
@@ -20,6 +21,7 @@ def build_checkers(rules: set[str] | None = None) -> list[Checker]:
         ApiHygieneChecker(),
         TransportSeamChecker(),
         BatchPlaneChecker(),
+        HotPathPrecomputeChecker(),
     ]
     if rules is None:
         return checkers
@@ -42,6 +44,7 @@ __all__ = [
     "ApiHygieneChecker",
     "BatchPlaneChecker",
     "DtypeDisciplineChecker",
+    "HotPathPrecomputeChecker",
     "RngHygieneChecker",
     "SecretTaintChecker",
     "TransportSeamChecker",

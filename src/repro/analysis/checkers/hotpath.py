@@ -1,0 +1,85 @@
+"""The precompute-plane rule: no ahead-of-time crypto on the query path.
+
+Tiptoe's latency numbers (PAPER.md SS6.3, Table 7) assume the
+query-independent work -- server-side hint preprocessing and the NTT
+table builds behind it -- happens *before* the user types a query.
+The precompute plane (DESIGN.md, "Precompute plane") exists so that
+``client.search`` and the ranking hot path only ever touch
+already-prepared state: pooled tokens, the sidecar's hint-NTT tables,
+and the process-wide ``ntt_context`` registry.
+
+``hot-path-precompute`` flags calls whose trailing name is one of the
+ahead-of-time entry points (``preprocess``, ``evaluate_hint``,
+``evaluate_hint_batch``, ``hint_ntt_table``, or a bare ``NttContext``
+construction) lexically inside ``core/client.py`` or
+``core/ranking.py``.  Those calls re-run forward NTTs or matrix
+preprocessing inline, which silently puts seconds of work back on the
+latency-critical path while still returning correct answers.  Online
+code needing a context goes through the cached ``ntt_context(n, p)``
+registry accessor; anything that genuinely must preprocess inline
+takes a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, FileContext, call_name
+from repro.analysis.findings import Finding, RuleSpec
+
+#: Ahead-of-time entry points that must not run on the query path.
+_PRECOMPUTE_CALLS = frozenset(
+    {
+        "preprocess",
+        "evaluate_hint",
+        "evaluate_hint_batch",
+        "hint_ntt_table",
+        "NttContext",
+    }
+)
+
+#: The online-path modules this invariant binds in.
+_HOT_FILES = frozenset({"client.py", "ranking.py"})
+
+
+class HotPathPrecomputeChecker(Checker):
+    name = "hotpath"
+    rules = (
+        RuleSpec(
+            rule="hot-path-precompute",
+            summary=(
+                "ahead-of-time crypto (preprocess/evaluate_hint/"
+                "NttContext) called on the online query path"
+            ),
+            invariant=(
+                "the client and ranking hot paths consume precomputed"
+                " state (pooled tokens, sidecar hint-NTT tables, the"
+                " ntt_context registry); query-independent work never"
+                " runs inline"
+            ),
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.filename in _HOT_FILES and "core" in ctx.parts
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            trailing = name.rsplit(".", 1)[-1]
+            if trailing in _PRECOMPUTE_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "hot-path-precompute",
+                        node,
+                        f"'{trailing}' is ahead-of-time work (forward"
+                        " NTTs / matrix preprocessing); run it at index"
+                        " build or token-mint time and consume the"
+                        " cached result here",
+                    )
+                )
+        return findings

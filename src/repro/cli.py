@@ -173,7 +173,8 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
         TiptoeConfig(),
         rng=np.random.default_rng(args.seed),
     )
-    index.save(args.out)
+    # Only override the config default when the flag is given.
+    index.save(args.out, precompute=True if args.precompute else None)
     print(f"index over {args.docs} documents written to {args.out}")
     return 0
 
@@ -271,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
     build_index.add_argument("out", type=str, help="artifact directory")
     build_index.add_argument("--docs", type=int, default=400)
     build_index.add_argument("--seed", type=int, default=0)
+    build_index.add_argument(
+        "--precompute", action="store_true",
+        help="also write the precompute.npz sidecar (hint NTT tables +"
+        " plan metadata) so serve cold-starts without forward NTTs",
+    )
     build_index.set_defaults(func=_cmd_build_index)
 
     serve = sub.add_parser(

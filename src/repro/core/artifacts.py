@@ -8,7 +8,7 @@ into a directory, and loads it back *bit-identically*: searches
 against a loaded index return exactly the bytes the original index
 would have (the regression suite asserts this).
 
-Layout of an artifact directory (schema ``repro.index/v1``)::
+Layout of an artifact directory (schema ``repro.index/v2``)::
 
     manifest.json   -- schema tag, config, scheme parameters (with the
                        public A-seeds), database scalars, build ledger
@@ -17,6 +17,10 @@ Layout of an artifact directory (schema ``repro.index/v1``)::
                        hints (raw + modulus-switched), the packed URL
                        database, embeddings, PCA/LSA projections
     blobs.bin       -- the compressed URL batches, u32-length-prefixed
+    precompute.npz  -- OPTIONAL sidecar: the plaintext-side hint NTT
+                       tables of both services plus serialized
+                       StackedPlan metadata, keyed to arrays.npz by
+                       SHA-256 digest (see below)
 
 Ragged structures (cluster membership lists, per-batch doc ids) are
 stored flattened next to an offsets array.  Floats ride through JSON
@@ -24,7 +28,16 @@ losslessly (``repr`` round-trips IEEE doubles exactly), and the LWE
 ``A`` matrices are regenerated from their stored seeds, which is why
 bit-identical reloads are possible at all.
 
-``v1`` persists indexes whose embedder is the in-repo
+``v2`` extends ``v1`` with the optional precompute sidecar; a ``v2``
+build still loads ``v1`` directories (the sidecar is simply absent).
+The sidecar is pure derived data -- every array in it is a
+deterministic function of arrays.npz -- so loading it changes no
+answer bytes, only cold-start time.  Its members are written
+uncompressed and load memory-mapped read-only; a digest mismatch
+(sidecar from a different arrays.npz) is rejected with
+:class:`ArtifactError` rather than silently serving stale tables.
+
+Both versions persist indexes whose embedder is the in-repo
 :class:`~repro.embeddings.lsa.LsaEmbedder` (or none, for the
 precomputed-embeddings path); foreign embedder objects are rejected
 with a clear error rather than pickled.
@@ -32,8 +45,10 @@ with a clear error rather than pickled.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -51,15 +66,22 @@ from repro.homenc.double import (
     PreprocessedMatrix,
 )
 from repro.homenc.token import TokenFactory
+from repro.lwe import modular
 from repro.lwe.params import LweParams, SecurityLevel
+from repro.obs import runtime as obs
 from repro.pir.database import PackedDatabase
 
-SCHEMA = "repro.index/v1"
+SCHEMA = "repro.index/v2"
+#: Schemas this build can load; v1 directories simply lack the sidecar.
+COMPATIBLE_SCHEMAS = ("repro.index/v1", SCHEMA)
+#: Schema tag of the precompute sidecar itself.
+PRECOMPUTE_SCHEMA = "repro.precompute/v1"
 
 _MANIFEST = "manifest.json"
 _VOCAB = "vocab.json"
 _ARRAYS = "arrays.npz"
 _BLOBS = "blobs.bin"
+_PRECOMPUTE = "precompute.npz"
 
 _BLOB_LEN = struct.Struct("<I")
 
@@ -146,10 +168,153 @@ def _config_from_manifest(entry: dict) -> TiptoeConfig:
     return TiptoeConfig(**entry)
 
 
+# -- the precompute sidecar ---------------------------------------------------
+
+
+def _file_digest(path: Path) -> str:
+    """SHA-256 of a file's bytes (what keys the sidecar to arrays.npz)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_precompute_sidecar(index, path: str | Path) -> Path:
+    """Write ``precompute.npz`` next to an already-saved artifact.
+
+    The sidecar holds each service's plaintext-side hint NTT table
+    (shape ``(n_chunks, k, n_inner, n_outer)``) and the serialized
+    :class:`~repro.lwe.modular.StackedPlan` metadata for the ranking
+    and URL matrices, all keyed to the exact ``arrays.npz`` it was
+    derived from by SHA-256 digest.  Everything in it is derived data:
+    a ``serve`` without the sidecar computes the same values lazily.
+    """
+    path = Path(path)
+    arrays_path = path / _ARRAYS
+    if not arrays_path.is_file():
+        raise ArtifactError(
+            f"no {_ARRAYS} in {path}; save the index before its sidecar"
+        )
+    ranking_plan = modular.StackedPlan(
+        index.layout.matrix, index.ranking_scheme.params.inner.q_bits
+    )
+    url_plan = modular.StackedPlan(
+        index.url_db.matrix, index.url_scheme.params.inner.q_bits
+    )
+    meta = {
+        "schema": PRECOMPUTE_SCHEMA,
+        "arrays_digest": _file_digest(arrays_path),
+        "plans": {
+            "ranking": ranking_plan.metadata(),
+            "url": url_plan.metadata(),
+        },
+    }
+    arrays = {
+        "ranking_hint_ntt": index.ranking_scheme.hint_ntt_table(
+            index.ranking_prep
+        ),
+        "url_hint_ntt": index.url_scheme.hint_ntt_table(index.url_prep),
+        "meta_json": np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    # np.savez (not _compressed): ZIP_STORED members are what the
+    # memory-mapped loader requires.
+    with (path / _PRECOMPUTE).open("wb") as fh:
+        np.savez(fh, **arrays)
+    return path / _PRECOMPUTE
+
+
+def _mmap_npz(npz_path: Path) -> dict[str, np.ndarray]:
+    """Memory-map every member of an uncompressed ``.npz`` read-only.
+
+    ``np.load(mmap_mode=...)`` cannot map zip members, so this walks
+    the zip directory itself: each member of an ``np.savez`` archive is
+    a stored (uncompressed) ``.npy`` file at a knowable offset, which
+    ``np.memmap`` can map directly.  Arrays come back read-only.
+    """
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(npz_path) as zf:
+        infos = list(zf.infolist())
+    with npz_path.open("rb") as fh:
+        for info in infos:
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ArtifactError(
+                    f"{npz_path.name}: member {name!r} is compressed and"
+                    " cannot be memory-mapped"
+                )
+            # Local file header: fixed 30 bytes, then name and extra
+            # fields, then the member's data (the .npy stream).
+            fh.seek(info.header_offset)
+            local = fh.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise ArtifactError(
+                    f"{npz_path.name}: corrupt local header for {name!r}"
+                )
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            fh.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:
+                raise ArtifactError(
+                    f"{npz_path.name}: unsupported npy version {version}"
+                    f" for member {name!r}"
+                )
+            out[name] = np.memmap(
+                npz_path,
+                dtype=dtype,
+                mode="r",
+                offset=fh.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return out
+
+
+def load_precompute_sidecar(path: str | Path) -> tuple[dict, dict] | None:
+    """Load and validate ``precompute.npz`` if present.
+
+    Returns ``(meta, arrays)`` with the big NTT tables memory-mapped
+    read-only, or ``None`` when the directory has no sidecar.  Raises
+    :class:`ArtifactError` when the sidecar exists but was derived from
+    a different ``arrays.npz`` (digest mismatch) or carries an unknown
+    schema.
+    """
+    path = Path(path)
+    sidecar_path = path / _PRECOMPUTE
+    if not sidecar_path.is_file():
+        return None
+    arrays = _mmap_npz(sidecar_path)
+    if "meta_json" not in arrays:
+        raise ArtifactError(f"{_PRECOMPUTE}: missing meta_json member")
+    meta = json.loads(bytes(np.asarray(arrays.pop("meta_json"))).decode("utf-8"))
+    if meta.get("schema") != PRECOMPUTE_SCHEMA:
+        raise ArtifactError(
+            f"{_PRECOMPUTE}: schema is {meta.get('schema')!r}, this build"
+            f" reads {PRECOMPUTE_SCHEMA!r}"
+        )
+    actual = _file_digest(path / _ARRAYS)
+    if meta.get("arrays_digest") != actual:
+        raise ArtifactError(
+            f"{_PRECOMPUTE}: derived from a different {_ARRAYS}"
+            f" (sidecar digest {meta.get('arrays_digest')}, actual"
+            f" {actual}); rebuild the sidecar"
+        )
+    return meta, arrays
+
+
 # -- save ---------------------------------------------------------------------
 
 
-def save_index(index, path: str | Path) -> Path:
+def save_index(index, path: str | Path, *, precompute: bool = False) -> Path:
     """Write one index into ``path`` (created if needed)."""
     from repro.core.indexer import TiptoeIndex  # noqa: F401 (docs anchor)
 
@@ -242,6 +407,8 @@ def save_index(index, path: str | Path) -> Path:
             )
         )
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    if precompute:
+        write_precompute_sidecar(index, path)
     return path
 
 
@@ -269,17 +436,21 @@ def _read_blobs(path: Path) -> list[bytes]:
 
 def load_index(path: str | Path):
     """Load an index saved by :func:`save_index`."""
+    import time
+
     from repro.core.indexer import RankingLayout, TiptoeIndex
 
+    start = time.perf_counter()
     path = Path(path)
     manifest_path = path / _MANIFEST
     if not manifest_path.is_file():
         raise ArtifactError(f"no {_MANIFEST} in {path}")
     manifest = json.loads(manifest_path.read_text())
     schema = manifest.get("schema")
-    if schema != SCHEMA:
+    if schema not in COMPATIBLE_SCHEMAS:
         raise ArtifactError(
             f"artifact schema is {schema!r}, this build reads {SCHEMA!r}"
+            f" (compatible: {', '.join(COMPATIBLE_SCHEMAS)})"
         )
 
     with np.load(path / _ARRAYS) as npz:
@@ -331,15 +502,27 @@ def load_index(path: str | Path):
 
     ranking_scheme = _scheme_from_manifest(manifest["schemes"]["ranking"])
     url_scheme = _scheme_from_manifest(manifest["schemes"]["url"])
+
+    sidecar = load_precompute_sidecar(path)
+    precompute_meta = None
+    ranking_hint_ntt = None
+    url_hint_ntt = None
+    if sidecar is not None:
+        precompute_meta, side_arrays = sidecar
+        ranking_hint_ntt = side_arrays["ranking_hint_ntt"]
+        url_hint_ntt = side_arrays["url_hint_ntt"]
+
     ranking_prep = PreprocessedMatrix(
         hint=arrays["ranking_hint"],
         switched_hint=arrays["ranking_switched_hint"],
         rows=int(manifest["prep_rows"]["ranking"]),
+        hint_ntt=ranking_hint_ntt,
     )
     url_prep = PreprocessedMatrix(
         hint=arrays["url_hint"],
         switched_hint=arrays["url_switched_hint"],
         rows=int(manifest["prep_rows"]["url"]),
+        hint_ntt=url_hint_ntt,
     )
     token_factory = TokenFactory()
     token_factory.register("ranking", ranking_scheme, ranking_prep)
@@ -374,7 +557,7 @@ def load_index(path: str | Path):
     for component, ops in manifest["build_ledger"].items():
         ledger.add(component, ops)
 
-    return TiptoeIndex(
+    index = TiptoeIndex(
         config=config,
         embedder=embedder,
         pca=pca,
@@ -391,4 +574,7 @@ def load_index(path: str | Path):
         embeddings=arrays["embeddings"],
         url_position_map=arrays.get("url_position_map"),
         quantization_gain=float(manifest["quantization_gain"]),
+        precompute=precompute_meta,
     )
+    obs.observe("artifacts.load_seconds", time.perf_counter() - start)
+    return index

@@ -9,6 +9,9 @@ consumes exactly one query token.
 
 from __future__ import annotations
 
+import logging
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +26,8 @@ from repro.net.rpc import RpcChannel
 from repro.net.transport import LinkModel, TrafficLog
 from repro.obs import runtime as obs
 from repro.pir.simplepir import PirAnswer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,17 +81,116 @@ class TiptoeClient:
             db_meta=engine.index.url_db,
             batch_size=meta.url_batch_size,
         )
-        self._tokens: list[QueryToken] = []
+        self._tokens: deque[QueryToken] = deque()
+        self._token_lock = threading.Lock()
+        # Wakes the prefetcher whenever a token is taken.
+        self._token_need = threading.Condition(self._token_lock)
+        self._prefetch_depth = int(
+            getattr(engine.index.config, "token_prefetch_depth", 0)
+        )
+        self._prefetching = False
+        self._prefetch_thread: threading.Thread | None = None
+        if self._prefetch_depth > 0:
+            self._start_prefetcher()
 
     # -- token management (the ahead-of-time phase, SS6.3) -------------------
 
     def fetch_tokens(self, count: int = 1) -> None:
         """Stockpile query tokens before deciding on any query."""
-        for _ in range(count):
-            self._tokens.append(self.engine.mint_token(self.rng))
+        if count < 1:
+            return
+        if count == 1:
+            minted = [self.engine.mint_token(self.rng)]
+        else:
+            minted = self.engine.mint_tokens(count, self.rng)
+        with self._token_lock:
+            self._tokens.extend(minted)
 
     def tokens_available(self) -> int:
-        return len(self._tokens)
+        with self._token_lock:
+            return len(self._tokens)
+
+    def _take_token(self) -> QueryToken:
+        """Pop a stockpiled token, or mint inline when none is ready.
+
+        Popping wakes the prefetcher (if running) so the stockpile is
+        topped back up off the query path.
+        """
+        with self._token_lock:
+            if self._tokens:
+                token = self._tokens.popleft()
+                self._token_need.notify()
+                return token
+        return self.engine.mint_token(self.rng)
+
+    # -- the token prefetcher -------------------------------------------------
+
+    def _start_prefetcher(self) -> None:
+        with self._token_lock:
+            if self._prefetching:
+                return
+            self._prefetching = True
+        self._prefetch_thread = threading.Thread(
+            target=self._prefetch_loop, name="token-prefetch", daemon=True
+        )
+        self._prefetch_thread.start()
+
+    def _prefetch_loop(self) -> None:
+        # The prefetcher never touches ``self.rng`` -- numpy Generators
+        # are not thread-safe, and search() draws from it concurrently.
+        # Key material comes from fresh OS entropy instead; answers are
+        # unaffected because LHE decryption is exact.
+        while True:
+            with self._token_lock:
+                while (
+                    self._prefetching
+                    and len(self._tokens) >= self._prefetch_depth
+                ):
+                    self._token_need.wait()
+                if not self._prefetching:
+                    return
+                want = self._prefetch_depth - len(self._tokens)
+            try:
+                if want == 1:
+                    minted = [self.engine.mint_token()]
+                else:
+                    minted = self.engine.mint_tokens(want)
+            except Exception:
+                logger.exception(
+                    "token prefetch failed; prefetcher stopping"
+                )
+                with self._token_lock:
+                    self._prefetching = False
+                return
+            with self._token_lock:
+                if not self._prefetching:
+                    # Closed mid-mint: drop the batch, mirroring the
+                    # server pool's drain-on-close.
+                    return
+                self._tokens.extend(minted)
+                obs.gauge("client.tokens_available", len(self._tokens))
+
+    def close(self) -> None:
+        """Stop the prefetcher and discard stockpiled tokens.
+
+        Tokens hold client secret keys, so they never outlive the
+        client.  Idempotent; also usable as a context manager.
+        """
+        with self._token_lock:
+            self._prefetching = False
+            self._token_need.notify_all()
+        thread, self._prefetch_thread = self._prefetch_thread, None
+        if thread is not None:
+            thread.join()
+        with self._token_lock:
+            self._tokens.clear()
+
+    def __enter__(self) -> "TiptoeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- the query path -------------------------------------------------------
 
@@ -109,9 +213,7 @@ class TiptoeClient:
         """
         with obs.span("client.search") as root_span:
             with obs.span("token"):
-                if not self._tokens:
-                    self.fetch_tokens(1)
-                token = self._tokens.pop(0)
+                token = self._take_token()
                 traffic = TrafficLog()
                 traffic.record("token", "up", token.upload_bytes)
                 traffic.record("token", "down", token.download_bytes)

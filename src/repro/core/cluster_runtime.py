@@ -48,6 +48,10 @@ class RankingWorker:
     q_bits: int
     alive: bool = True
     ledger: CostLedger = field(default_factory=CostLedger)
+    #: Optional precomputed bound on the shard's centered entries
+    #: (from the index sidecar); skips the plan's full-shard scan.  The
+    #: full-matrix bound is exact-safe for any column slice of it.
+    entry_bound: int | None = None
     _plan: modular.StackedPlan | None = field(default=None, repr=False)
 
     def batch_plan(self) -> modular.StackedPlan:
@@ -57,7 +61,9 @@ class RankingWorker:
         depends only on the shard contents, never on any query.
         """
         if self._plan is None:
-            self._plan = modular.StackedPlan(self.matrix_slice, self.q_bits)
+            self._plan = modular.StackedPlan(
+                self.matrix_slice, self.q_bits, entry_bound=self.entry_bound
+            )
         return self._plan
 
     def drop_plan(self) -> None:
@@ -172,8 +178,14 @@ class ShardedRankingService(Service):
         matrix: np.ndarray,
         dim: int,
         num_workers: int,
+        entry_bound: int | None = None,
     ) -> "ShardedRankingService":
-        """Partition the matrix by cluster across workers."""
+        """Partition the matrix by cluster across workers.
+
+        ``entry_bound`` (from the precompute sidecar) is a bound on the
+        full matrix's centered entries; each shard inherits it so its
+        batch plan skips the entry scan.
+        """
         num_clusters = matrix.shape[1] // dim
         num_workers = min(num_workers, num_clusters)
         bounds = np.linspace(0, num_clusters, num_workers + 1).astype(int)
@@ -192,6 +204,7 @@ class ShardedRankingService(Service):
                     ),
                     col_start=col_start,
                     q_bits=q_bits,
+                    entry_bound=entry_bound,
                 )
             )
         return cls(workers=workers, scheme=scheme)

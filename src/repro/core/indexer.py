@@ -116,6 +116,10 @@ class TiptoeIndex:
     embeddings: np.ndarray = field(repr=False, default=None)
     url_position_map: np.ndarray | None = field(repr=False, default=None)
     quantization_gain: float = 1.0
+    #: Sidecar metadata (plan parameters keyed by service) when this
+    #: index was loaded from a ``repro.index/v2`` artifact with a
+    #: validated ``precompute.npz``; None otherwise.
+    precompute: dict | None = field(repr=False, default=None)
 
     # -- construction -------------------------------------------------------
 
@@ -291,16 +295,22 @@ class TiptoeIndex:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, *, precompute: bool | None = None) -> None:
         """Persist the build outputs (see :mod:`repro.core.artifacts`).
 
         A later ``TiptoeIndex.load(path)`` -- typically in a
         ``python -m repro serve`` process -- reconstructs an index
-        whose searches are bit-identical to this one's.
+        whose searches are bit-identical to this one's.  With
+        ``precompute=True`` (default: the config's
+        ``precompute_sidecar`` knob) the artifact also gets the
+        ``precompute.npz`` sidecar, which removes the hint NTTs and
+        plan scans from serve cold-start.
         """
         from repro.core.artifacts import save_index
 
-        save_index(self, path)
+        if precompute is None:
+            precompute = self.config.precompute_sidecar
+        save_index(self, path, precompute=precompute)
 
     @classmethod
     def load(cls, path) -> "TiptoeIndex":

@@ -1,0 +1,186 @@
+"""The ahead-of-time plane's serving half: pre-minted token pools.
+
+SS6.3 moves the expensive hint-product evaluation off the
+latency-critical path; this module moves it off the *request* path
+too.  A :class:`TokenPool` keeps a bounded stockpile of fully-minted
+:class:`~repro.homenc.token.QueryToken` objects warm: a daemon refill
+worker tops the pool up to its target depth in ``mint_many`` batches
+(amortizing the hint NTTs across the batch), and takers pop in O(1).
+
+The pool is generic over *how* a token is minted -- it is handed a
+``mint_fn(count) -> list[QueryToken]`` closure, which in the engine
+runs the full keygen / upload / evaluate / decrypt flow over the real
+wire path.  Pre-minted tokens therefore hold client secret keys in
+memory until taken (see SECURITY.md); ``close`` drains the pool and
+discards them.
+
+Observability: ``token_pool.depth`` (gauge), ``token_pool.refills`` /
+``token_pool.minted`` (counters), ``token_pool.refill_seconds``
+(histogram) -- all no-ops when :mod:`repro.obs` is disabled.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.obs import runtime as obs
+
+logger = logging.getLogger(__name__)
+
+
+class TokenPool:
+    """A bounded pool of pre-minted query tokens with a refill worker.
+
+    ``start`` spawns the worker; it mints whenever the pool is below
+    ``depth`` and sleeps on a condition variable otherwise, so a full
+    pool costs nothing.  ``take_nowait`` / ``take`` pop from the left
+    of a deque (O(1)); every pop wakes the worker.  ``close`` stops the
+    worker, waits out any in-flight mint, and discards pooled tokens
+    -- they hold secret keys, so they never outlive the pool.
+    """
+
+    def __init__(
+        self,
+        mint_fn: Callable[[int], Sequence],
+        depth: int,
+        batch: int = 4,
+    ):
+        if depth < 1:
+            raise ValueError("pool depth must be at least 1")
+        if batch < 1:
+            raise ValueError("refill batch must be at least 1")
+        self._mint_fn = mint_fn
+        self.depth = depth
+        self.batch = batch
+        self._tokens: deque = deque()
+        self._lock = threading.Lock()
+        self._need = threading.Condition(self._lock)  # wakes the worker
+        self._avail = threading.Condition(self._lock)  # wakes takers
+        self._running = False
+        self._failed = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Spawn the refill worker.  Idempotent."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+            self._failed = False
+        self._thread = threading.Thread(
+            target=self._refill_loop, name="token-pool-refill", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop the worker and drain the pool.  Idempotent."""
+        with self._lock:
+            self._running = False
+            self._need.notify_all()
+            self._avail.notify_all()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            # Drain: pre-minted tokens hold client secret keys; they
+            # are discarded with the pool rather than left reachable.
+            self._tokens.clear()
+        obs.gauge("token_pool.depth", 0)
+
+    def __enter__(self) -> "TokenPool":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- taking -------------------------------------------------------------
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._tokens)
+
+    def take_nowait(self):
+        """Pop one token, or None when the pool is empty right now."""
+        with self._lock:
+            if not self._tokens:
+                return None
+            token = self._tokens.popleft()
+            self._need.notify()
+            obs.gauge("token_pool.depth", len(self._tokens))
+            return token
+
+    def take(self, timeout: float | None = None):
+        """Pop one token, waiting up to ``timeout`` seconds for a refill.
+
+        Returns None on timeout or when the pool is closed (or its
+        worker failed) while empty -- callers then mint inline.
+        """
+        with self._lock:
+            while not self._tokens:
+                if not self._running or self._failed:
+                    return None
+                if not self._avail.wait(timeout):
+                    return None
+            token = self._tokens.popleft()
+            self._need.notify()
+            obs.gauge("token_pool.depth", len(self._tokens))
+            return token
+
+    def health(self) -> dict:
+        with self._lock:
+            status = "ok" if self._running and not self._failed else (
+                "failed" if self._failed else "stopped"
+            )
+            return {
+                "status": status,
+                "depth": len(self._tokens),
+                "target_depth": self.depth,
+                "refill_batch": self.batch,
+            }
+
+    # -- the refill worker ---------------------------------------------------
+
+    def _refill_loop(self) -> None:
+        while True:
+            with self._lock:
+                while self._running and len(self._tokens) >= self.depth:
+                    self._need.wait()
+                if not self._running:
+                    return
+                want = min(self.batch, self.depth - len(self._tokens))
+            start = time.perf_counter()
+            try:
+                minted = list(self._mint_fn(want))
+            except Exception:
+                # A failing mint path must not spin the worker; takers
+                # fall back to inline minting and health reports it.
+                logger.exception("token pool refill failed; worker stopping")
+                with self._lock:
+                    self._failed = True
+                    self._running = False
+                    self._avail.notify_all()
+                return
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                if not self._running:
+                    # Closed mid-mint: drop the batch (drain-on-close).
+                    return
+                self._tokens.extend(minted)
+                size = len(self._tokens)
+                self._avail.notify_all()
+            obs.count("token_pool.refills")
+            obs.count("token_pool.minted", len(minted))
+            obs.observe("token_pool.refill_seconds", elapsed)
+            obs.gauge("token_pool.depth", size)

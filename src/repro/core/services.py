@@ -33,22 +33,57 @@ class TokenMintService(Service):
     """The query-token mint (SS6.3).
 
     ``mint`` takes the client's outer-encrypted inner keys and returns
-    the double-layer hint products; nothing here depends on any future
-    query.
+    the double-layer hint products; ``mint_many`` does the same for a
+    batch of clients in one hint pass (the NTTs amortize).  Nothing
+    here depends on any future query.
+
+    A :class:`~repro.core.precompute.TokenPool` may be attached
+    (mirroring the ranking service's scheduler): its refill worker then
+    starts and stops with this service's ``open`` / ``close``.
     """
 
     service_name = "token"
 
     def __init__(self, token_factory):
         self.token_factory = token_factory
+        self._pool = None
 
     def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
         endpoint.register("mint", self._handle_mint)
+        endpoint.register("mint_many", self._handle_mint_many)
 
     def _handle_mint(self, payload: bytes) -> bytes:
         enc_keys = wire.decode_mint_request(payload)
         minted = self.token_factory.mint(enc_keys)
         return wire.encode_token_payload(minted)
+
+    def _handle_mint_many(self, payload: bytes) -> bytes:
+        enc_keys_list = wire.decode_mint_many_request(payload)
+        minted = self.token_factory.mint_many(enc_keys_list)
+        return wire.encode_mint_many_payload(minted)
+
+    def attach_pool(self, pool) -> None:
+        """Install the pre-mint pool; its lifecycle follows this
+        service's ``open``/``close`` once attached."""
+        self._pool = pool
+
+    @property
+    def pool(self):
+        return self._pool
+
+    def open(self) -> None:
+        if self._pool is not None:
+            self._pool.start()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+
+    def health(self) -> dict:
+        report = {"service": self.service_name, "status": "ok"}
+        if self._pool is not None:
+            report["pool"] = self._pool.health()
+        return report
 
 
 class HintService(Service):
@@ -87,12 +122,24 @@ def build_services(index) -> dict[str, Service]:
     (``max_batch_size > 1``) the ranking coordinator gets a
     :class:`~repro.core.scheduler.BatchScheduler` attached; its
     dispatcher starts and stops with the service's ``open``/``close``.
+
+    An index loaded from a ``repro.index/v2`` artifact with a validated
+    precompute sidecar carries plan metadata (``index.precompute``);
+    the ranking and URL services then skip their matrix entry scans
+    when building stacked-GEMM plans.
     """
+    plans = (index.precompute or {}).get("plans", {})
+    ranking_meta = plans.get("ranking")
     ranking = ShardedRankingService.build(
         index.ranking_scheme,
         index.layout.matrix,
         dim=index.layout.dim,
         num_workers=index.config.num_workers,
+        entry_bound=(
+            int(ranking_meta["entry_bound"])
+            if ranking_meta is not None
+            else None
+        ),
     )
     if index.config.max_batch_size > 1:
         from repro.core.scheduler import BatchScheduler
@@ -106,7 +153,7 @@ def build_services(index) -> dict[str, Service]:
         )
     services: list[Service] = [
         ranking,
-        UrlService(index.url_db, index.url_scheme),
+        UrlService(index.url_db, index.url_scheme, plan_meta=plans.get("url")),
         TokenMintService(index.token_factory),
         HintService(index),
     ]

@@ -32,11 +32,19 @@ class UrlService(Service):
 
     service_name = "url"
 
-    def __init__(self, db: PackedDatabase, scheme: DoubleLheScheme):
+    def __init__(
+        self,
+        db: PackedDatabase,
+        scheme: DoubleLheScheme,
+        plan_meta: dict | None = None,
+    ):
         self.db = db
         self.scheme = scheme
         self.ledger = CostLedger()
         self._plan = None  # lazy StackedPlan for batched answers
+        #: Sidecar-provided plan parameters; skips the entry scan when
+        #: the lazy plan is first built.
+        self._plan_meta = plan_meta
 
     def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
         endpoint.register("answer", self._handle_answer)
@@ -75,7 +83,14 @@ class UrlService(Service):
         from repro.lwe.regev import stack_ciphertexts
 
         if self._plan is None:
-            self._plan = self.scheme.batch_plan(self.db.matrix)
+            if self._plan_meta is not None:
+                from repro.lwe.modular import StackedPlan
+
+                self._plan = StackedPlan.from_metadata(
+                    self.db.matrix, self._plan_meta
+                )
+            else:
+                self._plan = self.scheme.batch_plan(self.db.matrix)
         with obs.span(
             "url.answer_batch", rows=self.db.num_rows, batch=len(queries)
         ):

@@ -116,11 +116,19 @@ class CompressedHint:
 
 @dataclass(frozen=True)
 class PreprocessedMatrix:
-    """Server-side state for one plaintext matrix M: hint + switched hint."""
+    """Server-side state for one plaintext matrix M: hint + switched hint.
+
+    ``hint_ntt`` optionally carries the forward NTTs of every chunk's
+    plaintext polynomials ``C_i`` (shape ``(n_chunks, k, n_inner,
+    n_outer)``).  The table is client-independent, so computing it
+    ahead of time -- or loading it from the precompute sidecar of
+    ``repro.index/v2`` -- removes every forward NTT from token minting.
+    """
 
     hint: np.ndarray
     switched_hint: np.ndarray
     rows: int
+    hint_ntt: np.ndarray | None = None
 
 
 def _mulsum_mod(
@@ -192,6 +200,62 @@ class DoubleLheScheme:
             hint=hint, switched_hint=switched, rows=hint.shape[0]
         )
 
+    def _chunk_c_ntts(
+        self, prep: PreprocessedMatrix, chunk_idx: int, start: int
+    ) -> np.ndarray:
+        """Per-prime forward NTTs of chunk ``chunk_idx``'s polynomials.
+
+        Served from ``prep.hint_ntt`` when the precompute table is
+        present (bit-identical by construction); otherwise computed on
+        the spot.  Shape ``(k, n_inner, n_outer)``.
+        """
+        if prep.hint_ntt is not None:
+            return prep.hint_ntt[chunk_idx]
+        n_outer = self.params.outer_n
+        n_inner = self.params.inner.n
+        ring = self.outer.ring
+        block = prep.switched_hint[start : start + n_outer]
+        # C has one polynomial per inner-secret index: column i of the
+        # hint block becomes the coefficients of C_i.
+        c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
+        c_polys[:, : block.shape[0]] = block.T
+        return np.stack(
+            [
+                ntt.forward(c_polys % np.uint64(p))
+                for p, ntt in zip(ring.primes, ring.ntts)
+            ]
+        )
+
+    def hint_ntt_table(self, prep: PreprocessedMatrix) -> np.ndarray:
+        """The full precompute table: every chunk's plaintext-side NTTs.
+
+        Shape ``(n_chunks, k, n_inner, n_outer)``.  Depends only on the
+        switched hint -- not on any client key -- so it can be built at
+        index time and persisted in the ``precompute.npz`` sidecar.
+        """
+        n_outer = self.params.outer_n
+        starts = list(range(0, prep.rows, n_outer))
+        bare = PreprocessedMatrix(
+            hint=prep.hint, switched_hint=prep.switched_hint, rows=prep.rows
+        )
+        return np.stack(
+            [
+                self._chunk_c_ntts(bare, idx, start)
+                for idx, start in enumerate(starts)
+            ]
+        )
+
+    def with_hint_ntt(self, prep: PreprocessedMatrix) -> PreprocessedMatrix:
+        """A copy of ``prep`` carrying the precomputed NTT table."""
+        if prep.hint_ntt is not None:
+            return prep
+        return PreprocessedMatrix(
+            hint=prep.hint,
+            switched_hint=prep.switched_hint,
+            rows=prep.rows,
+            hint_ntt=self.hint_ntt_table(prep),
+        )
+
     def evaluate_hint(
         self, enc_key: EncryptedKey, prep: PreprocessedMatrix
     ) -> CompressedHint:
@@ -201,25 +265,22 @@ class DoubleLheScheme:
         chunk of ``n_outer`` hint rows yields one outer ciphertext.
         """
         n_outer = self.params.outer_n
-        n_inner = self.params.inner.n
         ring = self.outer.ring
-        switched = prep.switched_hint  # (rows, n_inner) mod T, uint64
         chunks = []
-        for start in range(0, prep.rows, n_outer):
+        for idx, start in enumerate(range(0, prep.rows, n_outer)):
             # Kernel timer: the BFV homomorphic evaluation (one outer
             # ciphertext per chunk) is the token path's hot loop.
             with _obs.kernel_timer("bfv.apply"):
-                block = switched[start : start + n_outer]
-                # C has one polynomial per inner-secret index: column i
-                # of the hint block becomes the coefficients of C_i.
-                c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
-                c_polys[:, : block.shape[0]] = block.T
+                c_ntts = self._chunk_c_ntts(prep, idx, start)
                 b_acc = []
                 a_acc = []
-                for ch, (p, ntt) in enumerate(zip(ring.primes, ring.ntts)):
-                    c_ntt = ntt.forward(c_polys % np.uint64(p))
-                    b_acc.append(_mulsum_mod(enc_key.z_b[:, ch, :], c_ntt, p))
-                    a_acc.append(_mulsum_mod(enc_key.z_a[:, ch, :], c_ntt, p))
+                for ch, p in enumerate(ring.primes):
+                    b_acc.append(
+                        _mulsum_mod(enc_key.z_b[:, ch, :], c_ntts[ch], p)
+                    )
+                    a_acc.append(
+                        _mulsum_mod(enc_key.z_a[:, ch, :], c_ntts[ch], p)
+                    )
                 chunks.append(
                     BfvCiphertext(b=np.stack(b_acc), a=np.stack(a_acc))
                 )
@@ -243,20 +304,13 @@ class DoubleLheScheme:
         if not enc_keys:
             return []
         n_outer = self.params.outer_n
-        n_inner = self.params.inner.n
         ring = self.outer.ring
-        switched = prep.switched_hint
         per_client: list[list[BfvCiphertext]] = [[] for _ in enc_keys]
-        for start in range(0, prep.rows, n_outer):
+        for idx, start in enumerate(range(0, prep.rows, n_outer)):
             with _obs.kernel_timer("bfv.apply_batch"):
-                block = switched[start : start + n_outer]
-                c_polys = np.zeros((n_inner, n_outer), dtype=np.uint64)
-                c_polys[:, : block.shape[0]] = block.T
-                # Shared across the batch: one NTT per RNS prime.
-                c_ntts = [
-                    ntt.forward(c_polys % np.uint64(p))
-                    for p, ntt in zip(ring.primes, ring.ntts)
-                ]
+                # Shared across the batch: one NTT per RNS prime --
+                # precomputed when the sidecar table is loaded.
+                c_ntts = self._chunk_c_ntts(prep, idx, start)
                 for client, enc_key in enumerate(enc_keys):
                     b_acc = []
                     a_acc = []

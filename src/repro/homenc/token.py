@@ -16,7 +16,9 @@ which halves the ahead-of-time upload.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -67,19 +69,29 @@ class QueryToken:
     upload_bytes: int = 0
     download_bytes: int = 0
     _used: bool = field(default=False, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def used(self) -> bool:
         return self._used
 
     def consume(self) -> tuple[dict[str, ClientKeys], dict[str, np.ndarray]]:
-        """Return the key material for one query; single use enforced."""
-        if self._used:
-            raise TokenReuseError(
-                "query tokens are single-use: reusing the secret key for a"
-                " second query vector would break semantic security (SS6.3)"
-            )
-        self._used = True
+        """Return the key material for one query; single use enforced.
+
+        Thread-safe: the used-flag check-and-set runs under a lock, so
+        two threads racing on one token cannot both win (the prefetcher
+        and ``search`` may touch tokens concurrently).
+        """
+        with self._lock:
+            if self._used:
+                raise TokenReuseError(
+                    "query tokens are single-use: reusing the secret key for"
+                    " a second query vector would break semantic security"
+                    " (SS6.3)"
+                )
+            self._used = True
         return self.keys, self.hint_products
 
 
@@ -123,6 +135,48 @@ class TokenFactory:
                         enc_keys[name], svc.prep
                     )
         return TokenPayload(hints=hints)
+
+    def mint_many(
+        self, enc_keys_list: Sequence[dict[str, EncryptedKey]]
+    ) -> list[TokenPayload]:
+        """Mint one token per client, amortizing the hint NTTs.
+
+        Stacks K clients' encrypted keys through
+        :meth:`DoubleLheScheme.evaluate_hint_batch`, so each service's
+        plaintext-side forward NTTs run once per chunk for the whole
+        batch instead of once per client.  Element i of the result is
+        bit-identical to ``mint(enc_keys_list[i])``.
+        """
+        if not enc_keys_list:
+            return []
+        for i, enc_keys in enumerate(enc_keys_list):
+            missing = set(self._services) - set(enc_keys)
+            if missing:
+                raise ValueError(
+                    f"client {i}: missing encrypted keys for services"
+                    f" {missing}"
+                )
+        per_client: list[dict[str, CompressedHint]] = [
+            {} for _ in enc_keys_list
+        ]
+        with obs.span(
+            "token.mint_many",
+            clients=len(enc_keys_list),
+            services=len(self._services),
+        ):
+            for name, svc in self._services.items():
+                with obs.span(
+                    "token.evaluate_hint_batch",
+                    service=name,
+                    rows=svc.prep.rows,
+                    clients=len(enc_keys_list),
+                ):
+                    hints = svc.scheme.evaluate_hint_batch(
+                        [ek[name] for ek in enc_keys_list], svc.prep
+                    )
+                for client, hint in enumerate(hints):
+                    per_client[client][name] = hint
+        return [TokenPayload(hints=hints) for hints in per_client]
 
 
 def make_client_keys(

@@ -188,19 +188,34 @@ class StackedPlan:
     the float64 copy costs one extra 8-byte word per entry.
     """
 
-    def __init__(self, matrix: np.ndarray, q_bits: int):
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        q_bits: int,
+        *,
+        entry_bound: int | None = None,
+    ):
         self.q_bits = q_bits
         self.ring = to_ring(np.asarray(matrix), q_bits)
         if self.ring.ndim != 2:
             raise ValueError("a stacked plan needs a 2-D matrix")
         rows, cols = self.ring.shape
         signed = centered(self.ring, q_bits)
-        if signed.size:
-            # Python-int bound: abs() of the most negative int64 would
-            # overflow inside numpy, so take both extremes exactly.
-            bound = max(-int(signed.min()), int(signed.max()))
+        if entry_bound is None:
+            if signed.size:
+                # Python-int bound: abs() of the most negative int64 would
+                # overflow inside numpy, so take both extremes exactly.
+                bound = max(-int(signed.min()), int(signed.max()))
+            else:
+                bound = 0
         else:
-            bound = 0
+            # A caller-supplied bound (e.g. from the precompute sidecar)
+            # skips the full-matrix scan.  Any upper bound on the true
+            # centered magnitude is exact-safe: the limb width below only
+            # shrinks when the bound grows.
+            bound = int(entry_bound)
+            if bound < 0:
+                raise ValueError("entry_bound must be non-negative")
         self.entry_bound = bound
         limb_bits = min(
             q_bits,
@@ -225,6 +240,38 @@ class StackedPlan:
     def uses_blas(self) -> bool:
         """True when the exact float64 limb path is active."""
         return self._float is not None
+
+    def metadata(self) -> dict:
+        """Serializable plan parameters (everything but the matrix).
+
+        Together with the matrix these reconstruct the plan without the
+        entry-bound scan; persisted in the ``repro.index/v2`` precompute
+        sidecar.
+        """
+        return {
+            "q_bits": self.q_bits,
+            "entry_bound": self.entry_bound,
+            "limb_bits": self.limb_bits,
+        }
+
+    @classmethod
+    def from_metadata(cls, matrix: np.ndarray, meta: dict) -> "StackedPlan":
+        """Rebuild a plan from :meth:`metadata`, skipping the scan.
+
+        The derived limb width must match the recorded one -- a
+        mismatch means the metadata does not describe this matrix.
+        """
+        plan = cls(
+            matrix,
+            int(meta["q_bits"]),
+            entry_bound=int(meta["entry_bound"]),
+        )
+        if plan.limb_bits != int(meta["limb_bits"]):
+            raise ValueError(
+                f"plan metadata mismatch: derived limb_bits"
+                f" {plan.limb_bits}, recorded {meta['limb_bits']}"
+            )
+        return plan
 
     @property
     def rows(self) -> int:

@@ -311,6 +311,56 @@ def decode_mint_request(blob: bytes) -> dict:
     return out
 
 
+def encode_mint_many_request(requests: list[dict]) -> bytes:
+    """Serialize a batched token-mint request (K clients' key uploads).
+
+    Each element is one client's ``enc_keys`` mapping, encoded exactly
+    as a single-mint request; the batch adds only a u16 client count.
+    """
+    parts = [_U16.pack(len(requests))]
+    parts += [_pack_blob(encode_mint_request(r)) for r in requests]
+    return b"".join(parts)
+
+
+def decode_mint_many_request(blob: bytes) -> list[dict]:
+    _require_header(blob, _U16, "mint-many request")
+    (count,) = _U16.unpack_from(blob)
+    pos = _U16.size
+    out = []
+    for _ in range(count):
+        data, pos = _unpack_blob(blob, pos)
+        out.append(decode_mint_request(data))
+    if pos != len(blob):
+        raise ValueError(
+            f"mint-many request: {len(blob) - pos} trailing bytes after"
+            f" {count} clients"
+        )
+    return out
+
+
+def encode_mint_many_payload(payloads: list) -> bytes:
+    """Serialize the minted tokens for a batched request, in order."""
+    parts = [_U16.pack(len(payloads))]
+    parts += [_pack_blob(encode_token_payload(p)) for p in payloads]
+    return b"".join(parts)
+
+
+def decode_mint_many_payload(blob: bytes) -> list:
+    _require_header(blob, _U16, "mint-many payload")
+    (count,) = _U16.unpack_from(blob)
+    pos = _U16.size
+    out = []
+    for _ in range(count):
+        data, pos = _unpack_blob(blob, pos)
+        out.append(decode_token_payload(data))
+    if pos != len(blob):
+        raise ValueError(
+            f"mint-many payload: {len(blob) - pos} trailing bytes after"
+            f" {count} tokens"
+        )
+    return out
+
+
 def encode_token_payload(payload) -> bytes:
     """Serialize a minted token (per-service compressed hints)."""
     parts = [_U16.pack(len(payload.hints))]

@@ -119,6 +119,13 @@ def count(name: str, n: int = 1) -> None:
         m.counter(name).inc(n)
 
 
+def gauge(name: str, value: float) -> None:
+    """Set a gauge to its current value (no-op when off)."""
+    m = _metrics
+    if m is not None:
+        m.gauge(name).set(value)
+
+
 def traced(name: str | None = None):
     """Decorator form of :func:`span` for whole functions."""
 

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.lwe import sampling
-from repro.rlwe.ntt import NttContext, find_ntt_primes
+from repro.rlwe.ntt import NttContext, find_ntt_primes, ntt_context
 from repro.rlwe.poly import RnsContext
 
 
@@ -121,7 +121,7 @@ class BfvScheme:
         self.params = params
         self.ring = RnsContext(params.n, params.primes)
         self._slot_ntt: NttContext | None = (
-            NttContext(params.n, params.t)
+            ntt_context(params.n, params.t)
             if params.supports_batching()
             else None
         )

@@ -11,6 +11,9 @@ intermediate overflow.
 
 from __future__ import annotations
 
+import functools
+import threading
+
 import numpy as np
 
 from repro.obs import runtime as _obs
@@ -44,11 +47,14 @@ def is_prime(n: int) -> bool:
     return True
 
 
+@functools.lru_cache(maxsize=None)
 def find_ntt_primes(n_ring: int, bits: int, count: int) -> tuple[int, ...]:
     """Find ``count`` primes p < 2^bits with p = 1 (mod 2 * n_ring).
 
     Such primes admit a primitive 2n-th root of unity, which is what
     the negacyclic transform needs.  Searches downward from 2^bits.
+    The search is deterministic in its arguments, so results are
+    cached for the life of the process.
     """
     if bits > MAX_PRIME_BITS:
         raise ValueError(f"NTT primes are capped at {MAX_PRIME_BITS} bits")
@@ -68,8 +74,9 @@ def find_ntt_primes(n_ring: int, bits: int, count: int) -> tuple[int, ...]:
     return tuple(found)
 
 
+@functools.lru_cache(maxsize=None)
 def _primitive_root(p: int) -> int:
-    """Smallest primitive root modulo prime p."""
+    """Smallest primitive root modulo prime p (cached per prime)."""
     factors = []
     phi = p - 1
     rem = phi
@@ -88,14 +95,46 @@ def _primitive_root(p: int) -> int:
     raise ArithmeticError(f"no primitive root modulo {p}")
 
 
+@functools.lru_cache(maxsize=None)
 def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Bit-reversal index permutation, shared across all primes of one n.
+
+    The permutation depends only on the ring dimension, so every
+    :class:`NttContext` of the same ``n`` -- one per RNS prime --
+    reuses one cached (read-only) copy instead of rebuilding it.
+    """
     bits = n.bit_length() - 1
     idx = np.arange(n, dtype=np.uint64)
     rev = np.zeros(n, dtype=np.uint64)
     for b in range(bits):
         rev |= ((idx >> np.uint64(b)) & np.uint64(1)) << np.uint64(bits - 1 - b)
     # tiptoe-lint: disable=dtype-signed-cast -- bit-reversal permutation indices, not ring elements; int64 is numpy's natural index dtype
-    return rev.astype(np.int64)
+    out = rev.astype(np.int64)
+    out.setflags(write=False)
+    return out
+
+
+def _power_table(base: int, n: int, p: int) -> np.ndarray:
+    """``[base^0, ..., base^(n-1)] mod p`` by vectorized doubling.
+
+    Each round extends the filled prefix with one cumulative product
+    ``powers[:span] * base^filled mod p`` -- O(log n) NumPy passes
+    instead of n Python-level ``pow`` calls.  Residues stay below
+    2^MAX_PRIME_BITS, so every product fits uint64 without overflow.
+    """
+    powers = np.empty(n, dtype=np.uint64)
+    powers[0] = 1
+    filled = 1
+    step = base % p
+    pp = np.uint64(p)
+    while filled < n:
+        span = min(filled, n - filled)
+        powers[filled : filled + span] = (
+            powers[:span] * np.uint64(step) % pp
+        )
+        filled += span
+        step = step * step % p
+    return powers
 
 
 class NttContext:
@@ -125,14 +164,8 @@ class NttContext:
             raise ArithmeticError("psi is not a primitive 2n-th root")
         inv_psi = pow(psi, p - 2, p)
         rev = _bit_reverse_permutation(n)
-        psi_powers = np.array(
-            [pow(psi, int(i), p) for i in range(n)], dtype=np.uint64
-        )
-        inv_psi_powers = np.array(
-            [pow(inv_psi, int(i), p) for i in range(n)], dtype=np.uint64
-        )
-        self._psi_rev = psi_powers[rev]
-        self._inv_psi_rev = inv_psi_powers[rev]
+        self._psi_rev = _power_table(psi, n, p)[rev]
+        self._inv_psi_rev = _power_table(inv_psi, n, p)[rev]
         self._n_inv = np.uint64(pow(n, p - 2, p))
 
     def forward(self, a: np.ndarray) -> np.ndarray:
@@ -181,6 +214,42 @@ class NttContext:
         fa = self.forward(a)
         fb = self.forward(b)
         return self.inverse(fa * fb % np.uint64(self.p))
+
+
+# -- the process-wide context registry ----------------------------------------
+#
+# Twiddle tables depend only on (n, p), and a context is immutable
+# after construction (forward/inverse only read the tables), so every
+# RnsContext, BfvScheme, and serve cold-start in one process can share
+# a single table per (n, p) pair instead of rebuilding it.
+
+_REGISTRY: dict[tuple[int, int], NttContext] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def ntt_context(n: int, p: int) -> NttContext:
+    """The shared :class:`NttContext` for ``(n, p)``, built at most once.
+
+    Thread-safe: concurrent first requests for the same pair race on
+    the registry lock and every caller receives the same object.
+    """
+    key = (n, p)
+    ctx = _REGISTRY.get(key)
+    if ctx is None:
+        with _REGISTRY_LOCK:
+            ctx = _REGISTRY.get(key)
+            if ctx is None:
+                ctx = NttContext(n, p)
+                _REGISTRY[key] = ctx
+    return ctx
+
+
+def clear_ntt_registry() -> None:
+    """Drop every cached context and table (cold-start benchmarks)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+    _primitive_root.cache_clear()
+    _bit_reverse_permutation.cache_clear()
 
 
 def negacyclic_convolve_reference(

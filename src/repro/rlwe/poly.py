@@ -14,7 +14,7 @@ import math
 
 import numpy as np
 
-from repro.rlwe.ntt import NttContext
+from repro.rlwe.ntt import ntt_context
 
 
 class RnsContext:
@@ -26,7 +26,9 @@ class RnsContext:
         self.n = n
         self.primes = tuple(int(p) for p in primes)
         self.q = math.prod(self.primes)
-        self.ntts = [NttContext(n, p) for p in self.primes]
+        # Shared per-(n, p) contexts: twiddle tables are built once per
+        # process, not once per scheme instance (see rlwe.ntt).
+        self.ntts = [ntt_context(n, p) for p in self.primes]
         self._primes_arr = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
         # CRT reconstruction constants: x = sum_i (r_i * y_i mod p_i) * qhat_i.
         self._qhat = [self.q // p for p in self.primes]

@@ -1,0 +1,36 @@
+"""Known-bad online-path snippets (tiptoe-lint self-test corpus).
+
+This file deliberately carries the name of a precompute-plane hot
+module so the ``hot-path-precompute`` rule binds; every call below
+puts ahead-of-time crypto back on the latency-critical path.
+"""
+
+
+def search_with_inline_preprocess(scheme, matrix, query):
+    # BAD: preprocessing the database matrix per search re-runs the
+    # whole offline phase inline.
+    prep = scheme.preprocess(matrix)
+    return scheme.apply(prep, query)
+
+
+def mint_inline(scheme, enc_key, prep):
+    # BAD: evaluate_hint is the server's ahead-of-time hint product;
+    # on the query path it costs one forward NTT per chunk.
+    return scheme.evaluate_hint(enc_key, prep)
+
+
+def mint_inline_batched(scheme, enc_keys, prep):
+    # BAD: the batched spelling is still the same offline work.
+    return scheme.evaluate_hint_batch(enc_keys, prep)
+
+
+def build_tables_inline(n, p, NttContext):
+    # BAD: constructing an NttContext rebuilds twiddle tables; use the
+    # process-wide ntt_context(n, p) registry instead.
+    return NttContext(n, p)
+
+
+def rebuild_hint_table(scheme, prep):
+    # BAD: hint_ntt_table recomputes every forward NTT the sidecar
+    # exists to persist.
+    return scheme.hint_ntt_table(prep)

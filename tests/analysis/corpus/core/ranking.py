@@ -1,0 +1,24 @@
+"""Known-good online-path snippets (tiptoe-lint self-test corpus).
+
+Carries the name of a precompute-plane hot module; everything below
+consumes already-prepared state, which is exactly what the
+``hot-path-precompute`` rule permits.
+"""
+
+
+def rank(client, keys, quantized, cluster, rng, service):
+    # GOOD: build_query/answer/decode consume the token's precomputed
+    # hint products; no ahead-of-time work runs here.
+    query = client.build_query(keys, quantized, cluster, rng)
+    answer = service.answer(query)
+    return client.decode_scores(keys, answer, None)
+
+
+def cached_context(ntt_context, n, p):
+    # GOOD: the registry accessor returns the cached table set.
+    return ntt_context(n, p)
+
+
+def take_pooled_token(pool):
+    # GOOD: pooled tokens were minted off the query path.
+    return pool.take_nowait()

@@ -127,6 +127,37 @@ class TestBatchChecker:
             assert not active_rules(Path(module.__file__))["batch-loop"]
 
 
+class TestHotPathChecker:
+    def test_bad_file_trips_the_precompute_rule(self):
+        rules = active_rules(CORPUS / "core" / "client.py")
+        assert rules["hot-path-precompute"] == 5
+
+    def test_good_file_is_clean(self):
+        assert not active_rules(CORPUS / "core" / "ranking.py")
+
+    def test_rule_is_scoped_to_online_modules(self, tmp_path):
+        """The same calls anywhere else are legitimate offline work."""
+        source = (CORPUS / "core" / "client.py").read_text(encoding="utf-8")
+        core = tmp_path / "core"
+        core.mkdir()
+        other = core / "indexer.py"
+        other.write_text(source, encoding="utf-8")
+        assert not active_rules(other)
+        outside = tmp_path / "client.py"
+        outside.write_text(source, encoding="utf-8")
+        assert not active_rules(outside)
+
+    def test_shipped_online_modules_are_clean(self):
+        """The real client and ranking modules obey their own rule."""
+        import repro.core.client as client
+        import repro.core.ranking as ranking
+
+        for module in (client, ranking):
+            assert not active_rules(Path(module.__file__))[
+                "hot-path-precompute"
+            ]
+
+
 class TestFramework:
     def test_parse_error_becomes_a_finding(self, tmp_path):
         broken = tmp_path / "broken.py"
@@ -144,14 +175,15 @@ class TestFramework:
     def test_every_rule_has_a_positive_corpus_case(self):
         """Each shipped rule fires somewhere in the bad corpus files.
 
-        The batch checker is filename-scoped (it only binds in the
-        batch-plane hot modules), so its known-bad corpus file carries
-        the hot-module name under ``corpus/core/`` instead of the
-        ``bad_`` prefix.
+        The batch and hotpath checkers are filename-scoped (they only
+        bind in their hot modules), so their known-bad corpus files
+        carry the hot-module names under ``corpus/core/`` instead of
+        the ``bad_`` prefix.
         """
         fired = Counter()
         paths = sorted(CORPUS.rglob("bad_*.py")) + [
-            CORPUS / "core" / "cluster_runtime.py"
+            CORPUS / "core" / "cluster_runtime.py",
+            CORPUS / "core" / "client.py",
         ]
         for path in paths:
             fired.update(active_rules(path))

@@ -2,16 +2,20 @@
 bit-identity of searches served from a cold start."""
 
 import json
+import shutil
 
 import numpy as np
 import pytest
 
 from repro import TiptoeEngine
 from repro.core.artifacts import (
+    PRECOMPUTE_SCHEMA,
     SCHEMA,
     ArtifactError,
     load_index,
+    load_precompute_sidecar,
     save_index,
+    write_precompute_sidecar,
 )
 from repro.core.indexer import TiptoeIndex
 
@@ -128,3 +132,124 @@ class TestValidation:
         assert (out / "manifest.json").exists()
         again = save_index(engine.index, tmp_path / "idx")  # overwrite ok
         assert again == out
+
+
+@pytest.fixture(scope="module")
+def saved_warm(engine, tmp_path_factory):
+    """The same index saved with the precompute sidecar."""
+    path = tmp_path_factory.mktemp("artifacts_warm")
+    save_index(engine.index, path, precompute=True)
+    return path
+
+
+class TestPrecomputeSidecar:
+    def test_sidecar_is_written_and_validates(self, saved_warm):
+        assert (saved_warm / "precompute.npz").is_file()
+        meta, arrays = load_precompute_sidecar(saved_warm)
+        assert meta["schema"] == PRECOMPUTE_SCHEMA
+        assert set(meta["plans"]) == {"ranking", "url"}
+        assert set(arrays) == {"ranking_hint_ntt", "url_hint_ntt"}
+
+    def test_plain_save_has_no_sidecar(self, saved):
+        assert not (saved / "precompute.npz").exists()
+        assert load_precompute_sidecar(saved) is None
+        assert load_index(saved).precompute is None
+
+    def test_tables_load_memory_mapped_read_only(self, saved_warm):
+        _, arrays = load_precompute_sidecar(saved_warm)
+        for table in arrays.values():
+            assert isinstance(table, np.memmap)
+            assert not table.flags.writeable
+
+    def test_sidecar_tables_match_lazy_recompute(self, engine, saved_warm):
+        """Bit-identity of the persisted NTT tables with what the lazy
+        path computes on demand."""
+        index = engine.index
+        _, arrays = load_precompute_sidecar(saved_warm)
+        np.testing.assert_array_equal(
+            arrays["ranking_hint_ntt"],
+            index.ranking_scheme.hint_ntt_table(index.ranking_prep),
+        )
+        np.testing.assert_array_equal(
+            arrays["url_hint_ntt"],
+            index.url_scheme.hint_ntt_table(index.url_prep),
+        )
+
+    def test_load_attaches_tables_and_plans(self, saved_warm):
+        index = load_index(saved_warm)
+        assert index.precompute is not None
+        assert index.ranking_prep.hint_ntt is not None
+        assert index.url_prep.hint_ntt is not None
+        for plan in index.precompute["plans"].values():
+            assert plan["entry_bound"] >= 0
+            assert plan["limb_bits"] >= 1
+
+    def test_cold_start_equivalence(self, engine, saved, saved_warm):
+        """A warm serve answers bit-identically to a cache-less one."""
+        cold = TiptoeEngine(TiptoeIndex.load(saved))
+        warm = TiptoeEngine(TiptoeIndex.load(saved_warm))
+        for text in ("alpha beta", "gamma", "delta epsilon zeta"):
+            a = cold.search(text, rng=np.random.default_rng(17))
+            b = warm.search(text, rng=np.random.default_rng(17))
+            assert b.cluster == a.cluster
+            assert [(r.position, r.score, r.url) for r in b.results] == [
+                (r.position, r.score, r.url) for r in a.results
+            ]
+        cold.close()
+        warm.close()
+
+    def test_token_mint_equivalence(self, engine, saved_warm):
+        """Minting against the persisted tables is bit-identical."""
+        warm = TiptoeEngine(TiptoeIndex.load(saved_warm))
+        a = engine.mint_token(np.random.default_rng(23))
+        b = warm.mint_token(np.random.default_rng(23))
+        for name in ("ranking", "url"):
+            np.testing.assert_array_equal(
+                a.hint_products[name], b.hint_products[name]
+            )
+        warm.close()
+
+    def test_digest_mismatch_is_rejected(self, saved_warm, tmp_path):
+        """A sidecar keyed to a different arrays.npz must not load."""
+        for item in saved_warm.iterdir():
+            shutil.copy(item, tmp_path / item.name)
+        # Re-serialize the same arrays compressed: identical content,
+        # different bytes, so the recorded digest no longer matches.
+        with np.load(tmp_path / "arrays.npz") as z:
+            arrays = {name: z[name] for name in z.files}
+            with (tmp_path / "arrays.npz").open("wb") as fh:
+                np.savez_compressed(fh, **arrays)
+        with pytest.raises(ArtifactError, match="different"):
+            load_precompute_sidecar(tmp_path)
+        with pytest.raises(ArtifactError, match="rebuild the sidecar"):
+            load_index(tmp_path)
+
+    def test_unknown_sidecar_schema_is_rejected(self, saved_warm, tmp_path):
+        for item in saved_warm.iterdir():
+            shutil.copy(item, tmp_path / item.name)
+        with np.load(tmp_path / "precompute.npz") as z:
+            arrays = {name: z[name] for name in z.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode("utf-8"))
+        meta["schema"] = "repro.precompute/v999"
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        with (tmp_path / "precompute.npz").open("wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(ArtifactError, match="v999"):
+            load_precompute_sidecar(tmp_path)
+
+    def test_sidecar_requires_saved_arrays(self, engine, tmp_path):
+        with pytest.raises(ArtifactError, match="save the index"):
+            write_precompute_sidecar(engine.index, tmp_path)
+
+    def test_index_save_honors_config_default(self, engine, tmp_path):
+        """TiptoeConfig.precompute_sidecar drives index.save()."""
+        import dataclasses
+
+        config = dataclasses.replace(
+            engine.index.config, precompute_sidecar=True
+        )
+        index = dataclasses.replace(engine.index, config=config)
+        index.save(tmp_path / "auto")
+        assert (tmp_path / "auto" / "precompute.npz").is_file()

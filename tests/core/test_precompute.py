@@ -1,0 +1,344 @@
+"""The ahead-of-time plane: pre-mint pools, the client prefetcher, and
+batched minting -- token work stays off the latency-critical path while
+every answer stays bit-identical to the lazy path."""
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import TiptoeEngine
+from repro.core.precompute import TokenPool
+from repro.lwe.sampling import seeded_rng
+from repro.obs import runtime as obs
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    """Poll ``predicate`` until true or ``timeout`` seconds elapse."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def result_tuples(result):
+    return [(r.position, r.score, r.url) for r in result.results]
+
+
+class FakeMint:
+    """A mint_fn double: hands out unique integers, counts batches."""
+
+    def __init__(self, delay=0.0, fail=False):
+        self.counter = 0
+        self.batches = []
+        self.delay = delay
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def __call__(self, count):
+        if self.fail:
+            raise RuntimeError("mint backend down")
+        if self.delay:
+            time.sleep(self.delay)
+        with self._lock:
+            start = self.counter
+            self.counter += count
+            self.batches.append(count)
+        return list(range(start, start + count))
+
+
+class TestTokenPool:
+    def test_refills_to_depth_on_start(self):
+        mint = FakeMint()
+        with TokenPool(mint, depth=5, batch=2) as pool:
+            assert wait_until(lambda: pool.size() == 5)
+            # Refill batches never overshoot the target depth.
+            assert all(b <= 2 for b in mint.batches)
+            assert mint.counter == 5
+
+    def test_take_wakes_the_worker(self):
+        with TokenPool(FakeMint(), depth=3, batch=3) as pool:
+            assert wait_until(lambda: pool.size() == 3)
+            token = pool.take_nowait()
+            assert token is not None
+            assert wait_until(lambda: pool.size() == 3)  # topped back up
+
+    def test_take_nowait_on_empty_returns_none(self):
+        pool = TokenPool(FakeMint(), depth=2)
+        assert pool.take_nowait() is None  # not started: nothing pooled
+
+    def test_take_blocks_until_refill(self):
+        mint = FakeMint(delay=0.05)
+        with TokenPool(mint, depth=2, batch=1) as pool:
+            token = pool.take(timeout=5.0)
+            assert token is not None
+
+    def test_tokens_come_out_in_mint_order_and_unique(self):
+        taken = []
+        with TokenPool(FakeMint(), depth=4, batch=4) as pool:
+            for _ in range(12):
+                token = pool.take(timeout=5.0)
+                assert token is not None
+                taken.append(token)
+        assert taken == sorted(taken)
+        assert len(set(taken)) == len(taken)
+
+    def test_concurrent_takers_never_share_a_token(self):
+        taken = []
+        taken_lock = threading.Lock()
+
+        def taker(pool, n):
+            for _ in range(n):
+                token = pool.take(timeout=5.0)
+                if token is not None:
+                    with taken_lock:
+                        taken.append(token)
+
+        with TokenPool(FakeMint(), depth=8, batch=4) as pool:
+            threads = [
+                threading.Thread(target=taker, args=(pool, 10))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(taken) == 40
+        assert len(set(taken)) == 40  # single-use: no token seen twice
+
+    def test_close_drains_the_pool(self):
+        pool = TokenPool(FakeMint(), depth=4)
+        pool.start()
+        assert wait_until(lambda: pool.size() == 4)
+        pool.close()
+        assert pool.size() == 0  # secret-key material discarded
+        assert not pool.running
+        pool.close()  # idempotent
+
+    def test_failed_mint_stops_the_worker(self):
+        pool = TokenPool(FakeMint(fail=True), depth=2)
+        pool.start()
+        assert wait_until(lambda: pool.health()["status"] == "failed")
+        assert pool.take(timeout=1.0) is None  # callers fall back inline
+        pool.close()
+
+    def test_health_reports_depths(self):
+        with TokenPool(FakeMint(), depth=3, batch=2) as pool:
+            assert wait_until(lambda: pool.size() == 3)
+            health = pool.health()
+            assert health["status"] == "ok"
+            assert health["depth"] == 3
+            assert health["target_depth"] == 3
+            assert health["refill_batch"] == 2
+        assert pool.health()["status"] == "stopped"
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="depth"):
+            TokenPool(FakeMint(), depth=0)
+        with pytest.raises(ValueError, match="batch"):
+            TokenPool(FakeMint(), depth=1, batch=0)
+
+
+@pytest.fixture(scope="module")
+def pooled_engine(engine):
+    """The same index served with a pre-mint pool of depth 3."""
+    config = dataclasses.replace(
+        engine.index.config, token_pool_depth=3, token_pool_batch=2
+    )
+    pooled = TiptoeEngine(dataclasses.replace(engine.index, config=config))
+    yield pooled
+    pooled.close()
+
+
+class TestEnginePool:
+    def test_pool_attaches_to_the_mint_service(self, pooled_engine):
+        assert pooled_engine.token_pool is not None
+        health = pooled_engine.services["token"].health()
+        assert health["pool"]["target_depth"] == 3
+
+    def test_pool_reaches_target_depth(self, pooled_engine):
+        pool = pooled_engine.token_pool
+        assert wait_until(lambda: pool.size() == 3, timeout=30.0)
+
+    def test_unpinned_mint_uses_the_pool(self, pooled_engine):
+        pool = pooled_engine.token_pool
+        assert wait_until(lambda: pool.size() >= 1, timeout=30.0)
+        pooled = pool._tokens[0]
+        token = pooled_engine.mint_token()
+        assert token is pooled  # O(1) handoff, no inline crypto
+
+    def test_pinned_rng_bypasses_the_pool(self, pooled_engine, engine):
+        """An explicit rng pins the caller's key stream: the pooled and
+        lazy engines mint bit-identical tokens from the same seed."""
+        a = pooled_engine.mint_token(seeded_rng(21))
+        b = engine.mint_token(seeded_rng(21))
+        for name in ("ranking", "url"):
+            np.testing.assert_array_equal(
+                a.hint_products[name], b.hint_products[name]
+            )
+        assert a.upload_bytes == b.upload_bytes
+        assert a.download_bytes == b.download_bytes
+
+    def test_search_is_bit_identical_to_lazy_engine(
+        self, pooled_engine, engine
+    ):
+        for text in ("alpha beta", "gamma delta"):
+            a = pooled_engine.search(text, rng=np.random.default_rng(3))
+            b = engine.search(text, rng=np.random.default_rng(3))
+            assert a.cluster == b.cluster
+            assert result_tuples(a) == result_tuples(b)
+
+
+class TestMintMany:
+    def test_mint_tokens_matches_sequential_mints(self, engine):
+        """Batched acquisition draws keys in sequential order, so token
+        i is bit-identical to the i-th lazy mint from the same seed."""
+        batched = engine.mint_tokens(3, seeded_rng(9))
+        rng = seeded_rng(9)
+        sequential = [engine.mint_token(rng) for _ in range(3)]
+        for a, b in zip(batched, sequential):
+            for name in ("ranking", "url"):
+                np.testing.assert_array_equal(
+                    a.hint_products[name], b.hint_products[name]
+                )
+            # Per-token byte accounting matches the single-mint wire
+            # encodings, pooled or not.
+            assert a.upload_bytes == b.upload_bytes
+            assert a.download_bytes == b.download_bytes
+
+    def test_count_validation(self, engine):
+        with pytest.raises(ValueError, match="at least one"):
+            engine.mint_tokens(0)
+
+    def test_each_batched_token_searches_once(self, engine):
+        tokens = engine.mint_tokens(2, seeded_rng(13))
+        for token in tokens:
+            token.consume()
+        from repro.homenc import TokenReuseError
+
+        with pytest.raises(TokenReuseError):
+            tokens[0].consume()
+
+
+@pytest.fixture()
+def prefetch_engine(engine):
+    """The same index with a client-side prefetch depth of 2."""
+    config = dataclasses.replace(engine.index.config, token_prefetch_depth=2)
+    eng = TiptoeEngine(dataclasses.replace(engine.index, config=config))
+    yield eng
+    eng.close()
+
+
+class TestClientPrefetcher:
+    def test_stockpile_reaches_target_depth(self, prefetch_engine):
+        with prefetch_engine.new_client(seeded_rng(1)) as client:
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+
+    def test_stockpile_refills_after_search(self, prefetch_engine):
+        with prefetch_engine.new_client(seeded_rng(2)) as client:
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+            client.search("alpha beta")
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+
+    def test_steady_state_search_has_no_inline_mint_span(
+        self, prefetch_engine
+    ):
+        """The acceptance bar: with the prefetcher at depth >= 1, the
+        client.search trace never contains token-mint work."""
+        with prefetch_engine.new_client(seeded_rng(3)) as client:
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+            tracer, _ = obs.enable()
+            try:
+                client.search("gamma delta")
+                trace = tracer.last_trace()
+            finally:
+                obs.disable()
+        assert trace.name == "client.search"
+        assert trace.find("token.mint") == []
+        assert trace.find("token.acquire") == []
+        # The take itself is still visible (and cheap).
+        assert len(trace.find("token")) == 1
+
+    def test_empty_stockpile_falls_back_inline(self, engine):
+        """Prefetch off: the lazy path still mints inside the trace."""
+        client = engine.new_client(seeded_rng(4))
+        tracer, _ = obs.enable()
+        try:
+            client.search("gamma delta")
+            trace = tracer.last_trace()
+        finally:
+            obs.disable()
+        assert len(trace.find("token.acquire")) == 1
+        assert len(trace.find("token.mint")) == 1
+
+    def test_prefetched_search_is_bit_identical_to_lazy(
+        self, prefetch_engine, engine
+    ):
+        """Answers do not depend on which rng minted the token: LHE
+        decryption exactly removes the key material."""
+        with prefetch_engine.new_client(seeded_rng(5)) as client:
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+            for text in ("alpha beta", "epsilon zeta"):
+                a = client.search(text)
+                b = engine.search(text, rng=seeded_rng(5))
+                assert a.cluster == b.cluster
+                assert result_tuples(a) == result_tuples(b)
+
+    def test_searches_race_the_prefetcher_safely(self, prefetch_engine):
+        """Back-to-back searches pop while the prefetcher extends; the
+        deque stays consistent and every token is single-use."""
+        with prefetch_engine.new_client(seeded_rng(6)) as client:
+            results = [client.search("alpha") for _ in range(6)]
+        first = result_tuples(results[0])
+        assert all(result_tuples(r) == first for r in results[1:])
+
+    def test_take_token_is_thread_safe(self, prefetch_engine):
+        """Concurrent takers never receive the same stockpiled token."""
+        with prefetch_engine.new_client(seeded_rng(7)) as client:
+            assert wait_until(
+                lambda: client.tokens_available() == 2, timeout=30.0
+            )
+            taken = []
+            taken_lock = threading.Lock()
+
+            def take():
+                token = client._take_token()
+                with taken_lock:
+                    taken.append(token)
+
+            threads = [threading.Thread(target=take) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(taken) == 4
+        assert len({id(t) for t in taken}) == 4
+
+    def test_close_discards_stockpile_and_stops_thread(
+        self, prefetch_engine
+    ):
+        client = prefetch_engine.new_client(seeded_rng(8))
+        assert wait_until(
+            lambda: client.tokens_available() == 2, timeout=30.0
+        )
+        client.close()
+        assert client.tokens_available() == 0
+        assert client._prefetch_thread is None
+        client.close()  # idempotent
+        # The client still works after close -- it just mints lazily.
+        result = client.search("alpha beta")
+        assert result.results

@@ -97,6 +97,84 @@ class TestTokenLifecycle:
         assert not np.array_equal(s1, s2)
 
 
+def assert_hints_equal(a, b):
+    """Bit-identity of two CompressedHint payloads, chunk by chunk."""
+    assert a.rows == b.rows
+    assert len(a.chunks) == len(b.chunks)
+    for ca, cb in zip(a.chunks, b.chunks):
+        np.testing.assert_array_equal(ca.b, cb.b)
+        np.testing.assert_array_equal(ca.a, cb.a)
+
+
+class TestMintMany:
+    def test_batch_is_bit_identical_to_sequential_mints(self, two_services):
+        """The mint_many stacking only amortizes NTTs: payload i equals
+        what a lone mint of client i's keys returns."""
+        schemes, factory, _, _ = two_services
+        enc_keys_list = [
+            make_client_keys(schemes, seeded_rng(30 + i))[1]
+            for i in range(3)
+        ]
+        batched = factory.mint_many(enc_keys_list)
+        assert len(batched) == 3
+        for enc_keys, payload in zip(enc_keys_list, batched):
+            lone = factory.mint(enc_keys)
+            for name in ("ranking", "url"):
+                assert_hints_equal(payload.hints[name], lone.hints[name])
+
+    def test_single_client_batch_matches_mint(self, two_services):
+        schemes, factory, _, _ = two_services
+        _, enc_keys, _ = make_client_keys(schemes, seeded_rng(40))
+        (payload,) = factory.mint_many([enc_keys])
+        lone = factory.mint(enc_keys)
+        for name in ("ranking", "url"):
+            assert_hints_equal(payload.hints[name], lone.hints[name])
+
+    def test_empty_batch_mints_nothing(self, two_services):
+        _, factory, _, _ = two_services
+        assert factory.mint_many([]) == []
+
+    def test_missing_service_keys_rejected(self, two_services):
+        schemes, factory, _, _ = two_services
+        good = make_client_keys(schemes, seeded_rng(41))[1]
+        bad = make_client_keys(
+            {"ranking": schemes["ranking"]}, seeded_rng(42)
+        )[1]
+        with pytest.raises(ValueError):
+            factory.mint_many([good, bad])
+
+
+class TestSingleUseUnderThreads:
+    def test_exactly_one_thread_wins_consume(self, two_services):
+        """The single-use check is a locked check-and-set: N racing
+        consumers yield one success and N-1 TokenReuseErrors."""
+        import threading
+
+        schemes, factory, _, _ = two_services
+        token = request_token(schemes, factory, seeded_rng(50))
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def consume():
+            barrier.wait()
+            try:
+                token.consume()
+                result = "ok"
+            except TokenReuseError:
+                result = "reused"
+            with outcomes_lock:
+                outcomes.append(result)
+
+        threads = [threading.Thread(target=consume) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("ok") == 1
+        assert outcomes.count("reused") == 7
+
+
 class TestFactoryValidation:
     def test_duplicate_registration_rejected(self):
         svc = make_service(64, 2**12, 16)

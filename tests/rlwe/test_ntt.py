@@ -33,6 +33,72 @@ def ctx():
     return ntt.NttContext(64, p)
 
 
+class TestRegistry:
+    def test_same_key_returns_the_same_context(self):
+        (p,) = ntt.find_ntt_primes(64, 30, 1)
+        assert ntt.ntt_context(64, p) is ntt.ntt_context(64, p)
+
+    def test_distinct_keys_get_distinct_contexts(self):
+        p, q = ntt.find_ntt_primes(64, 30, 2)
+        assert ntt.ntt_context(64, p) is not ntt.ntt_context(64, q)
+
+    def test_registry_context_matches_fresh_construction(self):
+        """The cached tables are bit-identical to a direct build."""
+        (p,) = ntt.find_ntt_primes(128, 30, 1)
+        cached = ntt.ntt_context(128, p)
+        fresh = ntt.NttContext(128, p)
+        rng = np.random.default_rng(0)
+        poly = rng.integers(0, p, size=128, dtype=np.int64)
+        np.testing.assert_array_equal(
+            cached.forward(poly), fresh.forward(poly)
+        )
+        np.testing.assert_array_equal(
+            cached.inverse(cached.forward(poly)), poly
+        )
+
+    def test_clear_resets_the_registry(self):
+        (p,) = ntt.find_ntt_primes(64, 30, 1)
+        before = ntt.ntt_context(64, p)
+        ntt.clear_ntt_registry()
+        after = ntt.ntt_context(64, p)
+        assert before is not after
+
+    def test_concurrent_lookup_yields_one_context(self):
+        import threading
+
+        ntt.clear_ntt_registry()
+        (p,) = ntt.find_ntt_primes(64, 30, 1)
+        got = []
+        barrier = threading.Barrier(8)
+
+        def lookup():
+            barrier.wait()
+            got.append(ntt.ntt_context(64, p))
+
+        threads = [threading.Thread(target=lookup) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in got}) == 1
+
+    def test_bit_reverse_permutation_is_shared_and_frozen(self):
+        perm = ntt._bit_reverse_permutation(64)
+        assert perm is ntt._bit_reverse_permutation(64)
+        assert not perm.flags.writeable
+        with pytest.raises(ValueError):
+            perm[0] = 1
+
+    def test_power_table_matches_pow(self):
+        (p,) = ntt.find_ntt_primes(64, 30, 1)
+        base = 3
+        table = ntt._power_table(base, 64, p)
+        expected = np.array(
+            [pow(base, i, p) for i in range(64)], dtype=np.int64
+        )
+        np.testing.assert_array_equal(table, expected)
+
+
 class TestTransform:
     def test_forward_inverse_roundtrip(self, ctx):
         rng = np.random.default_rng(0)
