@@ -73,6 +73,42 @@ class Checker:
         )
 
 
+class ProgramChecker:
+    """Base class for whole-program analyses.
+
+    Unlike :class:`Checker`, which sees one file at a time, a program
+    checker receives the fully-indexed :class:`~repro.analysis.ir.
+    program.Program` and its :class:`~repro.analysis.ir.callgraph.
+    CallGraph` and may emit findings against any file in the program.
+    Findings still flow through the per-file suppression machinery --
+    a ``# tiptoe-lint: disable=...`` pragma in the file a finding
+    lands in covers it exactly like a per-file rule.
+
+    (Annotated loosely to avoid a base <-> ir import cycle; the runner
+    passes the concrete types.)
+    """
+
+    name: str = "program-checker"
+    rules: tuple[RuleSpec, ...] = ()
+
+    def check_program(self, program, graph) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, rule: str, node: ast.AST, message: str, snippet: str = ""
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+
 def call_name(node: ast.AST) -> str:
     """The trailing identifier of a call target (``a.b.c() -> 'c'``)."""
     if isinstance(node, ast.Call):

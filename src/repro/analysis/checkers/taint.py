@@ -66,7 +66,16 @@ DECLASSIFY_ATTRS = {
     "upload_bytes",
 }
 
-DECLASSIFY_CALLS = {"len", "isinstance", "type", "issubclass"}
+#: ``struct`` header unpacking is the bytes-domain analog of ``.shape``:
+#: it reads frame *metadata* (lengths, moduli, counts), not contents.
+DECLASSIFY_CALLS = {
+    "len",
+    "isinstance",
+    "type",
+    "issubclass",
+    "unpack",
+    "unpack_from",
+}
 
 LOG_METHODS = {
     "debug",

@@ -7,10 +7,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+import time
+from pathlib import Path
 
-from repro.analysis.checkers import all_rules, build_checkers
-from repro.analysis.runner import AnalysisReport, analyze_paths
+from repro.analysis.checkers import (
+    all_rules,
+    build_checkers,
+    build_program_checkers,
+)
+from repro.analysis.runner import AnalysisReport, analyze_paths, discover_files
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -50,7 +57,92 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print suppressed findings in human output",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed vs. --base-ref "
+        "plus their call-graph dependents (the whole program is still "
+        "parsed so cross-file resolution stays complete)",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="HEAD",
+        help="git ref to diff against for --changed-only (default: HEAD)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the analysis wall clock exceeds this "
+        "budget -- the CI gate's rot detector",
+    )
     return parser
+
+
+def _changed_files(base_ref: str) -> set[str] | None:
+    """Paths changed vs. ``base_ref`` plus untracked files, absolute.
+
+    Returns None when git is unavailable (callers fall back to a full
+    report rather than silently reporting nothing).
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base_ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    out = set()
+    for rel in (diff + untracked).splitlines():
+        rel = rel.strip()
+        if rel.endswith(".py"):
+            out.add(str(Path(top) / rel))
+    return out
+
+
+def _keep_paths_for_changed(
+    paths: list[str], base_ref: str
+) -> set[str] | None:
+    """Resolve --changed-only to the set of report-worthy file paths:
+    the changed files themselves plus every module whose call graph
+    reaches into them."""
+    changed = _changed_files(base_ref)
+    if changed is None:
+        return None
+    from repro.analysis.ir.callgraph import CallGraph
+    from repro.analysis.ir.program import Program, module_name_for
+
+    files = discover_files(list(paths))
+    resolved = {str(Path(f).resolve()): str(f) for f in files}
+    changed_local = {
+        resolved[c] for c in changed if c in resolved
+    }
+    if not changed_local:
+        return set()
+    program = Program.load(files)
+    graph = CallGraph(program)
+    changed_modules = {module_name_for(p) for p in changed_local}
+    affected = graph.reverse_dependents(changed_modules)
+    return {
+        str(f)
+        for f in files
+        if module_name_for(str(f)) in affected
+        or str(f) in changed_local
+    }
 
 
 def _render_human(report: AnalysisReport, show_suppressed: bool) -> str:
@@ -122,12 +214,29 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
     checkers = build_checkers(rules)
+    program_checkers = build_program_checkers(rules)
 
+    started = time.monotonic()
+    keep_paths: set[str] | None = None
+    if args.changed_only:
+        try:
+            keep_paths = _keep_paths_for_changed(
+                list(args.paths), args.base_ref
+            )
+        except (FileNotFoundError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     try:
-        report = analyze_paths(list(args.paths), checkers)
+        report = analyze_paths(
+            list(args.paths),
+            checkers,
+            program_checkers=program_checkers,
+            keep_paths=keep_paths,
+        )
     except (FileNotFoundError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    elapsed = time.monotonic() - started
     if rules is not None:
         report.findings = [f for f in report.findings if f.rule in rules]
         report.suppressed = [f for f in report.suppressed if f.rule in rules]
@@ -138,6 +247,13 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_baseline(report))
     else:
         print(_render_human(report, args.show_suppressed))
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"analysis took {elapsed:.1f}s, over the "
+            f"{args.max_seconds:.1f}s budget",
+            file=sys.stderr,
+        )
+        return 1
     return report.exit_code
 
 

@@ -1,0 +1,33 @@
+"""Whole-program IR: CFGs, the call graph, and the dataflow engine."""
+
+from repro.analysis.ir.callgraph import CallGraph, CallSite
+from repro.analysis.ir.cfg import CFG, Block, build_cfg, shallow_exprs
+from repro.analysis.ir.dataflow import (
+    FixpointDiverged,
+    solve_forward,
+    union_join,
+)
+from repro.analysis.ir.program import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    module_name_for,
+)
+
+__all__ = [
+    "Block",
+    "CFG",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FixpointDiverged",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "build_cfg",
+    "module_name_for",
+    "shallow_exprs",
+    "solve_forward",
+    "union_join",
+]

@@ -1,0 +1,340 @@
+"""Module-level call graph with alias-aware method resolution.
+
+Given a :class:`~repro.analysis.ir.program.Program`, resolve each call
+expression in a function body to the candidate :class:`FunctionInfo`
+targets it may invoke.  Resolution is deliberately best-effort and
+*under*-approximate -- an unresolved call contributes no edges -- which
+is the right polarity for both clients: the lock-order graph only
+contains edges we are sure about, and taint summaries simply lose
+precision (not soundness against the annotated surface) on dynamic
+dispatch we cannot see.
+
+What is resolved:
+
+* ``f(...)`` -- module-local functions, ``from m import f`` imports,
+  and class constructors (edge to ``__init__``);
+* ``self.m(...)`` -- own class, then program-visible bases;
+* ``mod.f(...)`` -- through ``import a.b as mod`` aliases and
+  ``from a import b as mod`` module imports;
+* ``obj.m(...)`` -- when ``obj`` is a local assigned ``ClassName(...)``,
+  a parameter/variable with a class annotation (``X | None`` unions
+  included), a module global with an annotation, or ``self.attr`` with
+  a type recorded from ``__init__``;
+* chained calls ``obj.m(...).n(...)`` -- through the return-type
+  annotation of ``m``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.ir.program import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    _annotation_names,
+)
+
+
+def walk_scope(root: ast.AST):
+    """``ast.walk`` minus nested function/class bodies.
+
+    Nested defs are separate :class:`FunctionInfo` scopes; walking into
+    them here would double-count their calls against the outer function.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: the AST node plus its candidate targets."""
+
+    node: ast.Call
+    caller: FunctionInfo
+    targets: tuple[FunctionInfo, ...]
+    is_method_call: bool  # receiver expression fills the ``self`` slot
+
+
+class CallGraph:
+    """Lazy call resolution plus whole-program call-site enumeration."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._local_types: dict[int, dict[str, list[str]]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def call_sites(self, func: FunctionInfo) -> list[CallSite]:
+        """Every call expression in ``func`` with resolved targets.
+
+        Includes unresolved calls (empty ``targets``) so checkers can
+        still reason about the call expression itself.
+        """
+        sites: list[CallSite] = []
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.Call):
+                targets, is_method = self.resolve_call(node, func)
+                sites.append(
+                    CallSite(node, func, tuple(targets), is_method)
+                )
+        return sites
+
+    def callees(self, func: FunctionInfo) -> list[FunctionInfo]:
+        out: list[FunctionInfo] = []
+        seen: set[int] = set()
+        for site in self.call_sites(func):
+            for target in site.targets:
+                if id(target) not in seen:
+                    seen.add(id(target))
+                    out.append(target)
+        return out
+
+    def all_functions(self) -> list[FunctionInfo]:
+        return [
+            f for mod in self.program.modules for f in mod.all_functions
+        ]
+
+    def reverse_dependents(self, module_names: set[str]) -> set[str]:
+        """Module names that (transitively) call into ``module_names``.
+
+        Used by ``--changed-only``: a change to module M can affect any
+        module whose functions resolve a call into M.
+        """
+        # Build module -> set(callee modules) once.
+        edges: dict[str, set[str]] = {}
+        for func in self.all_functions():
+            src = func.module.name
+            for callee in self.callees(func):
+                if callee.module.name != src:
+                    edges.setdefault(callee.module.name, set()).add(src)
+        affected = set(module_names)
+        work = list(module_names)
+        while work:
+            mod = work.pop()
+            for dependent in edges.get(mod, ()):
+                if dependent not in affected:
+                    affected.add(dependent)
+                    work.append(dependent)
+        return affected
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, func: FunctionInfo
+    ) -> tuple[list[FunctionInfo], bool]:
+        """Candidate targets of one call, plus whether it is a method
+        call (the receiver occupies the ``self`` parameter slot)."""
+        target = call.func
+        mod = func.module
+        if isinstance(target, ast.Name):
+            return self._resolve_bare_name(target.id, mod), False
+        if isinstance(target, ast.Attribute):
+            receiver = target.value
+            method = target.attr
+            # self.m(...)
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id == "self"
+                and func.class_info is not None
+            ):
+                hit = self.program.method_of(func.class_info, method)
+                return ([hit] if hit else []), True
+            # mod_alias.f(...) / imported_module.f(...)
+            if isinstance(receiver, ast.Name):
+                module_hits = self._resolve_module_attr(
+                    receiver.id, method, mod
+                )
+                if module_hits:
+                    return module_hits, False
+            # typed receiver: local, param, global, self.attr, chain
+            for cls in self._receiver_classes(receiver, func):
+                hit = self.program.method_of(cls, method)
+                if hit is not None:
+                    return [hit], True
+        return [], False
+
+    def _resolve_bare_name(
+        self, name: str, mod: ModuleInfo
+    ) -> list[FunctionInfo]:
+        if name in mod.functions:
+            return [mod.functions[name]]
+        if name in mod.classes:
+            init = self.program.method_of(mod.classes[name], "__init__")
+            return [init] if init else []
+        if name in mod.imported_names:
+            target_mod_name, orig = mod.imported_names[name]
+            target = self.program.by_module_name.get(target_mod_name)
+            if target is not None:
+                if orig in target.functions:
+                    return [target.functions[orig]]
+                if orig in target.classes:
+                    init = self.program.method_of(
+                        target.classes[orig], "__init__"
+                    )
+                    return [init] if init else []
+        return []
+
+    def _resolve_module_attr(
+        self, alias: str, attr: str, mod: ModuleInfo
+    ) -> list[FunctionInfo]:
+        target_names: list[str] = []
+        if alias in mod.module_aliases:
+            target_names.append(mod.module_aliases[alias])
+        if alias in mod.imported_names:
+            parent, orig = mod.imported_names[alias]
+            target_names.append(f"{parent}.{orig}")
+        for target_name in target_names:
+            target = self.program.by_module_name.get(target_name)
+            if target is None:
+                continue
+            if attr in target.functions:
+                return [target.functions[attr]]
+            if attr in target.classes:
+                init = self.program.method_of(
+                    target.classes[attr], "__init__"
+                )
+                if init is not None:
+                    return [init]
+        return []
+
+    # -- receiver typing ----------------------------------------------------
+
+    def _receiver_classes(
+        self, receiver: ast.expr, func: FunctionInfo
+    ) -> list[ClassInfo]:
+        """The candidate classes of a method-call receiver expression."""
+        mod = func.module
+        names: list[str] = []
+        if isinstance(receiver, ast.Name):
+            names = self._name_types(receiver.id, func)
+        elif isinstance(receiver, ast.Attribute) and isinstance(
+            receiver.value, ast.Name
+        ):
+            if receiver.value.id == "self" and func.class_info is not None:
+                names = self._self_attr_types(
+                    func.class_info, receiver.attr
+                )
+        elif isinstance(receiver, ast.Call):
+            # Chained call: type the receiver by the inner call's
+            # declared return type.
+            inner_targets, _ = self.resolve_call(receiver, func)
+            for target in inner_targets:
+                names.extend(_annotation_names(target.node.returns))
+        out: list[ClassInfo] = []
+        seen: set[int] = set()
+        for name in names:
+            for cls in self.program.resolve_class_name(name, mod):
+                if id(cls) not in seen:
+                    seen.add(id(cls))
+                    out.append(cls)
+        return out
+
+    def _self_attr_types(
+        self, cls: ClassInfo, attr: str
+    ) -> list[str]:
+        if attr in cls.attr_types:
+            return cls.attr_types[attr]
+        for base in cls.base_names:
+            for base_cls in self.program.resolve_class_name(
+                base, cls.module
+            ):
+                found = self._self_attr_types(base_cls, attr)
+                if found:
+                    return found
+        return []
+
+    def _name_types(self, name: str, func: FunctionInfo) -> list[str]:
+        env = self._local_types.get(id(func))
+        if env is None:
+            env = _local_type_env(func)
+            self._local_types[id(func)] = env
+        if name in env:
+            return env[name]
+        return func.module.global_types.get(name, [])
+
+
+def _local_type_env(func: FunctionInfo) -> dict[str, list[str]]:
+    """name -> candidate class names, from annotations and ctor calls."""
+    env: dict[str, list[str]] = {}
+    args = func.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.annotation is not None:
+            env[arg.arg] = _annotation_names(arg.annotation)
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            env.setdefault(node.target.id, []).extend(
+                _annotation_names(node.annotation)
+            )
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Call
+        ):
+            ctor = node.value.func
+            ctor_name = (
+                ctor.id
+                if isinstance(ctor, ast.Name)
+                else ctor.attr if isinstance(ctor, ast.Attribute) else ""
+            )
+            if not ctor_name or not ctor_name[0].isupper():
+                continue  # heuristic: classes are CapWords here
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    env.setdefault(tgt.id, []).append(ctor_name)
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Name
+        ):
+            # ``m = _metrics``: borrow a typed module global's type.
+            types = func.module.global_types.get(node.value.id)
+            if types:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        env.setdefault(tgt.id, []).extend(types)
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Attribute
+        ):
+            # ``conn = self._conn``: borrow the attribute's declared type.
+            val = node.value
+            if (
+                isinstance(val.value, ast.Name)
+                and val.value.id == "self"
+                and func.class_info is not None
+                and val.attr in func.class_info.attr_types
+            ):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        env.setdefault(tgt.id, []).extend(
+                            func.class_info.attr_types[val.attr]
+                        )
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    item.optional_vars is not None
+                    and isinstance(item.optional_vars, ast.Name)
+                    and isinstance(item.context_expr, ast.Call)
+                ):
+                    ctor = item.context_expr.func
+                    ctor_name = (
+                        ctor.id
+                        if isinstance(ctor, ast.Name)
+                        else ctor.attr
+                        if isinstance(ctor, ast.Attribute)
+                        else ""
+                    )
+                    if ctor_name and ctor_name[0].isupper():
+                        env.setdefault(
+                            item.optional_vars.id, []
+                        ).append(ctor_name)
+    return env

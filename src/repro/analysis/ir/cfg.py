@@ -1,0 +1,265 @@
+"""Per-function control-flow graphs with held-lock sets.
+
+A :class:`CFG` linearizes one function body into basic blocks.  Every
+statement lives in exactly one block; compound statements (``if``,
+``while``, ``with``, ...) sit in the block that evaluates their
+*shallow* expressions (the test, the iterable, the context items) and
+their bodies become separate blocks reached by edges.  Checkers walk
+``block.stmts`` and use :func:`shallow_exprs` so nested bodies are
+never visited twice.
+
+Lock tracking rides along at construction time: the builder is handed
+a ``resolve_lock(expr) -> token | None`` callback, and every block
+carries ``held`` -- the frozenset of lock tokens whose ``with`` blocks
+lexically enclose it.  Lexical ``with`` nesting *is* dominance for
+lock acquisition in this codebase (locks are only ever taken via
+``with``), which is what the lock-discipline checker needs: an access
+in a block is guarded iff its lock is in ``block.held``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable, Iterator
+
+LockResolver = Callable[[ast.expr], "str | None"]
+
+
+class Block:
+    """One basic block: straight-line statements plus CFG edges."""
+
+    __slots__ = ("id", "stmts", "succs", "preds", "held")
+
+    def __init__(self, block_id: int, held: frozenset = frozenset()):
+        self.id = block_id
+        self.stmts: list[ast.stmt] = []
+        self.succs: list["Block"] = []
+        self.preds: list["Block"] = []
+        self.held: frozenset = held
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (
+            f"Block({self.id}, stmts={len(self.stmts)},"
+            f" succs={[s.id for s in self.succs]}, held={sorted(self.held)})"
+        )
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, entry: Block, exit_block: Block, blocks: list[Block]):
+        self.entry = entry
+        self.exit = exit_block
+        self.blocks = blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+
+def shallow_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a statement evaluates *in its own block*.
+
+    Bodies of compound statements are excluded (they live in other
+    blocks); nested function/class definitions contribute only their
+    decorators and defaults, never their bodies.
+    """
+    out: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        out.extend(stmt.targets)
+        out.append(stmt.value)
+    elif isinstance(stmt, ast.AnnAssign):
+        out.append(stmt.target)
+        if stmt.value is not None:
+            out.append(stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        out.extend([stmt.target, stmt.value])
+    elif isinstance(stmt, ast.Expr):
+        out.append(stmt.value)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            out.append(stmt.value)
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            out.append(stmt.exc)
+        if stmt.cause is not None:
+            out.append(stmt.cause)
+    elif isinstance(stmt, (ast.If, ast.While)):
+        out.append(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        out.extend([stmt.target, stmt.iter])
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+    elif isinstance(stmt, ast.Assert):
+        out.append(stmt.test)
+        if stmt.msg is not None:
+            out.append(stmt.msg)
+    elif isinstance(stmt, ast.Delete):
+        out.extend(stmt.targets)
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        out.extend(stmt.decorator_list)
+        args = getattr(stmt, "args", None)
+        if args is not None:
+            out.extend(d for d in args.defaults if d is not None)
+            out.extend(d for d in args.kw_defaults if d is not None)
+    elif isinstance(stmt, ast.Match):
+        out.append(stmt.subject)
+    return out
+
+
+class _Builder:
+    def __init__(self, resolve_lock: LockResolver | None):
+        self._resolve = resolve_lock or (lambda expr: None)
+        self.blocks: list[Block] = []
+        # (loop_header, loop_after) for break/continue targets.
+        self._loops: list[tuple[Block, Block]] = []
+
+    def new_block(self, held: frozenset) -> Block:
+        block = Block(len(self.blocks), held)
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def link(src: Block | None, dst: Block) -> None:
+        if src is None:
+            return
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def build(
+        self, body: list[ast.stmt], entry_held: frozenset
+    ) -> tuple[Block, Block]:
+        entry = self.new_block(entry_held)
+        exit_block = Block(-1, frozenset())  # filled in below
+        self._exit = exit_block
+        out = self._stmts(body, entry)
+        if out is not None:
+            self.link(out, exit_block)
+        exit_block.id = len(self.blocks)
+        self.blocks.append(exit_block)
+        return entry, exit_block
+
+    def _stmts(self, body: Iterable[ast.stmt], cur: Block | None) -> Block | None:
+        """Thread ``body`` through blocks; None means control never
+        falls out the bottom (return/raise/break on every path)."""
+        for stmt in body:
+            if cur is None:
+                # Dead code after a terminator still gets a block so
+                # checkers see it; it simply has no predecessors.
+                cur = self.new_block(self._dead_held)
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    _dead_held: frozenset = frozenset()
+
+    def _stmt(self, stmt: ast.stmt, cur: Block) -> Block | None:
+        self._dead_held = cur.held
+        if isinstance(stmt, ast.If):
+            cur.stmts.append(stmt)
+            then_b = self.new_block(cur.held)
+            self.link(cur, then_b)
+            then_out = self._stmts(stmt.body, then_b)
+            else_out: Block | None
+            if stmt.orelse:
+                else_b = self.new_block(cur.held)
+                self.link(cur, else_b)
+                else_out = self._stmts(stmt.orelse, else_b)
+            else:
+                else_out = cur  # the test may fall through
+            if then_out is None and else_out is None:
+                return None
+            join = self.new_block(cur.held)
+            self.link(then_out, join)
+            self.link(else_out, join)
+            return join
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self.new_block(cur.held)
+            self.link(cur, header)
+            header.stmts.append(stmt)
+            after = self.new_block(cur.held)
+            body_b = self.new_block(cur.held)
+            self.link(header, body_b)
+            self._loops.append((header, after))
+            body_out = self._stmts(stmt.body, body_b)
+            self._loops.pop()
+            self.link(body_out, header)  # back edge
+            self.link(header, after)  # loop may not run / condition fails
+            if stmt.orelse:
+                # else-clause runs on normal loop exit; fold into after.
+                else_out = self._stmts(stmt.orelse, after)
+                if else_out is not after:
+                    after = else_out if else_out is not None else self.new_block(cur.held)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(stmt)
+            acquired = frozenset(
+                tok
+                for item in stmt.items
+                for tok in [self._resolve(item.context_expr)]
+                if tok is not None
+            )
+            body_b = self.new_block(cur.held | acquired)
+            self.link(cur, body_b)
+            body_out = self._stmts(stmt.body, body_b)
+            after = self.new_block(cur.held)
+            self.link(body_out, after)
+            return after
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            cur.stmts.append(stmt)
+            body_b = self.new_block(cur.held)
+            self.link(cur, body_b)
+            body_out = self._stmts(stmt.body, body_b)
+            if stmt.orelse and body_out is not None:
+                body_out = self._stmts(stmt.orelse, body_out)
+            join = self.new_block(cur.held)
+            self.link(body_out, join)
+            for handler in stmt.handlers:
+                handler_b = self.new_block(cur.held)
+                # Coarse: an exception can surface anywhere in the body.
+                self.link(cur, handler_b)
+                if body_out is not None:
+                    self.link(body_out, handler_b)
+                handler_out = self._stmts(handler.body, handler_b)
+                self.link(handler_out, join)
+            if stmt.finalbody:
+                return self._stmts(stmt.finalbody, join)
+            if not join.preds:
+                return None
+            return join
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.stmts.append(stmt)
+            self.link(cur, self._exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            if self._loops:
+                self.link(cur, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            if self._loops:
+                self.link(cur, self._loops[-1][0])
+            return None
+        cur.stmts.append(stmt)
+        return cur
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    resolve_lock: LockResolver | None = None,
+    entry_held: frozenset = frozenset(),
+) -> CFG:
+    """Build the CFG of one function.
+
+    ``resolve_lock`` maps a ``with`` item's context expression to a
+    lock token (or None for non-lock context managers); ``entry_held``
+    seeds the held set (for ``# requires-lock:`` functions).
+    """
+    builder = _Builder(resolve_lock)
+    entry, exit_block = builder.build(func.body, entry_held)
+    return CFG(entry, exit_block, builder.blocks)

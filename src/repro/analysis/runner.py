@@ -7,7 +7,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.base import Checker, FileContext
+from repro.analysis.base import Checker, FileContext, ProgramChecker
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import find_cover, parse_suppressions
 
@@ -98,15 +98,85 @@ def discover_files(paths: list[str | Path]) -> list[Path]:
 
 
 def analyze_paths(
-    paths: list[str | Path], checkers: list[Checker]
+    paths: list[str | Path],
+    checkers: list[Checker],
+    program_checkers: list[ProgramChecker] | None = None,
+    keep_paths: set[str] | None = None,
 ) -> AnalysisReport:
-    """Analyze every file under the given paths."""
+    """Analyze every file under the given paths.
+
+    Per-file checkers run file by file; whole-program checkers then run
+    once over the full parsed set.  Program-checker findings route
+    through the same per-file suppression pragmas as everything else.
+
+    ``keep_paths`` (used by ``--changed-only``) restricts *reported*
+    findings to those files while the whole program is still parsed, so
+    call-graph resolution stays complete.
+    """
     report = AnalysisReport()
+    contexts: list[FileContext] = []
+    suppressions_by_path: dict[str, list] = {}
+
+    def wanted(path: str) -> bool:
+        return keep_paths is None or path in keep_paths
+
     for path in discover_files(paths):
         report.files_scanned += 1
-        for finding in analyze_file(path, checkers):
-            if finding.suppressed:
-                report.suppressed.append(finding)
-            else:
-                report.findings.append(finding)
+        source = Path(path).read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            if wanted(str(path)):
+                report.findings.append(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+            continue
+        ctx = FileContext(path=str(path), source=source, tree=tree)
+        contexts.append(ctx)
+        suppressions = parse_suppressions(source)
+        suppressions_by_path[ctx.path] = suppressions
+        if not wanted(ctx.path):
+            continue
+        for checker in checkers:
+            if not checker.applies_to(ctx):
+                continue
+            for finding in checker.check(ctx):
+                _route(finding, suppressions, report)
+
+    if program_checkers and contexts:
+        # Imported lazily: the IR layer imports base, so a module-level
+        # import here would be circular through the package __init__.
+        from repro.analysis.ir.callgraph import CallGraph
+        from repro.analysis.ir.program import Program
+
+        program = Program.from_contexts(contexts)
+        graph = CallGraph(program)
+        for checker in program_checkers:
+            for finding in checker.check_program(program, graph):
+                if not wanted(finding.path):
+                    continue
+                _route(
+                    finding,
+                    suppressions_by_path.get(finding.path, []),
+                    report,
+                )
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
+
+
+def _route(finding: Finding, suppressions: list, report: AnalysisReport) -> None:
+    cover = find_cover(suppressions, finding.rule, finding.line)
+    if cover is not None:
+        finding.suppressed = True
+        finding.suppress_reason = cover.reason
+        report.suppressed.append(finding)
+    else:
+        report.findings.append(finding)

@@ -81,14 +81,14 @@ class TiptoeClient:
             db_meta=engine.index.url_db,
             batch_size=meta.url_batch_size,
         )
-        self._tokens: deque[QueryToken] = deque()
+        self._tokens: deque[QueryToken] = deque()  # guarded-by: _token_lock
         self._token_lock = threading.Lock()
         # Wakes the prefetcher whenever a token is taken.
         self._token_need = threading.Condition(self._token_lock)
         self._prefetch_depth = int(
             getattr(engine.index.config, "token_prefetch_depth", 0)
         )
-        self._prefetching = False
+        self._prefetching = False  # guarded-by: _token_lock
         self._prefetch_thread: threading.Thread | None = None
         if self._prefetch_depth > 0:
             self._start_prefetcher()
@@ -265,6 +265,7 @@ class TiptoeClient:
                     "url",
                     "url",
                     "answer",
+                    # tiptoe-lint: disable=itaint-wire -- the ciphertext IS the wire format; semantic security (decision-LWE) covers what it reveals
                     wire.encode_ciphertext(url_query.ciphertext),
                 )
                 values, q_bits = wire.decode_answer(body)

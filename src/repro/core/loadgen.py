@@ -398,8 +398,8 @@ def measure_concurrent_ranking(
         own_scheduler = True
 
     lock = threading.Lock()
-    latencies: list[float] = []
-    failures: list[BaseException] = []
+    latencies: list[float] = []  # guarded-by: lock
+    failures: list[BaseException] = []  # guarded-by: lock
     stats_before = (scheduler.stats.batches, scheduler.stats.queries)
 
     def run_client(qs) -> None:

@@ -56,19 +56,20 @@ class TokenPool:
         self._mint_fn = mint_fn
         self.depth = depth
         self.batch = batch
-        self._tokens: deque = deque()
+        self._tokens: deque = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
         self._need = threading.Condition(self._lock)  # wakes the worker
         self._avail = threading.Condition(self._lock)  # wakes takers
-        self._running = False
-        self._failed = False
+        self._running = False  # guarded-by: _lock
+        self._failed = False  # guarded-by: _lock
         self._thread: threading.Thread | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
     @property
     def running(self) -> bool:
-        return self._running
+        with self._lock:
+            return self._running
 
     def start(self) -> None:
         """Spawn the refill worker.  Idempotent."""

@@ -102,8 +102,8 @@ class BatchScheduler:
         self._clock = clock
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._queue: list[_Slot] = []
-        self._running = False
+        self._queue: list[_Slot] = []  # guarded-by: _lock
+        self._running = False  # guarded-by: _lock
         self._thread: threading.Thread | None = None
         self.stats = SchedulerStats()
 
@@ -111,7 +111,8 @@ class BatchScheduler:
 
     @property
     def running(self) -> bool:
-        return self._running
+        with self._lock:
+            return self._running
 
     def start(self) -> None:
         """Start the dispatcher thread.  Idempotent."""
@@ -180,7 +181,7 @@ class BatchScheduler:
 
     def health(self) -> dict:
         return {
-            "running": self._running,
+            "running": self.running,
             "max_batch_size": self.max_batch_size,
             "max_batch_wait_ms": self.max_batch_wait_s * 1000.0,
             "queued": self.queued,

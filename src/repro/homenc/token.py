@@ -68,14 +68,15 @@ class QueryToken:
     hint_products: dict[str, np.ndarray]
     upload_bytes: int = 0
     download_bytes: int = 0
-    _used: bool = field(default=False, repr=False)
+    _used: bool = field(default=False, repr=False)  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
     @property
     def used(self) -> bool:
-        return self._used
+        with self._lock:
+            return self._used
 
     def consume(self) -> tuple[dict[str, ClientKeys], dict[str, np.ndarray]]:
         """Return the key material for one query; single use enforced.
@@ -238,6 +239,7 @@ def request_token(
     the eventual query string.
     """
     keys, enc_keys, upload_bytes = make_client_keys(schemes, rng)
+    # tiptoe-lint: disable=itaint-raise -- mint()'s error path embeds only the *names* of missing services (dict keys), never the encrypted key material
     payload = factory.mint(enc_keys)
     hint_products = {
         name: schemes[name].decrypt_hint_product(keys[name], payload.hints[name])

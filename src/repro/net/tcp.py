@@ -185,10 +185,11 @@ class SocketTransport:
             lambda: FrameConnection.open(host, port, timeout)
         )
         self._clock = clock if clock is not None else MONOTONIC
-        self._conn: FrameConnection | None = None
+        self._conn: FrameConnection | None = None  # guarded-by: _lock
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
 
+    # requires-lock: _lock
     def _drop_connection(self) -> None:
         conn, self._conn = self._conn, None
         if conn is not None:
@@ -207,6 +208,7 @@ class SocketTransport:
             conn = self._conn
             request_id = next(self._ids)
             try:
+                # tiptoe-lint: disable=lock-blocking-call -- by design: one in-flight request per transport; the lock IS the serialization, and send/recv are deadline-bounded
                 conn.send_frame(request_id, service, STATUS_OK, request)
                 while True:
                     remaining = deadline - self._clock()
@@ -215,6 +217,7 @@ class SocketTransport:
                             f"deadline of {budget:.3f}s elapsed waiting for"
                             f" service {service!r}"
                         )
+                    # tiptoe-lint: disable=lock-blocking-call -- by design: the receive wait is bounded by the remaining per-call deadline
                     got_id, _, status, payload = conn.recv_frame(remaining)
                     if got_id != request_id:
                         # A duplicate, or the answer to an attempt that

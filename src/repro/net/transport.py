@@ -238,7 +238,7 @@ class TrafficLog:
     every mutation and every aggregate read takes the log's lock.
     """
 
-    messages: list[Message] = field(default_factory=list)
+    messages: list[Message] = field(default_factory=list)  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

@@ -54,7 +54,7 @@ class Counter:
 
     def __init__(self, name: str):
         self.name = name
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
@@ -65,7 +65,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -73,7 +74,7 @@ class Gauge:
 
     def __init__(self, name: str):
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -82,7 +83,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -98,11 +100,11 @@ class Histogram:
             raise ValueError("bucket bounds must be strictly increasing")
         self.name = name
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
-        self._count = 0
-        self._sum = 0.0
-        self._min: float | None = None
-        self._max: float | None = None
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min: float | None = None  # guarded-by: _lock
+        self._max: float | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -119,28 +121,39 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float | None:
-        return self._sum / self._count if self._count else None
-
-    def quantile(self, q: float) -> float | None:
-        """Estimate the q-quantile from the bucket counts.
-
-        Linear interpolation within the target bucket, clamped to the
-        observed [min, max]; None if nothing was observed.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile rank must be in [0, 1]")
         with self._lock:
-            count = self._count
-            counts = list(self._counts)
-            lo_seen, hi_seen = self._min, self._max
+            return self._sum / self._count if self._count else None
+
+    def _state(self) -> tuple[int, list[int], float, float | None, float | None]:
+        """One consistent snapshot under a single lock acquisition."""
+        with self._lock:
+            return (
+                self._count,
+                list(self._counts),
+                self._sum,
+                self._min,
+                self._max,
+            )
+
+    def _quantile_from(
+        self,
+        q: float,
+        count: int,
+        counts: list[int],
+        lo_seen: float | None,
+        hi_seen: float | None,
+    ) -> float | None:
+        """Pure interpolation over an already-snapshotted state."""
         if count == 0:
             return None
         target = q * count
@@ -159,6 +172,17 @@ class Histogram:
             cumulative += bucket_count
         return hi_seen
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the q-quantile from the bucket counts.
+
+        Linear interpolation within the target bucket, clamped to the
+        observed [min, max]; None if nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile rank must be in [0, 1]")
+        count, counts, _, lo_seen, hi_seen = self._state()
+        return self._quantile_from(q, count, counts, lo_seen, hi_seen)
+
     @property
     def p50(self) -> float | None:
         return self.quantile(0.50)
@@ -172,16 +196,21 @@ class Histogram:
         return self.quantile(0.99)
 
     def summary(self) -> dict:
-        """A JSON-ready digest of the distribution."""
+        """A JSON-ready digest of the distribution.
+
+        Built from one snapshot, so count/sum/quantiles are mutually
+        consistent even while other threads keep observing.
+        """
+        count, counts, total, lo_seen, hi_seen = self._state()
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self._min,
-            "max": self._max,
-            "mean": self.mean,
-            "p50": self.p50,
-            "p95": self.p95,
-            "p99": self.p99,
+            "count": count,
+            "sum": total,
+            "min": lo_seen,
+            "max": hi_seen,
+            "mean": total / count if count else None,
+            "p50": self._quantile_from(0.50, count, counts, lo_seen, hi_seen),
+            "p95": self._quantile_from(0.95, count, counts, lo_seen, hi_seen),
+            "p99": self._quantile_from(0.99, count, counts, lo_seen, hi_seen),
         }
 
 
@@ -210,7 +239,7 @@ class MetricsRegistry:
     def __init__(self, clock: Clock | None = None):
         self.clock: Clock = clock if clock is not None else MONOTONIC
         self._lock = threading.Lock()
-        self._metrics: dict[str, object] = {}
+        self._metrics: dict[str, object] = {}  # guarded-by: _lock
 
     def _get_or_create(self, name: str, kind, *args):
         with self._lock:

@@ -98,7 +98,7 @@ class Tracer:
         self.max_traces = max_traces
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._traces: list[Span] = []
+        self._traces: list[Span] = []  # guarded-by: _lock
 
     # -- the public surface ------------------------------------------------
 

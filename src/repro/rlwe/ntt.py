@@ -223,7 +223,7 @@ class NttContext:
 # RnsContext, BfvScheme, and serve cold-start in one process can share
 # a single table per (n, p) pair instead of rebuilding it.
 
-_REGISTRY: dict[tuple[int, int], NttContext] = {}
+_REGISTRY: dict[tuple[int, int], NttContext] = {}  # guarded-by: _REGISTRY_LOCK
 _REGISTRY_LOCK = threading.Lock()
 
 
@@ -234,6 +234,7 @@ def ntt_context(n: int, p: int) -> NttContext:
     the registry lock and every caller receives the same object.
     """
     key = (n, p)
+    # tiptoe-lint: disable=lock-guarded-attr -- double-checked locking: a stale miss on this unlocked fast-path read only falls through to the locked slow path, which re-checks
     ctx = _REGISTRY.get(key)
     if ctx is None:
         with _REGISTRY_LOCK:

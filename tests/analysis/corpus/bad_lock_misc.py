@@ -1,0 +1,39 @@
+"""Known-bad blocking-under-lock, requires-lock, and annotation cases."""
+
+import threading
+import time
+
+
+class BlocksUnderLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last = 0.0  # guarded-by: _lock
+
+    def slow_update(self, value):
+        with self._lock:
+            time.sleep(0.01)  # BAD: blocking call while holding the lock
+            self._last = value
+
+
+class NeedsLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    # requires-lock: _lock
+    def _append(self, item):
+        self._items.append(item)
+
+    def add(self, item):
+        self._append(item)  # BAD: caller does not hold self._lock
+
+    def add_locked(self, item):
+        with self._lock:
+            self._append(item)
+
+
+class WrongAnnotation:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # BAD: there is no attribute named _mutex on this class.
+        self._data = 0  # guarded-by: _mutex

@@ -1,0 +1,45 @@
+"""Known-bad lock ordering: two acquisition cycles (self-test corpus)."""
+
+import threading
+
+
+class Transfer:
+    """Acquires its two locks in both orders directly."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def a_then_b(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def b_then_a(self):
+        with self._b:
+            with self._a:  # BAD: opposite order -> deadlock cycle
+                pass
+
+
+class CrossFunction:
+    """The reversed order only appears through a callee's acquisition."""
+
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+
+    def _grab_inner(self):
+        with self._inner:
+            pass
+
+    def _grab_outer(self):
+        with self._outer:
+            pass
+
+    def forward(self):
+        with self._outer:
+            self._grab_inner()
+
+    def backward(self):
+        with self._inner:
+            self._grab_outer()  # BAD: cycle via the callee's lock

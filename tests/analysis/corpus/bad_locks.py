@@ -1,0 +1,18 @@
+"""Known-bad lock discipline: one unguarded write (self-test corpus)."""
+
+import threading
+
+
+class UnguardedCounter:
+    """A counter whose increment forgets the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1  # BAD: write without holding self._lock
+
+    def value(self):
+        with self._lock:
+            return self._count

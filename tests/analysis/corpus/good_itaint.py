@@ -1,0 +1,23 @@
+"""Known-good interprocedural taint (tiptoe-lint self-test corpus)."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def fresh_secret(scheme, rng):
+    return scheme.gen_secret(rng)
+
+
+def log_shape_only(scheme, rng):
+    key = fresh_secret(scheme, rng)
+    logger.info("key dims %s", key.shape)  # OK: declassified metadata
+    return key
+
+
+def count_keys(scheme, rng):
+    keys = []
+    for _ in range(3):
+        keys.append(fresh_secret(scheme, rng))
+    logger.info("minted %d keys", len(keys))  # OK: len() declassifies
+    return keys

@@ -1,0 +1,40 @@
+"""Known-good lock discipline (tiptoe-lint self-test corpus)."""
+
+import threading
+
+
+class GuardedCounter:
+    """Every guarded access runs under the declared lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+            self._ready.notify_all()
+
+    def wait_nonzero(self):
+        with self._lock:
+            while self._count == 0:
+                self._ready.wait()
+            return self._count
+
+    # requires-lock: _lock
+    def _reset_locked(self):
+        self._count = 0
+
+    def reset(self):
+        with self._lock:
+            self._reset_locked()
+
+
+MODULE_LOCK = threading.Lock()
+SHARED: list = []  # guarded-by: MODULE_LOCK
+
+
+def push(item):
+    with MODULE_LOCK:
+        SHARED.append(item)

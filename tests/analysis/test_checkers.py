@@ -3,8 +3,12 @@
 from collections import Counter
 from pathlib import Path
 
-from repro.analysis.checkers import all_rules, build_checkers
-from repro.analysis.runner import analyze_file
+from repro.analysis.checkers import (
+    all_rules,
+    build_checkers,
+    build_program_checkers,
+)
+from repro.analysis.runner import analyze_file, analyze_paths
 
 CORPUS = Path(__file__).parent / "corpus"
 CHECKERS = build_checkers()
@@ -178,7 +182,8 @@ class TestFramework:
         The batch and hotpath checkers are filename-scoped (they only
         bind in their hot modules), so their known-bad corpus files
         carry the hot-module names under ``corpus/core/`` instead of
-        the ``bad_`` prefix.
+        the ``bad_`` prefix.  Whole-program rules (lock-*, itaint-*)
+        run through :func:`analyze_paths` with the program checkers.
         """
         fired = Counter()
         paths = sorted(CORPUS.rglob("bad_*.py")) + [
@@ -187,5 +192,7 @@ class TestFramework:
         ]
         for path in paths:
             fired.update(active_rules(path))
+        report = analyze_paths(paths, [], build_program_checkers())
+        fired.update(f.rule for f in report.findings)
         for spec in all_rules():
             assert fired[spec.rule] > 0, f"no corpus case for {spec.rule}"

@@ -1,0 +1,298 @@
+"""Unit tests for the IR layer: CFG, dataflow fixpoint, call graph."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import FileContext
+from repro.analysis.ir import (
+    CallGraph,
+    FixpointDiverged,
+    Program,
+    build_cfg,
+    shallow_exprs,
+    solve_forward,
+    union_join,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def func_node(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if name is None:
+        return funcs[0]
+    return next(f for f in funcs if f.name == name)
+
+
+def program_from(source, path="src/repro/fake/mod.py"):
+    source = textwrap.dedent(source)
+    ctx = FileContext(path=path, source=source, tree=ast.parse(source))
+    return Program.from_contexts([ctx])
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(func_node("def f():\n    a = 1\n    return a\n"))
+        reachable = [b for b in cfg.blocks if b.stmts]
+        assert len(reachable) == 1
+
+    def test_if_produces_a_diamond(self):
+        cfg = build_cfg(
+            func_node(
+                """
+                def f(x):
+                    if x:
+                        a = 1
+                    else:
+                        a = 2
+                    return a
+                """
+            )
+        )
+        # entry branches two ways; both arms rejoin at the return block.
+        assert len(cfg.entry.succs) == 2
+        join_targets = {id(s) for b in cfg.entry.succs for s in b.succs}
+        assert len(join_targets) == 1
+
+    def test_while_has_a_back_edge(self):
+        cfg = build_cfg(
+            func_node(
+                """
+                def f(x):
+                    while x > 0:
+                        x -= 1
+                    return x
+                """
+            )
+        )
+        back_edges = [
+            (b.id, s.id) for b in cfg.blocks for s in b.succs if s.id <= b.id
+        ]
+        assert back_edges, "loop produced no back edge"
+
+    def test_with_lock_sets_held(self):
+        cfg = build_cfg(
+            func_node(
+                """
+                def f(self):
+                    before = 1
+                    with self._lock:
+                        inside = 2
+                    after = 3
+                """
+            ),
+            resolve_lock=lambda expr: "C.lock",
+        )
+
+        def held_of(marker):
+            for block in cfg.blocks:
+                for stmt in block.stmts:
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id == marker
+                    ):
+                        return block.held
+            raise AssertionError(f"no block assigns {marker}")
+
+        assert held_of("before") == frozenset()
+        assert held_of("inside") == {"C.lock"}
+        assert held_of("after") == frozenset()
+
+    def test_entry_held_seeds_every_block(self):
+        cfg = build_cfg(
+            func_node("def f(self):\n    a = 1\n"),
+            entry_held=frozenset({"C.lock"}),
+        )
+        assert all("C.lock" in b.held for b in cfg.blocks if b.stmts)
+
+    def test_shallow_exprs_excludes_nested_bodies(self):
+        stmt = ast.parse("if x:\n    y = secret\n").body[0]
+        names = [
+            n.id
+            for e in shallow_exprs(stmt)
+            for n in ast.walk(e)
+            if isinstance(n, ast.Name)
+        ]
+        assert "x" in names
+        assert "secret" not in names
+
+
+class TestDataflow:
+    def test_loop_reaches_fixpoint(self):
+        cfg = build_cfg(
+            func_node(
+                """
+                def f(x):
+                    t = source()
+                    while x:
+                        u = t
+                    return u
+                """
+            )
+        )
+
+        def transfer(block, env):
+            env = dict(env)
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    value = stmt.value
+                    if isinstance(value, ast.Call):
+                        env[stmt.targets[0].id] = frozenset({"S"})
+                    elif isinstance(value, ast.Name):
+                        env[stmt.targets[0].id] = env.get(
+                            value.id, frozenset()
+                        )
+            return env
+
+        _, out_states = solve_forward(cfg, transfer, {}, union_join)
+        exit_envs = [
+            out_states[b.id]
+            for b in cfg.blocks
+            if b.id in out_states and not b.succs
+        ]
+        assert any(env.get("u") == {"S"} for env in exit_envs)
+
+    def test_divergent_transfer_raises(self):
+        cfg = build_cfg(
+            func_node("def f(x):\n    while x:\n        x = x\n")
+        )
+        def never_stable(block, env):
+            return {"n": env.get("n", 0) + 1}
+
+        def max_join(a, b):
+            return {"n": max(a.get("n", 0), b.get("n", 0))}
+
+        with pytest.raises(FixpointDiverged):
+            solve_forward(cfg, never_stable, {}, max_join)
+
+
+class TestProgramIndex:
+    SOURCE = """
+        import threading
+
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._avail = threading.Condition(self._lock)
+                self._items = []  # guarded-by: _lock
+
+            def take(self):
+                with self._lock:
+                    return self._items.pop()
+
+
+        GLOBAL_LOCK = threading.Lock()
+        TABLE = {}  # guarded-by: GLOBAL_LOCK
+        """
+
+    def test_lock_attrs_and_condition_aliasing(self):
+        program = program_from(self.SOURCE)
+        cls = program.classes_by_name["Pool"][0]
+        assert cls.canonical_lock("_lock") == "_lock"
+        # the Condition wraps _lock, so it IS _lock for ordering purposes
+        assert cls.canonical_lock("_avail") == "_lock"
+        assert cls.guarded["_items"] == "_lock"
+
+    def test_module_globals_are_indexed(self):
+        program = program_from(self.SOURCE)
+        mod = next(iter(program.by_path.values()))
+        assert "GLOBAL_LOCK" in mod.module_locks
+        assert mod.guarded_globals["TABLE"] == "GLOBAL_LOCK"
+
+    def test_resolve_lock_expr_on_self_attr(self):
+        program = program_from(self.SOURCE)
+        cls = program.classes_by_name["Pool"][0]
+        take = program.method_of(cls, "take")
+        with_stmt = next(
+            n for n in ast.walk(take.node) if isinstance(n, ast.With)
+        )
+        token = program.resolve_lock_expr(
+            with_stmt.items[0].context_expr, take
+        )
+        assert token == "Pool._lock"
+
+
+class TestCallGraph:
+    SOURCE = """
+        class Conn:
+            def send(self, data):
+                return data
+
+
+        class Service:
+            def __init__(self, conn: Conn):
+                self._conn: Conn | None = conn
+
+            def _helper(self):
+                return 1
+
+            def handle(self):
+                conn = self._conn
+                conn.send(b"x")
+                return self._helper()
+
+
+        def top():
+            return Service(Conn()).handle()
+        """
+
+    @staticmethod
+    def resolved_names(graph):
+        return {
+            target.qualname
+            for func in graph.all_functions()
+            for site in graph.call_sites(func)
+            for target in site.targets
+        }
+
+    def test_self_method_call_resolves(self):
+        graph = CallGraph(program_from(self.SOURCE))
+        assert "repro.fake.mod.Service._helper" in self.resolved_names(graph)
+
+    def test_attr_borrowed_local_resolves_through_annotation(self):
+        """``conn = self._conn`` types conn from the attribute annotation."""
+        graph = CallGraph(program_from(self.SOURCE))
+        assert "repro.fake.mod.Conn.send" in self.resolved_names(graph)
+
+    def test_reverse_dependents_closes_over_callers(self):
+        lib = """
+            def helper():
+                return 1
+            """
+        app = """
+            from repro.fake.lib import helper
+
+
+            def use():
+                return helper()
+            """
+        lib_src = textwrap.dedent(lib)
+        app_src = textwrap.dedent(app)
+        contexts = [
+            FileContext(
+                path="src/repro/fake/lib.py",
+                source=lib_src,
+                tree=ast.parse(lib_src),
+            ),
+            FileContext(
+                path="src/repro/fake/app.py",
+                source=app_src,
+                tree=ast.parse(app_src),
+            ),
+        ]
+        program = Program.from_contexts(contexts)
+        graph = CallGraph(program)
+        closed = graph.reverse_dependents({"repro.fake.lib"})
+        assert "repro.fake.app" in closed

@@ -1,0 +1,86 @@
+"""The lock-discipline checker against its corpus, plus the seeded
+unguarded-write injection from the PR's acceptance criteria."""
+
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.checkers import build_program_checkers
+from repro.analysis.checkers.locks import find_cycles, lock_order_edges
+from repro.analysis.ir import CallGraph, Program
+from repro.analysis.runner import analyze_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def lock_findings(*paths):
+    report = analyze_paths(
+        list(paths), [], build_program_checkers({
+            "lock-guarded-attr",
+            "lock-order-cycle",
+            "lock-blocking-call",
+            "lock-requires",
+            "lock-bad-annotation",
+        })
+    )
+    return report.findings
+
+
+class TestSeededInjection:
+    def test_unguarded_write_produces_exactly_one_finding(self):
+        """Acceptance: the seeded unguarded write is the only finding."""
+        findings = lock_findings(CORPUS / "bad_locks.py")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "lock-guarded-attr"
+        assert "_count" in finding.message
+        assert "UnguardedCounter._lock" in finding.message
+        assert "self._count += 1" in (finding.snippet or "")
+
+
+class TestLockCorpus:
+    def test_both_order_cycles_are_found(self):
+        rules = Counter(
+            f.rule for f in lock_findings(CORPUS / "bad_lock_order.py")
+        )
+        # one direct inversion, one through a callee's acquisition
+        assert rules == {"lock-order-cycle": 2}
+
+    def test_blocking_requires_and_annotation_rules(self):
+        rules = Counter(
+            f.rule for f in lock_findings(CORPUS / "bad_lock_misc.py")
+        )
+        assert rules == {
+            "lock-blocking-call": 1,
+            "lock-requires": 1,
+            "lock-bad-annotation": 1,
+        }
+
+    def test_good_file_is_clean(self):
+        assert not lock_findings(CORPUS / "good_locks.py")
+
+
+class TestLockOrderGraph:
+    def test_find_cycles_flags_inversion(self):
+        edges = {("A", "B"): ("f.py", 1), ("B", "A"): ("f.py", 2)}
+        cycles = find_cycles(edges)
+        assert len(cycles) == 1
+
+    def test_find_cycles_flags_self_loop(self):
+        edges = {("A", "A"): ("f.py", 1)}
+        assert len(find_cycles(edges)) == 1
+
+    def test_acyclic_graph_has_no_cycles(self):
+        edges = {
+            ("A", "B"): ("f.py", 1),
+            ("B", "C"): ("f.py", 2),
+            ("A", "C"): ("f.py", 3),
+        }
+        assert find_cycles(edges) == []
+
+    def test_repo_lock_order_graph_is_cycle_free(self):
+        """Acceptance: the shipped code's static lock-order graph."""
+        program = Program.load(sorted((SRC / "repro").rglob("*.py")))
+        graph = CallGraph(program)
+        edges = lock_order_edges(program, graph)
+        assert find_cycles(edges) == [], edges
