@@ -18,9 +18,15 @@ build-index
     artifacts to a directory.
 serve
     Cold-start the full service roster from saved artifacts and listen
-    on TCP (the deployment entry point).
+    on TCP (the deployment entry point).  With ``--shard`` /
+    ``--num-shards`` the process serves one ranking shard of a fleet.
+serve-fleet
+    Spawn N shard worker processes (x replicas) and serve through the
+    :class:`~repro.core.fleet.FleetRouter` front door: admission
+    control, replica failover, rolling index swap.
 query
-    Run private searches against a running ``serve`` over TCP.
+    Run private searches against a running ``serve`` or ``serve-fleet``
+    over TCP (optionally pinned to one index generation).
 """
 
 from __future__ import annotations
@@ -186,15 +192,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     index = TiptoeIndex.load(args.artifacts)
     runner = ServerRunner(
-        build_services(index).values(),
+        build_services(
+            index, shard=args.shard, num_shards=args.num_shards
+        ).values(),
         host=args.host,
         port=args.port,
         max_workers=args.workers,
     )
     runner.start()
     host, port = runner.address
-    # The bound port line is the hand-off contract with `query` (and
-    # the CI smoke test): printed first and flushed immediately.
+    # The bound port line is the hand-off contract with `query`, the
+    # fleet launcher, and the CI smoke test: printed first and flushed
+    # immediately.
     print(f"serving on {host}:{port}", flush=True)
     try:
         runner.serve_forever()
@@ -205,12 +214,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    from repro.core import artifacts
+    from repro.core.fleet import FleetConfig, FleetLauncher, FleetRouter
+    from repro.net.tcp import ServerRunner
+
+    launcher = FleetLauncher(
+        args.artifacts,
+        num_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        host=args.host,
+    )
+    router = FleetRouter(
+        FleetConfig(
+            max_inflight=args.max_inflight,
+            rpc_timeout_s=args.rpc_timeout,
+        )
+    )
+    runner = ServerRunner(
+        [router],
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        fallback=router.route,
+    )
+    # SIGTERM must run the finally below, or the worker subprocesses
+    # outlive the front door as orphans (`kill <pid>` is how process
+    # managers stop us).
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        spec = launcher.start()
+        router.add_generation(spec, make_current=True)
+        runner.start()
+        router.warm_generation(spec.generation)
+        host, port = runner.address
+        # Hand-off contract, fleet flavor: first line carries the bound
+        # front-door address and the serving index generation tag.
+        print(
+            f"fleet serving on {host}:{port}"
+            f" generation {spec.generation}",
+            flush=True,
+        )
+        print(
+            f"  {args.shards} shard(s) x {args.replicas} replica(s),"
+            f" artifact {artifacts.artifact_digest(args.artifacts)[:12]}...",
+            flush=True,
+        )
+        runner.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.close()
+        launcher.stop()
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.engine import TiptoeEngine
     from repro.core.indexer import TiptoeIndex
 
     index = TiptoeIndex.load(args.artifacts)
-    engine = TiptoeEngine.connect(index, args.host, args.port)
+    engine = TiptoeEngine.connect(
+        index, args.host, args.port, generation=args.generation
+    )
     try:
         result = engine.search(args.query, np.random.default_rng(args.seed))
         for r in result.results[: args.top]:
@@ -289,7 +360,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 picks a free one; the bound port is printed)",
     )
     serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument(
+        "--shard", type=int, default=None,
+        help="serve only this ranking shard (fleet worker mode);"
+        " answers are partial sums the fleet router aggregates",
+    )
+    serve.add_argument(
+        "--num-shards", type=int, default=1,
+        help="total ranking shards in the fleet (with --shard)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    serve_fleet = sub.add_parser(
+        "serve-fleet",
+        help="spawn shard worker processes and serve through the"
+        " fleet router front door",
+    )
+    serve_fleet.add_argument(
+        "artifacts", type=str, help="artifact directory"
+    )
+    serve_fleet.add_argument("--host", type=str, default="127.0.0.1")
+    serve_fleet.add_argument(
+        "--port", type=int, default=0,
+        help="front-door TCP port (0 picks a free one)",
+    )
+    serve_fleet.add_argument(
+        "--shards", type=int, default=3,
+        help="ranking shards (worker processes per replica set)",
+    )
+    serve_fleet.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (failover capacity)",
+    )
+    serve_fleet.add_argument("--workers", type=int, default=8)
+    serve_fleet.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control cap before load shedding",
+    )
+    serve_fleet.add_argument("--rpc-timeout", type=float, default=5.0)
+    serve_fleet.set_defaults(func=_cmd_serve_fleet)
 
     query = sub.add_parser(
         "query", help="run a private search against a running serve"
@@ -300,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--port", type=int, required=True)
     query.add_argument("--top", type=int, default=5)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--generation", type=str, default=None,
+        help="pin the session to one fleet index generation tag",
+    )
     query.set_defaults(func=_cmd_query)
     return parser
 

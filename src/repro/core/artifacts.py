@@ -180,6 +180,33 @@ def _file_digest(path: Path) -> str:
     return digest.hexdigest()
 
 
+#: Length of a generation tag: the tagged wire name ``ranking@<tag>``
+#: must fit the 16-byte service field of the socket frame, and
+#: ``ranking@`` is 8 bytes already.
+GENERATION_TAG_LEN = 8
+
+
+def artifact_digest(path: str | Path) -> str:
+    """SHA-256 of an artifact directory's ``arrays.npz``.
+
+    This is the identity of an index generation: two artifacts with the
+    same digest serve bit-identical answers.
+    """
+    arrays_path = Path(path) / _ARRAYS
+    if not arrays_path.is_file():
+        raise ArtifactError(f"no {_ARRAYS} in {path}; not an index artifact")
+    return _file_digest(arrays_path)
+
+
+def generation_tag(path: str | Path) -> str:
+    """The short generation tag for an artifact (8-hex digest prefix).
+
+    Used to pin a client session to one index generation across a
+    rolling fleet swap (see :mod:`repro.core.fleet`).
+    """
+    return artifact_digest(path)[:GENERATION_TAG_LEN]
+
+
 def write_precompute_sidecar(index, path: str | Path) -> Path:
     """Write ``precompute.npz`` next to an already-saved artifact.
 

@@ -119,6 +119,12 @@ class ShardedRankingService(Service):
     scheme: DoubleLheScheme
     ledger: CostLedger = field(default_factory=CostLedger)
     parallel: bool = False
+    #: Set when this service holds one fleet shard (see
+    #: :meth:`build_shard`): its workers cover only that shard's
+    #: cluster columns and ``answer`` returns a *partial* sum the
+    #: fleet router folds together.  None for the full-matrix service.
+    shard: int | None = None
+    num_shards: int | None = None
     _pool: object = field(default=None, repr=False)
     _scheduler: object = field(default=None, repr=False)
 
@@ -167,6 +173,9 @@ class ShardedRankingService(Service):
             "workers": len(self.workers),
             "alive": alive,
         }
+        if self.shard is not None:
+            report["shard"] = self.shard
+            report["num_shards"] = self.num_shards
         if self._scheduler is not None:
             report["scheduler"] = self._scheduler.health()
         return report
@@ -208,6 +217,51 @@ class ShardedRankingService(Service):
                 )
             )
         return cls(workers=workers, scheme=scheme)
+
+    @classmethod
+    def build_shard(
+        cls,
+        scheme: DoubleLheScheme,
+        matrix: np.ndarray,
+        dim: int,
+        shard: int,
+        num_shards: int,
+        num_workers: int = 1,
+        entry_bound: int | None = None,
+    ) -> "ShardedRankingService":
+        """One fleet shard: the cluster-column slice ``shard`` of
+        ``num_shards``, itself worker-partitioned via :meth:`build`.
+
+        The shard's workers keep *absolute* column offsets into the
+        full matrix, so ``answer`` accepts the same full-length
+        ciphertext as the single-process service and returns the
+        partial sum over this shard's columns.  Because answers add
+        with wraparound (mod ``2**q_bits``) arithmetic -- associative
+        and commutative -- a router summing the ``num_shards`` partial
+        answers reproduces the single-process result bit for bit.
+        """
+        if not 0 <= shard < num_shards:
+            raise ValueError(f"shard {shard} outside [0, {num_shards})")
+        num_clusters = matrix.shape[1] // dim
+        if num_shards > num_clusters:
+            raise ValueError(
+                f"cannot cut {num_clusters} clusters into {num_shards} shards"
+            )
+        bounds = np.linspace(0, num_clusters, num_shards + 1).astype(int)
+        lo = int(bounds[shard]) * dim
+        hi = int(bounds[shard + 1]) * dim
+        service = cls.build(
+            scheme,
+            matrix[:, lo:hi],
+            dim,
+            num_workers,
+            entry_bound=entry_bound,
+        )
+        for worker in service.workers:
+            worker.col_start += lo
+        service.shard = shard
+        service.num_shards = num_shards
+        return service
 
     @property
     def num_workers(self) -> int:

@@ -106,19 +106,30 @@ class TiptoeEngine:
         port: int,
         link: LinkModel | None = None,
         query_embedder=None,
+        generation: str | None = None,
     ) -> "TiptoeEngine":
         """A remote engine: client state from ``index``, requests over
-        TCP to a running ``python -m repro serve`` with retry/deadline
-        policy taken from the index's config."""
+        TCP to a running ``python -m repro serve`` (or ``serve-fleet``
+        front door) with retry/deadline policy taken from the index's
+        config.
+
+        ``generation`` pins every request of this engine's session to
+        one index generation by wire name (``ranking@<tag>``): during a
+        fleet rolling swap the router then never answers this session
+        from a different index than the one ``index`` was loaded from.
+        """
         from repro.net.tcp import connect_transport
+        from repro.net.transport import TaggedTransport
 
         config = index.config
-        transport = connect_transport(
+        transport: Transport = connect_transport(
             host,
             port,
             timeout=config.rpc_timeout_s,
             policy=config.retry_policy(),
         )
+        if generation is not None:
+            transport = TaggedTransport(transport, generation)
         return cls(
             index=index,
             link=link,

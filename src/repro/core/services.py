@@ -115,7 +115,9 @@ class HintService(Service):
         )
 
 
-def build_services(index) -> dict[str, Service]:
+def build_services(
+    index, *, shard: int | None = None, num_shards: int = 1
+) -> dict[str, Service]:
     """Stand up the full service roster for one built index.
 
     When the config asks for cross-query batching
@@ -127,20 +129,36 @@ def build_services(index) -> dict[str, Service]:
     precompute sidecar carries plan metadata (``index.precompute``);
     the ranking and URL services then skip their matrix entry scans
     when building stacked-GEMM plans.
+
+    With ``shard``/``num_shards`` set, the ranking service holds only
+    that shard's cluster columns and returns *partial* answers (see
+    :meth:`ShardedRankingService.build_shard`); url/token/hint remain
+    full -- they are cheap relative to the ranking scan and keeping
+    them whole lets any fleet worker serve them.
     """
     plans = (index.precompute or {}).get("plans", {})
     ranking_meta = plans.get("ranking")
-    ranking = ShardedRankingService.build(
-        index.ranking_scheme,
-        index.layout.matrix,
-        dim=index.layout.dim,
-        num_workers=index.config.num_workers,
-        entry_bound=(
-            int(ranking_meta["entry_bound"])
-            if ranking_meta is not None
-            else None
-        ),
+    entry_bound = (
+        int(ranking_meta["entry_bound"]) if ranking_meta is not None else None
     )
+    if shard is not None:
+        ranking = ShardedRankingService.build_shard(
+            index.ranking_scheme,
+            index.layout.matrix,
+            dim=index.layout.dim,
+            shard=shard,
+            num_shards=num_shards,
+            num_workers=index.config.num_workers,
+            entry_bound=entry_bound,
+        )
+    else:
+        ranking = ShardedRankingService.build(
+            index.ranking_scheme,
+            index.layout.matrix,
+            dim=index.layout.dim,
+            num_workers=index.config.num_workers,
+            entry_bound=entry_bound,
+        )
     if index.config.max_batch_size > 1:
         from repro.core.scheduler import BatchScheduler
 

@@ -17,11 +17,20 @@ Changed documents are handled as remove + add; a changed corpus always
 invalidates outstanding query tokens (the hint changes), exactly as in
 the paper ("these tokens are usable until the document corpus
 changes").
+
+The fleet swap protocol (:func:`publish_snapshot` + the
+:class:`~repro.core.fleet.FleetRouter` swap endpoint) turns an updated
+index into a zero-downtime deployment: publish the updated index as a
+``repro.index/v2`` artifact with its precompute sidecar, then ask the
+router to warm the new generation one replica at a time and cut over
+by digest.  In-flight sessions stay pinned to the generation their
+token was minted against; only new sessions see the new corpus.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -54,6 +63,21 @@ def metadata_refresh_bytes(index: TiptoeIndex) -> int:
     """Worst-case client refresh: all centroids + sizes, compressed."""
     meta = index.client_metadata()
     return meta.download_bytes(compressed=True)
+
+
+def publish_snapshot(index: TiptoeIndex, out_dir: str | Path) -> str:
+    """Publish an index as a swap-ready generation artifact.
+
+    Saves the ``repro.index/v2`` artifact *and* its precompute sidecar
+    (so fleet workers skip the entry scan on load) and returns the
+    8-hex generation tag that identifies the snapshot to the fleet
+    router's swap protocol.
+    """
+    from repro.core import artifacts
+
+    out_dir = Path(out_dir)
+    artifacts.save_index(index, out_dir, precompute=True)
+    return artifacts.generation_tag(out_dir)
 
 
 def apply_update(

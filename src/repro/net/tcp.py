@@ -229,7 +229,18 @@ class SocketTransport:
                             payload.decode("utf-8", errors="replace")
                         )
                     return payload
-            except TransportConnectionLost:
+            except RemoteCallError:
+                # A complete, well-formed error frame: the stream is
+                # still aligned on a frame boundary, so the connection
+                # stays usable for the next request.
+                raise
+            except TransportError:
+                # Anything else -- a timeout that may have struck
+                # mid-frame in ``_recv_exact``, a corrupt length field,
+                # a reset -- can leave partial header/payload bytes in
+                # the stream.  Reusing the connection would misparse
+                # those leftovers as the next frame header, so drop it;
+                # the next request reconnects cleanly.
                 self._drop_connection()
                 raise
 
@@ -249,6 +260,113 @@ def connect_transport(
     return RetryingTransport(
         SocketTransport(host, port, timeout=timeout), policy=policy
     )
+
+
+class PooledSocketTransport:
+    """Concurrent requests to one upstream over a bounded pool.
+
+    :class:`SocketTransport` is deliberately one-in-flight-per-
+    connection (the lock *is* the request/response serialization), so a
+    caller with many concurrent requests to the same upstream -- the
+    fleet router, fanning a whole front door's traffic onto each worker
+    -- multiplexes across a pool of them instead: a request checks an
+    idle transport out, opening a new one when none is idle and the
+    pool is under ``max_connections``, and blocks for a free slot at
+    the cap.  A transport that saw any desync-capable error has already
+    dropped its connection, but it is discarded from the pool anyway so
+    the slot count stays an honest bound on open sockets.
+
+    ``transport_factory`` is injectable for tests (scripted
+    connections instead of real sockets).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 5.0,
+        max_connections: int = 8,
+        transport_factory: Callable[[], Transport] | None = None,
+    ):
+        if max_connections < 1:
+            raise ValueError("pool needs at least one connection")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_connections = max_connections
+        self._factory = transport_factory or (
+            lambda: SocketTransport(host, port, timeout=timeout)
+        )
+        self._lock = threading.Lock()
+        self._free = threading.Condition(self._lock)
+        self._idle: list[Transport] = []  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+    def _checkout(self) -> Transport:
+        with self._free:
+            while True:
+                if self._closed:
+                    raise TransportError("transport pool is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._total < self.max_connections:
+                    self._total += 1
+                    break
+                # tiptoe-lint: disable=lock-blocking-call -- bounded wait for a pool slot; holders never take this lock while blocked on I/O
+                if not self._free.wait(self.timeout):
+                    raise TransportTimeout(
+                        f"no pool slot freed within {self.timeout:.3f}s"
+                        f" ({self.max_connections} connections busy)"
+                    )
+        # The handshake happens outside the lock, on first request.
+        return self._factory()
+
+    def _checkin(self, transport: Transport) -> None:
+        with self._free:
+            if not self._closed:
+                self._idle.append(transport)
+                self._free.notify()
+                return
+            self._total -= 1
+        transport.close()
+
+    def _discard(self, transport: Transport) -> None:
+        with self._free:
+            self._total -= 1
+            self._free.notify()
+        transport.close()
+
+    @property
+    def open_connections(self) -> int:
+        with self._lock:
+            return self._total
+
+    def request(
+        self, service: str, request: bytes, *, timeout: float | None = None
+    ) -> bytes:
+        transport = self._checkout()
+        try:
+            response = transport.request(service, request, timeout=timeout)
+        except RemoteCallError:
+            # The exchange completed; the connection is still good.
+            self._checkin(transport)
+            raise
+        except BaseException:
+            self._discard(transport)
+            raise
+        self._checkin(transport)
+        return response
+
+    def close(self) -> None:
+        with self._free:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._total -= len(idle)
+            self._free.notify_all()
+        for transport in idle:
+            transport.close()
 
 
 class ServerRunner:
@@ -271,7 +389,13 @@ class ServerRunner:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 8,
+        fallback: Callable[[str, bytes], bytes] | None = None,
     ):
+        #: Handler for service names with no registered endpoint --
+        #: how the fleet router front-door intercepts worker-bound
+        #: traffic (incl. ``@generation``-tagged names that can never
+        #: be statically registered).  Exceptions become error frames.
+        self._fallback = fallback
         self._services: dict[str, Service] = {}
         for service in services:
             name = service.service_name
@@ -300,10 +424,20 @@ class ServerRunner:
         return endpoint
 
     def _handle_health(self, payload: bytes) -> bytes:
-        report = {
-            name: service.health()
-            for name, service in self._services.items()
-        }
+        # Per-service isolation: one service whose health() raises must
+        # not take down the whole endpoint -- the fleet router keys its
+        # failover decisions on this report, so a half-sick worker has
+        # to stay distinguishable from a dead one.
+        report = {}
+        for name, service in self._services.items():
+            try:
+                report[name] = service.health()
+            except Exception as exc:
+                report[name] = {
+                    "service": name,
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
         return json.dumps(report, sort_keys=True).encode()
 
     # -- lifecycle ---------------------------------------------------------
@@ -318,12 +452,25 @@ class ServerRunner:
     def start(self) -> "ServerRunner":
         if self._listener is not None:
             return self
-        for service in self._services.values():
-            service.open()
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self._requested_port))
-        listener.listen()
+        opened: list[Service] = []
+        listener: socket.socket | None = None
+        try:
+            for service in self._services.values():
+                service.open()
+                opened.append(service)
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self._requested_port))
+            listener.listen()
+        except Exception:
+            # ``bind`` on an occupied port (or any service failing to
+            # open) must not leak the services opened so far -- their
+            # pools and refill workers would outlive the failed start.
+            if listener is not None:
+                listener.close()
+            for service in opened:
+                service.close()
+            raise
         listener.settimeout(0.2)  # lets the accept loop see _stop
         self._listener = listener
         self._stop.clear()
@@ -338,15 +485,25 @@ class ServerRunner:
         return self
 
     def _accept_loop(self) -> None:
+        # ``close()`` nulls self._listener and self._pool from another
+        # thread; re-reading either attribute mid-loop could raise
+        # AttributeError and kill this (daemon, hence silent) thread.
+        # Capture both locally at entry -- the listener stays valid to
+        # accept on until its close() wakes us with an OSError.
+        listener, pool = self._listener, self._pool
         while not self._stop.is_set():
             try:
-                sock, _ = self._listener.accept()
+                sock, _ = listener.accept()
             except socket.timeout:
                 continue
             except OSError:  # listener closed during shutdown
                 return
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._pool.submit(self._serve_connection, FrameConnection(sock))
+            try:
+                pool.submit(self._serve_connection, FrameConnection(sock))
+            except RuntimeError:  # pool shut down during close()
+                sock.close()
+                return
 
     def _serve_connection(self, conn: FrameConnection) -> None:
         try:
@@ -371,6 +528,15 @@ class ServerRunner:
     def _dispatch(self, service: str, payload: bytes) -> tuple[int, bytes]:
         endpoint = self._endpoints.get(service)
         if endpoint is None:
+            if self._fallback is not None:
+                try:
+                    return STATUS_OK, self._fallback(service, payload)
+                except Exception as exc:
+                    obs.count("server.errors")
+                    return (
+                        STATUS_ERROR,
+                        f"{type(exc).__name__}: {exc}".encode(),
+                    )
             obs.count("server.errors")
             return STATUS_ERROR, f"no such service {service!r}".encode()
         try:

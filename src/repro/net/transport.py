@@ -197,6 +197,58 @@ class RetryingTransport:
         self.inner.close()
 
 
+# -- generation-tagged addressing ---------------------------------------------
+
+#: Separates a service name from its index-generation tag on the wire:
+#: ``ranking@1f2e3d4c`` addresses the ``ranking`` plane of the index
+#: whose artifact digest starts ``1f2e3d4c``.  The tagged form must
+#: still fit the 16-byte service field, which is why generation tags
+#: are 8 hex characters (``ranking@`` + 8 = 16 exactly).
+GENERATION_SEP = "@"
+
+
+def tag_service(service: str, generation: str) -> str:
+    """The generation-pinned wire name for a service."""
+    if not generation:
+        raise ValueError("generation tag cannot be empty")
+    if GENERATION_SEP in service:
+        raise ValueError(f"service {service!r} already carries a tag")
+    return f"{service}{GENERATION_SEP}{generation}"
+
+
+def split_service(service: str) -> tuple[str, str | None]:
+    """(plain service name, generation tag or None)."""
+    name, sep, generation = service.partition(GENERATION_SEP)
+    return name, (generation if sep else None)
+
+
+class TaggedTransport:
+    """Pins every request of a session to one index generation.
+
+    A fleet front door can serve several index generations at once
+    during a rolling swap; a client whose token was minted against one
+    generation must have *all* of its requests answered by that same
+    generation (the hint, and therefore every answer byte, changes with
+    the index).  This wrapper rewrites each service name to its
+    ``service@generation`` form, so the router can never route a
+    tagged session across a cut-over.
+    """
+
+    def __init__(self, inner: Transport, generation: str):
+        self.inner = inner
+        self.generation = generation
+
+    def request(
+        self, service: str, request: bytes, *, timeout: float | None = None
+    ) -> bytes:
+        return self.inner.request(
+            tag_service(service, self.generation), request, timeout=timeout
+        )
+
+    def close(self) -> None:
+        self.inner.close()
+
+
 # -- the simulated client link ------------------------------------------------
 
 

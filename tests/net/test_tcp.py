@@ -2,6 +2,8 @@
 server runner, over both real sockets and scripted connections."""
 
 import socket
+import threading
+import time
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.net.tcp import (
     STATUS_ERROR,
     STATUS_OK,
     FrameConnection,
+    PooledSocketTransport,
     ServerRunner,
     SocketTransport,
     connect_transport,
@@ -206,6 +209,376 @@ class TestDuplicateRejection:
             transport.request("svc", b"req")
         rids = [rid for rid, _, _ in conn.sent]
         assert rids == sorted(rids) and len(set(rids)) == 3
+
+
+class TestDesyncDrop:
+    """A transport error that can leave partial bytes in the stream
+    must drop the connection; reusing it would misparse the leftovers
+    as the next frame header."""
+
+    def test_timeout_mid_frame_drops_the_connection(self):
+        connects = []
+
+        class MidPayloadTimeout(FakeConnection):
+            """Times out mid-payload: the header arrived but the
+            payload stalled, leaving partial bytes in the stream.  If
+            the transport wrongly reuses this connection, the next
+            request misparses the leftovers."""
+
+            def recv_frame(self, timeout=None):
+                raise TransportTimeout("timed out mid-payload")
+
+        def connect():
+            if not connects:
+                conn = MidPayloadTimeout({})
+            else:
+                conn = FakeConnection(
+                    {0: [(0, STATUS_OK, frame("m", b"clean"))]}
+                )
+            connects.append(conn)
+            return conn
+
+        transport = SocketTransport(connect=connect, timeout=5.0)
+        with pytest.raises(TransportTimeout):
+            transport.request("svc", b"req")
+        # The desynced connection must not be reused: the next request
+        # opens a fresh one and completes cleanly.
+        assert transport.request("svc", b"req2") == frame("m", b"clean")
+        assert len(connects) == 2
+        assert isinstance(connects[1], FakeConnection)
+
+    def test_protocol_violation_drops_the_connection(self):
+        connects = []
+
+        class CorruptLength(FakeConnection):
+            def recv_frame(self, timeout=None):
+                raise TransportError("frame declares absurd length")
+
+        def connect():
+            if not connects:
+                conn = CorruptLength({})
+            else:
+                conn = FakeConnection(
+                    {0: [(0, STATUS_OK, frame("m", b"ok"))]}
+                )
+            connects.append(conn)
+            return conn
+
+        transport = SocketTransport(connect=connect, timeout=5.0)
+        with pytest.raises(TransportError):
+            transport.request("svc", b"req")
+        assert transport.request("svc", b"req2") == frame("m", b"ok")
+        assert len(connects) == 2
+
+    def test_remote_call_error_keeps_the_connection(self):
+        # An error *frame* is a complete, aligned exchange: no desync,
+        # so the connection stays attached and is reused.
+        connects = []
+
+        def connect():
+            conn = FakeConnection(
+                {
+                    0: [(0, STATUS_ERROR, b"handler exploded")],
+                    1: [(0, STATUS_OK, frame("m", b"fine"))],
+                }
+            )
+            connects.append(conn)
+            return conn
+
+        transport = SocketTransport(connect=connect, timeout=5.0)
+        with pytest.raises(RemoteCallError):
+            transport.request("svc", b"req")
+        assert transport.request("svc", b"req2") == frame("m", b"fine")
+        assert len(connects) == 1
+
+
+class RecordingService(Service):
+    service_name = "recorder"
+
+    def __init__(self, name="recorder"):
+        self.service_name = name
+        self.opened = 0
+        self.closed = 0
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("ping", lambda b: b)
+
+    def open(self) -> None:
+        self.opened += 1
+
+    def close(self) -> None:
+        self.closed += 1
+
+
+class PoisonedHealthService(Service):
+    service_name = "poisoned"
+
+    def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        endpoint.register("ping", lambda b: b)
+
+    def health(self) -> dict:
+        raise RuntimeError("health probe exploded")
+
+
+class TestServerRunnerRaces:
+    def test_accept_loop_survives_close_nulling_the_listener(self):
+        # close() nulls self._listener / self._pool from another
+        # thread; the accept loop must not re-read them mid-loop or a
+        # badly timed close kills the (daemon, hence silent) thread.
+        runner = ServerRunner([EchoService()], port=0).start()
+        thread = runner._accept_thread
+        listener, pool = runner._listener, runner._pool
+        runner._listener = None
+        runner._pool = None
+        # Longer than the 0.2s accept timeout: the loop takes at least
+        # one full iteration with the attributes nulled.
+        time.sleep(0.6)
+        alive_during_race = thread.is_alive()
+        runner._listener, runner._pool = listener, pool
+        try:
+            assert alive_during_race
+            # The runner still serves after the window.
+            host, port = listener.getsockname()[:2]
+            transport = SocketTransport(host, port, timeout=5.0)
+            response = transport.request("echo", frame("upper", b"ok"))
+            assert unframe(response) == ("upper", b"OK")
+            transport.close()
+        finally:
+            runner.close()
+
+    def test_concurrent_start_close_cycles_never_crash_accept(self):
+        for _ in range(5):
+            runner = ServerRunner([EchoService()], port=0).start()
+            thread = runner._accept_thread
+            closer = threading.Thread(target=runner.close)
+            closer.start()
+            closer.join(timeout=10.0)
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+
+    def test_start_failure_closes_already_opened_services(self):
+        # Occupy a port, then ask the runner to bind it: bind() raises
+        # and every service opened before the failure must be closed.
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen()
+        port = blocker.getsockname()[1]
+        first = RecordingService("first")
+        second = RecordingService("second")
+        runner = ServerRunner([first, second], port=port)
+        try:
+            with pytest.raises(OSError):
+                runner.start()
+        finally:
+            blocker.close()
+        assert first.opened == 1 and first.closed == 1
+        assert second.opened == 1 and second.closed == 1
+
+    def test_failed_start_leaves_runner_restartable(self):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen()
+        port = blocker.getsockname()[1]
+        service = RecordingService()
+        runner = ServerRunner([service], port=port)
+        with pytest.raises(OSError):
+            runner.start()
+        blocker.close()
+        runner.start()
+        assert runner.address[1] == port
+        runner.close()
+
+
+class TestHealthIsolation:
+    def test_one_poisoned_service_does_not_kill_the_meta_endpoint(self):
+        import json
+
+        runner = ServerRunner(
+            [EchoService(), PoisonedHealthService()], port=0
+        ).start()
+        try:
+            host, port = runner.address
+            transport = SocketTransport(host, port, timeout=5.0)
+            response = transport.request("_meta", frame("health", b""))
+            _, body = unframe(response)
+            report = json.loads(body)
+            assert report["echo"]["status"] == "ok"
+            assert report["poisoned"]["status"] == "error"
+            assert "health probe exploded" in report["poisoned"]["error"]
+            transport.close()
+        finally:
+            runner.close()
+
+
+class ScriptedPoolTransport:
+    """A Transport double for pool tests: scripted responses/errors."""
+
+    def __init__(self, outcomes, created):
+        self.outcomes = outcomes
+        self.created = created
+        self.closed = False
+
+    def request(self, service, request, *, timeout=None):
+        outcome = self.outcomes.pop(0) if self.outcomes else b"default"
+        if isinstance(outcome, BaseException):
+            raise outcome
+        if callable(outcome):
+            return outcome()
+        return outcome
+
+    def close(self):
+        self.closed = True
+
+
+class TestPooledSocketTransport:
+    def make_pool(self, outcomes_per_conn, **kwargs):
+        created = []
+
+        def factory():
+            outcomes = (
+                list(outcomes_per_conn[len(created)])
+                if len(created) < len(outcomes_per_conn)
+                else []
+            )
+            transport = ScriptedPoolTransport(outcomes, created)
+            created.append(transport)
+            return transport
+
+        pool = PooledSocketTransport(
+            transport_factory=factory, **kwargs
+        )
+        return pool, created
+
+    def test_sequential_requests_reuse_one_connection(self):
+        pool, created = self.make_pool([[b"a", b"b", b"c"]])
+        assert pool.request("svc", b"r1") == b"a"
+        assert pool.request("svc", b"r2") == b"b"
+        assert pool.request("svc", b"r3") == b"c"
+        assert len(created) == 1
+        assert pool.open_connections == 1
+        pool.close()
+        assert created[0].closed
+
+    def test_retryable_failure_discards_the_connection(self):
+        pool, created = self.make_pool(
+            [[TransportConnectionLost("reset")], [b"fresh"]]
+        )
+        with pytest.raises(TransportConnectionLost):
+            pool.request("svc", b"r1")
+        assert created[0].closed
+        assert pool.open_connections == 0
+        assert pool.request("svc", b"r2") == b"fresh"
+        assert len(created) == 2
+        pool.close()
+
+    def test_remote_call_error_keeps_the_connection_pooled(self):
+        pool, created = self.make_pool(
+            [[RemoteCallError("handler"), b"after"]]
+        )
+        with pytest.raises(RemoteCallError):
+            pool.request("svc", b"r1")
+        assert not created[0].closed
+        assert pool.request("svc", b"r2") == b"after"
+        assert len(created) == 1
+        pool.close()
+
+    def test_cap_blocks_until_a_slot_frees(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow():
+            entered.set()
+            release.wait(10.0)
+            return b"slow"
+
+        pool, created = self.make_pool(
+            [[slow, b"reused"]], max_connections=1, timeout=10.0
+        )
+        results = {}
+
+        def first():
+            results["first"] = pool.request("svc", b"r1")
+
+        t = threading.Thread(target=first)
+        t.start()
+        entered.wait(10.0)
+        # The cap is 1 and the only connection is busy: this request
+        # parks until the first one checks its transport back in.
+        t2 = threading.Thread(
+            target=lambda: results.update(
+                second=pool.request("svc", b"r2")
+            )
+        )
+        t2.start()
+        release.set()
+        t.join(10.0)
+        t2.join(10.0)
+        assert results == {"first": b"slow", "second": b"reused"}
+        assert len(created) == 1
+        pool.close()
+
+    def test_cap_wait_times_out(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow():
+            entered.set()
+            release.wait(10.0)
+            return b"slow"
+
+        pool, _ = self.make_pool(
+            [[slow]], max_connections=1, timeout=0.1
+        )
+        t = threading.Thread(target=lambda: pool.request("svc", b"r1"))
+        t.start()
+        entered.wait(10.0)
+        with pytest.raises(TransportTimeout, match="pool slot"):
+            pool.request("svc", b"r2")
+        release.set()
+        t.join(10.0)
+        pool.close()
+
+    def test_closed_pool_rejects_requests(self):
+        pool, _ = self.make_pool([[b"x"]])
+        pool.close()
+        with pytest.raises(TransportError, match="closed"):
+            pool.request("svc", b"r")
+
+    def test_concurrent_requests_share_the_pool_against_a_server(self):
+        runner = ServerRunner([EchoService()], port=0).start()
+        try:
+            host, port = runner.address
+            pool = PooledSocketTransport(
+                host, port, timeout=5.0, max_connections=4
+            )
+            errors = []
+
+            def worker(i):
+                try:
+                    payload = f"m{i}".encode()
+                    response = pool.request(
+                        "echo", frame("upper", payload)
+                    )
+                    assert unframe(response) == (
+                        "upper",
+                        payload.upper(),
+                    )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            assert not errors
+            assert pool.open_connections <= 4
+            pool.close()
+        finally:
+            runner.close()
 
 
 class TestServerRunner:
