@@ -1,0 +1,217 @@
+"""The streaming ingestion plane: throughput, peak RSS, delta speedup.
+
+The paper's preprocessing (SS3.2, Table 7) is an offline pipeline over
+the full corpus; this repo's :mod:`repro.ingest` plane reproduces it
+as a staged, checkpointed stream so corpus size is bounded by disk,
+not RAM.  This bench pins the three numbers that story rests on:
+
+* **docs/sec**: end-to-end streaming build rate over a >= 100k-doc
+  synthetic corpus (``INGEST_BENCH_DOCS`` overrides the size);
+* **peak RSS**: the build runs in a child process and reports its own
+  ``ru_maxrss`` high-water mark, asserted against a fixed budget that
+  does NOT scale with the corpus -- the bounded-memory claim;
+* **delta-vs-full speedup**: a 2%-mutated snapshot reindexed through
+  the delta path (reusing unchanged embeddings and per-cluster hint
+  contributions) against a from-scratch rebuild of the same snapshot,
+  which must produce a bit-identical artifact.
+
+Emits ``BENCH_ingest.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.obs.export import write_bench_json
+
+#: Streaming-build corpus size (acceptance bar: >= 100k documents).
+STREAM_DOCS = int(os.environ.get("INGEST_BENCH_DOCS", "100000"))
+
+#: Fixed peak-RSS budget for the streaming build.  Deliberately does
+#: not scale with STREAM_DOCS: a bounded pipeline's working set is a
+#: few batches plus the per-cluster crypto state, not the corpus.
+RSS_BUDGET_MB = 768
+
+#: Delta-reindex corpus (smaller: it is built twice more, full + delta).
+DELTA_DOCS = 20_000
+MUTATE_FRACTION = 0.02
+
+BATCH_SIZE = 2048
+WORKERS = 4
+
+_CHILD = """
+import json, resource, sys, time
+from pathlib import Path
+
+from repro.core.config import TiptoeConfig
+from repro.corpus.source import SyntheticDocumentSource
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.ingest import IngestConfig, run_ingest
+
+docs, batch, workers, root = (
+    int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]), Path(sys.argv[4])
+)
+source = SyntheticDocumentSource(
+    SyntheticCorpusConfig(
+        num_docs=docs,
+        num_topics=max(8, docs // 500),
+        vocab_size=max(600, docs // 10),
+        seed=3,
+    ),
+    batch_size=batch,
+)
+start = time.perf_counter()
+report = run_ingest(
+    source,
+    TiptoeConfig(),
+    root / "out",
+    spool_dir=root / "spool",
+    ingest=IngestConfig(batch_size=batch, workers=workers),
+)
+seconds = time.perf_counter() - start
+print(json.dumps({
+    "seconds": seconds,
+    "maxrss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+    "num_docs": report.num_docs,
+    "num_clusters": report.num_clusters,
+    "generation_tag": report.generation_tag,
+}))
+"""
+
+
+def _streaming_build(docs: int, root: Path) -> dict:
+    """Run one streaming build in a child process; return its stats.
+
+    The child reports its *own* ``ru_maxrss``, so the number is the
+    pipeline's high-water mark alone -- unpolluted by whatever other
+    benches already loaded into this process.
+    """
+    proc = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD,
+            str(docs), str(BATCH_SIZE), str(WORKERS), str(root),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_ingest_plane(tmp_path):
+    # -- bounded-memory streaming build --------------------------------------
+    stream = _streaming_build(STREAM_DOCS, tmp_path / "stream")
+    docs_per_sec = stream["num_docs"] / stream["seconds"]
+    assert stream["num_docs"] == STREAM_DOCS
+    assert stream["maxrss_mb"] < RSS_BUDGET_MB, (
+        f"streaming build peaked at {stream['maxrss_mb']:.0f} MB;"
+        f" budget is {RSS_BUDGET_MB} MB"
+    )
+
+    # -- delta vs full reindex of a mutated snapshot -------------------------
+    from repro.core import artifacts
+    from repro.core.config import TiptoeConfig
+    from repro.core.updates import reindex
+    from repro.corpus.source import (
+        MutatedDocumentSource,
+        SyntheticDocumentSource,
+    )
+    from repro.corpus.synthetic import SyntheticCorpusConfig
+    from repro.ingest import IngestConfig, run_ingest
+
+    root = tmp_path / "delta"
+    base_source = SyntheticDocumentSource(
+        SyntheticCorpusConfig(
+            num_docs=DELTA_DOCS,
+            num_topics=max(8, DELTA_DOCS // 500),
+            vocab_size=max(600, DELTA_DOCS // 10),
+            seed=3,
+        ),
+        batch_size=BATCH_SIZE,
+    )
+    ingest = IngestConfig(batch_size=BATCH_SIZE, workers=WORKERS)
+    run_ingest(
+        base_source,
+        TiptoeConfig(),
+        root / "base",
+        spool_dir=root / "spool",
+        ingest=ingest,
+    )
+    mutated = MutatedDocumentSource(base_source, MUTATE_FRACTION, mutate_seed=9)
+
+    start = time.perf_counter()
+    delta = reindex(
+        root / "base", mutated, root / "delta",
+        spool_dir=root / "spool", ingest=ingest,
+    )
+    delta_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    full = reindex(
+        root / "base", mutated, root / "full",
+        spool_dir=root / "spool", ingest=ingest, full=True,
+    )
+    full_seconds = time.perf_counter() - start
+
+    assert delta.generation_tag == full.generation_tag
+    assert artifacts.artifact_digest(root / "delta") == artifacts.artifact_digest(
+        root / "full"
+    )
+    assert delta.clusters_encrypted < delta.num_clusters
+    speedup = full_seconds / delta_seconds
+    assert speedup > 1.0, (
+        f"delta reindex ({delta_seconds:.1f}s) not faster than full"
+        f" rebuild ({full_seconds:.1f}s)"
+    )
+
+    lines = [
+        f"streaming build: {stream['num_docs']:,} docs in"
+        f" {stream['seconds']:.1f}s  ({docs_per_sec:,.0f} docs/s)",
+        f"peak RSS: {stream['maxrss_mb']:.0f} MB"
+        f" (budget {RSS_BUDGET_MB} MB)",
+        "",
+        f"delta reindex ({MUTATE_FRACTION:.0%} mutated,"
+        f" {DELTA_DOCS:,} docs):",
+        f"  delta: {delta_seconds:6.1f}s  "
+        f"({delta.docs_embedded:,} docs re-embedded,"
+        f" {delta.clusters_encrypted}/{delta.num_clusters}"
+        " clusters re-encrypted)",
+        f"  full:  {full_seconds:6.1f}s",
+        f"  speedup: {speedup:.2f}x  (artifacts bit-identical)",
+    ]
+    emit("ingest_plane", lines)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        OUT_DIR / "BENCH_ingest.json",
+        "ingest",
+        {
+            "stream": {
+                "num_docs": stream["num_docs"],
+                "seconds": stream["seconds"],
+                "docs_per_second": docs_per_sec,
+                "peak_rss_mb": stream["maxrss_mb"],
+                "rss_budget_mb": RSS_BUDGET_MB,
+                "num_clusters": stream["num_clusters"],
+                "batch_size": BATCH_SIZE,
+                "workers": WORKERS,
+            },
+            "delta": {
+                "num_docs": DELTA_DOCS,
+                "mutate_fraction": MUTATE_FRACTION,
+                "delta_seconds": delta_seconds,
+                "full_seconds": full_seconds,
+                "speedup": speedup,
+                "docs_embedded": delta.docs_embedded,
+                "docs_reused": delta.docs_reused,
+                "clusters_encrypted": delta.clusters_encrypted,
+                "clusters_reused": delta.clusters_reused,
+                "num_clusters": delta.num_clusters,
+                "bit_identical": True,
+            },
+        },
+    )

@@ -7,6 +7,7 @@ from repro.analysis.checkers.api import ApiHygieneChecker
 from repro.analysis.checkers.batch import BatchPlaneChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
 from repro.analysis.checkers.hotpath import HotPathPrecomputeChecker
+from repro.analysis.checkers.ingest import IngestMaterializeChecker
 from repro.analysis.checkers.itaint import InterproceduralTaintChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.net import TransportSeamChecker
@@ -24,6 +25,7 @@ def build_checkers(rules: set[str] | None = None) -> list[Checker]:
         TransportSeamChecker(),
         BatchPlaneChecker(),
         HotPathPrecomputeChecker(),
+        IngestMaterializeChecker(),
     ]
     return _filter(checkers, rules)
 
@@ -64,6 +66,7 @@ __all__ = [
     "BatchPlaneChecker",
     "DtypeDisciplineChecker",
     "HotPathPrecomputeChecker",
+    "IngestMaterializeChecker",
     "InterproceduralTaintChecker",
     "LockDisciplineChecker",
     "RngHygieneChecker",

@@ -1,0 +1,102 @@
+"""Bounded-memory discipline for the ingestion plane.
+
+The whole point of :mod:`repro.ingest` is that no stage ever holds the
+corpus in memory: documents move through in bounded batches and spill
+to stage artifacts.  One careless ``np.vstack(list(batches))`` quietly
+reintroduces the O(corpus) allocation the plane exists to remove -- and
+nothing fails until someone runs a corpus large enough to OOM, which is
+exactly the run that matters.
+
+The ``ingest-materialize`` rule therefore bans, inside
+``src/repro/ingest/`` only:
+
+* the numpy stack family (``vstack`` / ``hstack`` / ``stack`` /
+  ``concatenate`` / ``column_stack`` / ``row_stack``), whose output is
+  a fresh array the size of everything stacked -- per-batch code never
+  needs them (preallocate or memmap and fill slices instead);
+* draining a stream into a container: ``list`` / ``tuple`` / ``sorted``
+  over a generator expression or over a call to a batch iterator
+  (``batches()`` / ``iter_batches()`` / ``read_batches()``).
+
+Fixed-size materialization (``list(range(k))`` over clusters, a
+per-batch ``list(...)``) is fine and not matched; the rule targets the
+two shapes that scale with the corpus.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, FileContext, call_name
+from repro.analysis.findings import Finding, RuleSpec
+
+#: numpy calls whose result is one array holding every input row.
+STACK_CALLS = frozenset(
+    {"vstack", "hstack", "stack", "concatenate", "column_stack", "row_stack"}
+)
+
+#: containers that drain whatever iterator they are handed.
+DRAIN_CALLS = frozenset({"list", "tuple", "sorted"})
+
+#: conventional names of corpus-scale batch iterators.
+BATCH_ITERATORS = frozenset({"batches", "iter_batches", "read_batches"})
+
+
+class IngestMaterializeChecker(Checker):
+    name = "ingest"
+    rules = (
+        RuleSpec(
+            rule="ingest-materialize",
+            summary=(
+                "whole-corpus materialization inside the ingestion"
+                " plane (numpy stack family, or list/tuple/sorted over"
+                " a stream)"
+            ),
+            invariant="src/repro/ingest/ holds one batch at a time",
+        ),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "ingest" in ctx.parts and ctx.filename.endswith(".py")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in STACK_CALLS and isinstance(node.func, ast.Attribute):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "ingest-materialize",
+                        node,
+                        f"np.{name}() allocates one array spanning every"
+                        " input; preallocate (or memmap) and fill"
+                        " per-batch slices instead",
+                    )
+                )
+            elif (
+                name in DRAIN_CALLS
+                and isinstance(node.func, ast.Name)
+                and node.args
+                and self._drains_stream(node.args[0])
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        "ingest-materialize",
+                        node,
+                        f"{name}() drains a document stream into memory;"
+                        " iterate the batches instead",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _drains_stream(arg: ast.AST) -> bool:
+        if isinstance(arg, ast.GeneratorExp):
+            return True
+        return (
+            isinstance(arg, ast.Call) and call_name(arg) in BATCH_ITERATORS
+        )

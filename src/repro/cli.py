@@ -214,7 +214,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_fleet_pidfiles(run_dir, launcher) -> list:
+    """Drop one pidfile per process under the run directory.
+
+    ``router.pid`` is this process; ``shard<i>-replica<j>.pid`` are the
+    worker subprocesses.  Process managers watch these instead of
+    scraping stdout; they live under ``--run-dir`` (a tempdir unless
+    overridden) so a killed fleet never litters the working tree.
+    """
+    import os
+
+    written = []
+    pids = [("router", os.getpid())]
+    for shard, row in enumerate(launcher.procs):
+        for replica, proc in enumerate(row):
+            pids.append((f"shard{shard}-replica{replica}", proc.pid))
+    for name, pid in pids:
+        path = run_dir / f"{name}.pid"
+        path.write_text(f"{pid}\n")
+        written.append(path)
+    return written
+
+
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
     from repro.core import artifacts
     from repro.core.fleet import FleetConfig, FleetLauncher, FleetRouter
     from repro.net.tcp import ServerRunner
@@ -247,8 +272,15 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _terminate)
+    if args.run_dir is not None:
+        run_dir = Path(args.run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        run_dir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+    pidfiles: list = []
     try:
         spec = launcher.start()
+        pidfiles = _write_fleet_pidfiles(run_dir, launcher)
         router.add_generation(spec, make_current=True)
         runner.start()
         router.warm_generation(spec.generation)
@@ -262,7 +294,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         )
         print(
             f"  {args.shards} shard(s) x {args.replicas} replica(s),"
-            f" artifact {artifacts.artifact_digest(args.artifacts)[:12]}...",
+            f" artifact {artifacts.artifact_digest(args.artifacts)[:12]}...,"
+            f" pidfiles in {run_dir}",
             flush=True,
         )
         runner.serve_forever()
@@ -271,6 +304,88 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     finally:
         runner.close()
         launcher.stop()
+        for path in pidfiles:
+            path.unlink(missing_ok=True)
+    return 0
+
+
+def _ingest_source(args: argparse.Namespace):
+    from repro.corpus.source import (
+        MutatedDocumentSource,
+        SyntheticDocumentSource,
+        TrecDocumentSource,
+    )
+    from repro.corpus.synthetic import SyntheticCorpusConfig
+
+    if args.trec is not None:
+        source = TrecDocumentSource(args.trec, batch_size=args.batch_size)
+    else:
+        source = SyntheticDocumentSource(
+            SyntheticCorpusConfig(num_docs=args.docs, seed=args.seed),
+            batch_size=args.batch_size,
+        )
+    if getattr(args, "mutate_fraction", 0.0):
+        source = MutatedDocumentSource(
+            source, args.mutate_fraction, mutate_seed=args.mutate_seed
+        )
+    return source
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.config import TiptoeConfig
+    from repro.ingest import IngestConfig, run_ingest
+
+    out = Path(args.out)
+    spool = Path(args.spool) if args.spool else out.with_suffix(".spool")
+    report = run_ingest(
+        _ingest_source(args),
+        TiptoeConfig(),
+        out,
+        spool_dir=spool,
+        ingest=IngestConfig(batch_size=args.batch_size, workers=args.workers),
+        precompute=True,
+    )
+    for stage in report.stages:
+        counters = " ".join(f"{k}={v}" for k, v in sorted(stage.counters.items()))
+        print(f"  {stage.name:8s} {stage.status:8s} {counters}")
+    print(
+        f"index over {report.num_docs} documents"
+        f" ({report.num_clusters} clusters) written to {out};"
+        f" generation {report.generation_tag}, spool {spool}"
+    )
+    return 0
+
+
+def _cmd_reindex(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.updates import reindex
+    from repro.ingest import IngestConfig
+
+    prev = Path(args.artifacts)
+    spool = Path(args.spool) if args.spool else prev.with_suffix(".spool")
+    report = reindex(
+        prev,
+        _ingest_source(args),
+        args.out,
+        spool_dir=spool,
+        ingest=IngestConfig(batch_size=args.batch_size, workers=args.workers),
+        full=args.full,
+    )
+    mode = "full rebuild" if report.full else "delta"
+    print(
+        f"{mode}: {report.docs_embedded} docs embedded"
+        f" / {report.docs_reused} reused;"
+        f" {report.clusters_encrypted} clusters re-encrypted"
+        f" / {report.clusters_reused} reused"
+    )
+    print(
+        f"snapshot over {report.num_docs} documents written to"
+        f" {report.out_dir}; generation {report.generation_tag}"
+        f" (swap-ready for serve-fleet)"
+    )
     return 0
 
 
@@ -398,7 +513,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-control cap before load shedding",
     )
     serve_fleet.add_argument("--rpc-timeout", type=float, default=5.0)
+    serve_fleet.add_argument(
+        "--run-dir", type=str, default=None,
+        help="directory for router/worker pidfiles (default: a fresh"
+        " tempdir, so nothing lands in the working tree)",
+    )
     serve_fleet.set_defaults(func=_cmd_serve_fleet)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="streaming staged index build (bounded memory, resumable)",
+    )
+    ingest.add_argument("out", type=str, help="artifact directory")
+    ingest.add_argument("--docs", type=int, default=400)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--trec", type=str, default=None,
+        help="stream a docs.tsv export instead of the synthetic corpus",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=512,
+        help="documents per streamed batch (the memory knob)",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=0,
+        help="embedding worker processes (0 = inline)",
+    )
+    ingest.add_argument(
+        "--spool", type=str, default=None,
+        help="stage checkpoint directory (default: <out>.spool);"
+        " a rerun resumes from the last completed stage",
+    )
+    ingest.add_argument("--mutate-fraction", type=float, default=0.0)
+    ingest.add_argument("--mutate-seed", type=int, default=0)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    reindex_p = sub.add_parser(
+        "reindex",
+        help="incremental delta rebuild against a new corpus snapshot",
+    )
+    reindex_p.add_argument(
+        "artifacts", type=str, help="previous snapshot's artifact directory"
+    )
+    reindex_p.add_argument("out", type=str, help="new artifact directory")
+    reindex_p.add_argument("--docs", type=int, default=400)
+    reindex_p.add_argument("--seed", type=int, default=0)
+    reindex_p.add_argument("--trec", type=str, default=None)
+    reindex_p.add_argument("--batch-size", type=int, default=512)
+    reindex_p.add_argument("--workers", type=int, default=0)
+    reindex_p.add_argument(
+        "--spool", type=str, default=None,
+        help="the BASE build's spool directory (default:"
+        " <artifacts>.spool) -- the delta's hint cache lives there",
+    )
+    reindex_p.add_argument(
+        "--mutate-fraction", type=float, default=0.0,
+        help="seeded fraction of documents to mutate (snapshot-change"
+        " simulator for the synthetic corpus)",
+    )
+    reindex_p.add_argument("--mutate-seed", type=int, default=0)
+    reindex_p.add_argument(
+        "--full", action="store_true",
+        help="rebuild from scratch under the same pinned models"
+        " (bit-identity check against the delta path)",
+    )
+    reindex_p.set_defaults(func=_cmd_reindex)
 
     query = sub.add_parser(
         "query", help="run a private search against a running serve"

@@ -11,10 +11,20 @@ cluster boundary to two clusters.
 from repro.cluster.assign import ClusterIndex
 from repro.cluster.balance import split_oversized
 from repro.cluster.kmeans import KmeansResult, kmeans_plus_plus_init, spherical_kmeans
+from repro.cluster.minibatch import (
+    MiniBatchSphericalKMeans,
+    assign_batch,
+    batch_margins,
+    boundary_threshold,
+)
 
 __all__ = [
     "ClusterIndex",
     "KmeansResult",
+    "MiniBatchSphericalKMeans",
+    "assign_batch",
+    "batch_margins",
+    "boundary_threshold",
     "kmeans_plus_plus_init",
     "spherical_kmeans",
     "split_oversized",

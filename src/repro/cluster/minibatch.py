@@ -1,0 +1,177 @@
+"""Minibatch spherical k-means and streaming cluster assignment.
+
+The one-shot :meth:`ClusterIndex.build` holds the full embedding
+matrix and assigns boundary documents with a *global* budget rule
+(the ``boundary_fraction`` smallest margins corpus-wide), both of
+which require the whole corpus at once.  The ingestion plane replaces
+them with streaming equivalents:
+
+* :class:`MiniBatchSphericalKMeans` -- centroids fitted by
+  ``partial_fit`` over bounded embedding batches (the web-scale
+  k-means of SS7, which the paper also runs on a sample rather than
+  the full corpus);
+* a *threshold* boundary rule -- at initial build time the
+  ``boundary_fraction`` quantile of the streamed margins is computed
+  once (:func:`boundary_threshold`) and published with the index;
+  afterwards each document's dual-assignment decision
+  (:func:`assign_batch`) depends only on its own embedding and that
+  stored threshold.  Per-document determinism is what lets a delta
+  reindex reproduce unchanged documents' membership exactly instead
+  of re-running a corpus-global argsort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import kmeans_plus_plus_init
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(matrix, norms, out=np.zeros_like(matrix), where=norms > 0)
+
+
+class MiniBatchSphericalKMeans:
+    """Web-scale spherical k-means fitted one bounded batch at a time.
+
+    Centroid updates use per-cluster running counts as learning rates
+    (the classic minibatch k-means rule), renormalized to the unit
+    sphere after every step so inner product stays cosine similarity.
+    Initialization buffers the first few batches and runs k-means++
+    over them; everything is driven by the caller's seeded generator,
+    so a fixed batch sequence yields fixed centroids.
+    """
+
+    def __init__(self, k: int, rng: np.random.Generator, init_buffer: int | None = None):
+        if k < 1:
+            raise ValueError("need at least one cluster")
+        self.k = k
+        self._rng = rng
+        self._init_target = max(init_buffer or 4 * k, k)
+        self._init_rows: list[np.ndarray] = []
+        self._buffered = 0
+        self.centroids: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    def _initialize(self) -> None:
+        total = self._buffered
+        dim = self._init_rows[0].shape[1]
+        buffer = np.zeros((total, dim), dtype=np.float64)
+        cursor = 0
+        for rows in self._init_rows:
+            buffer[cursor : cursor + rows.shape[0]] = rows
+            cursor += rows.shape[0]
+        self._init_rows = []
+        init = kmeans_plus_plus_init(buffer, self.k, self._rng)
+        self.centroids = _normalize_rows(init)
+        self._counts = np.zeros(self.k, dtype=np.int64)
+        self._apply_update(buffer)
+
+    def partial_fit(self, batch: np.ndarray) -> None:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[0] == 0:
+            raise ValueError("partial_fit needs a non-empty 2-D batch")
+        if self.centroids is None:
+            self._init_rows.append(batch.copy())
+            self._buffered += batch.shape[0]
+            if self._buffered >= self._init_target:
+                self._initialize()
+            return
+        self._apply_update(batch)
+
+    def _apply_update(self, batch: np.ndarray) -> None:
+        labels = np.argmax(batch @ self.centroids.T, axis=1)
+        sums = np.zeros_like(self.centroids)
+        np.add.at(sums, labels, batch)
+        counts = np.bincount(labels, minlength=self.k)
+        touched = counts > 0
+        self._counts[touched] += counts[touched]
+        # Per-cluster learning rate n_batch / n_total: the running mean
+        # of all points ever assigned, the standard minibatch rule.
+        rate = counts[touched] / self._counts[touched]
+        means = sums[touched] / counts[touched, None]
+        self.centroids[touched] += rate[:, None] * (
+            means - self.centroids[touched]
+        )
+        self.centroids[touched] = _normalize_rows(self.centroids[touched])
+
+    def finalize(self) -> np.ndarray:
+        """Finish fitting and return the unit-norm centroid matrix."""
+        if self.centroids is None:
+            if not self._init_rows:
+                raise ValueError("no data was fitted")
+            if self._buffered < self.k:
+                raise ValueError(
+                    f"need at least k={self.k} points to place centroids;"
+                    f" saw {self._buffered}"
+                )
+            self._initialize()
+        return self.centroids
+
+
+def batch_margins(
+    embeddings: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-document ``(primary, second, margin)`` against fixed centroids.
+
+    ``primary`` is the nearest centroid, ``second`` the runner-up, and
+    ``margin = sim(primary) - sim(second)`` (small margin = near a
+    boundary), matching the one-shot ``_assign_boundaries`` quantities.
+    With a single centroid, ``second`` equals ``primary`` and the
+    margin is +inf (no boundary duplication possible).
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    sims = embeddings @ centroids.T
+    if centroids.shape[0] == 1:
+        zeros = np.zeros(embeddings.shape[0], dtype=np.int64)
+        return zeros, zeros, np.full(embeddings.shape[0], np.inf)
+    order = np.argsort(-sims, axis=1)
+    primary = order[:, 0]
+    second = order[:, 1]
+    rows = np.arange(embeddings.shape[0])
+    margin = sims[rows, primary] - sims[rows, second]
+    return primary.astype(np.int64), second.astype(np.int64), margin
+
+
+def boundary_threshold(margins: np.ndarray, fraction: float) -> float:
+    """The margin threshold that dual-assigns ~``fraction`` of documents.
+
+    Returns the ``k``-th smallest margin where ``k = floor(n *
+    fraction)``; documents with ``margin <= threshold`` get a second
+    cluster.  With ``fraction == 0`` (or k == 0) returns ``-1.0``,
+    which no non-negative margin satisfies.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("boundary fraction must be in [0, 1)")
+    margins = np.asarray(margins, dtype=np.float64)
+    budget = int(margins.shape[0] * fraction)
+    if budget < 1:
+        return -1.0
+    finite = margins[np.isfinite(margins)]
+    if finite.shape[0] == 0:
+        return -1.0
+    budget = min(budget, finite.shape[0])
+    return float(np.partition(finite, budget - 1)[budget - 1])
+
+
+def assign_batch(
+    primary: np.ndarray,
+    second: np.ndarray,
+    margin: np.ndarray,
+    threshold: float,
+) -> list[list[int]]:
+    """Per-document cluster memberships under the threshold rule.
+
+    Returns one list per document: ``[primary]`` or ``[primary,
+    second]``.  Pure per-document arithmetic -- the same document with
+    the same embedding always gets the same membership, whatever the
+    rest of the corpus looks like.
+    """
+    out: list[list[int]] = []
+    for p, s, m in zip(primary, second, margin):
+        if m <= threshold and p != s:
+            out.append([int(p), int(s)])
+        else:
+            out.append([int(p)])
+    return out

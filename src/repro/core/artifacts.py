@@ -382,6 +382,8 @@ def save_index(index, path: str | Path, *, precompute: bool = False) -> Path:
     ) = _flatten([b.doc_ids for b in index.url_batches])
     if index.url_position_map is not None:
         arrays["url_position_map"] = index.url_position_map
+    if index.doc_digests is not None:
+        arrays["doc_digests"] = index.doc_digests
     if index.pca is not None:
         arrays["pca_mean"] = index.pca.mean
         arrays["pca_components"] = index.pca.components
@@ -407,6 +409,9 @@ def save_index(index, path: str | Path, *, precompute: bool = False) -> Path:
             "slot_digits": index.url_db.slot_digits,
         },
         "layout_dim": index.layout.dim,
+        # Streaming-ingest metadata (None for one-shot builds): the
+        # per-document boundary-rule threshold the delta reindex pins.
+        "boundary_threshold": index.boundary_threshold,
         "embedder": None
         if embedder is None
         else {"kind": "lsa", "dim": embedder.dim},
@@ -602,6 +607,8 @@ def load_index(path: str | Path):
         url_position_map=arrays.get("url_position_map"),
         quantization_gain=float(manifest["quantization_gain"]),
         precompute=precompute_meta,
+        boundary_threshold=manifest.get("boundary_threshold"),
+        doc_digests=arrays.get("doc_digests"),
     )
     obs.observe("artifacts.load_seconds", time.perf_counter() - start)
     return index

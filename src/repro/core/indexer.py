@@ -28,7 +28,7 @@ from repro.core.costs import CostLedger
 from repro.corpus.urls import UrlBatch, UrlBatcher
 from repro.embeddings.lsa import LsaEmbedder
 from repro.embeddings.pca import PcaReducer
-from repro.embeddings.quantize import auto_gain, quantize
+from repro.embeddings.quantize import auto_gain, quantize_gained
 from repro.homenc.double import DoubleLheParams, DoubleLheScheme
 from repro.homenc.token import TokenFactory
 from repro.lwe import sampling
@@ -41,6 +41,104 @@ _OUTER_N = {
     SecurityLevel.LIGHT: 256,
     SecurityLevel.PAPER_128: 2048,
 }
+
+
+def ranking_scheme_for(
+    config: TiptoeConfig, num_columns: int, a_seed: bytes | None = None
+) -> DoubleLheScheme:
+    """The ranking service's double-LHE scheme for an m-column matrix.
+
+    ``a_seed`` pins the public LWE matrix A; a builder that wants
+    reproducible (and delta-reusable) preprocessing derives it from its
+    build RNG, otherwise a fresh random seed is drawn.
+    """
+    p_rank = config.ranking_plaintext_modulus()
+    config.quantization().check_modulus(p_rank, config.effective_dim)
+    rank_cfg = select_params(64, num_columns, config.security, p=p_rank)
+    return DoubleLheScheme(
+        DoubleLheParams(
+            inner=LweParams(
+                n=rank_cfg.n,
+                q_bits=64,
+                p=p_rank,
+                sigma=rank_cfg.sigma,
+                m=num_columns,
+            ),
+            outer_n=_OUTER_N[config.security],
+        ),
+        a_seed=a_seed if a_seed is not None else sampling.random_seed(),
+    )
+
+
+def url_side_for(
+    url_batches: list[UrlBatch],
+    config: TiptoeConfig,
+    a_seed: bytes | None = None,
+) -> tuple[PackedDatabase, DoubleLheScheme]:
+    """Pack the URL batches and build the URL service's scheme."""
+    records = [b.payload for b in url_batches]
+    width = max(2, len(records))
+    budget = select_params(32, width, config.security)
+    p_url = max(16, min(budget.p, 1 << 16))
+    db = PackedDatabase.from_records(records, p_url)
+    scheme = DoubleLheScheme(
+        DoubleLheParams(
+            inner=LweParams(
+                n=budget.n,
+                q_bits=32,
+                p=p_url,
+                sigma=budget.sigma,
+                m=db.num_cols,
+            ),
+            outer_n=_OUTER_N[config.security],
+        ),
+        a_seed=a_seed if a_seed is not None else sampling.random_seed(),
+    )
+    return db, scheme
+
+
+def layout_from_cluster_streams(
+    streams, dim: int, sizes: np.ndarray
+) -> RankingLayout:
+    """Assemble the Fig. 3 ranking matrix from per-cluster streams.
+
+    ``streams`` yields one ``(doc_ids, rows)`` pair per cluster in
+    cluster order, where ``rows`` is the ``(len(doc_ids), dim)`` int64
+    quantized block; ``sizes`` is the per-cluster size vector (known
+    from the assignment stage before any block is materialized).  Only
+    one cluster's block is in flight at a time on top of the output
+    matrix itself -- the streaming counterpart of ``_build_layout``'s
+    whole-corpus ``quantized[docs]`` gather, producing bit-identical
+    layouts.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    num_clusters = sizes.shape[0]
+    max_size = int(sizes.max()) if num_clusters else 0
+    matrix = np.zeros((max_size, dim * num_clusters), dtype=np.int64)
+    cluster_doc_ids: list[list[int]] = []
+    for c, (doc_ids, rows) in enumerate(streams):
+        if len(doc_ids) != int(sizes[c]) or rows.shape != (len(doc_ids), dim):
+            raise ValueError(
+                f"cluster {c}: stream shape {rows.shape} does not match"
+                f" declared size {int(sizes[c])}"
+            )
+        matrix[: len(doc_ids), c * dim : (c + 1) * dim] = rows
+        cluster_doc_ids.append([int(d) for d in doc_ids])
+    if len(cluster_doc_ids) != num_clusters:
+        raise ValueError(
+            f"stream yielded {len(cluster_doc_ids)} clusters, expected"
+            f" {num_clusters}"
+        )
+    offsets = np.zeros(num_clusters, dtype=np.int64)
+    if num_clusters > 1:
+        offsets[1:] = np.cumsum(sizes)[:-1]
+    return RankingLayout(
+        matrix=matrix,
+        cluster_doc_ids=cluster_doc_ids,
+        cluster_sizes=sizes,
+        cluster_offsets=offsets,
+        dim=dim,
+    )
 
 
 @dataclass
@@ -120,6 +218,14 @@ class TiptoeIndex:
     #: index was loaded from a ``repro.index/v2`` artifact with a
     #: validated ``precompute.npz``; None otherwise.
     precompute: dict | None = field(repr=False, default=None)
+    #: Margin threshold of the streaming boundary rule (ingest-built
+    #: indexes).  None for the one-shot batch build, whose boundary
+    #: duplication uses the corpus-global budget rule instead.
+    boundary_threshold: float | None = None
+    #: Per-document SHA-256 content digests, shape (num_docs, 32)
+    #: uint8 (ingest-built indexes).  The delta reindex diffs a new
+    #: corpus snapshot against these to find changed documents.
+    doc_digests: np.ndarray | None = field(repr=False, default=None)
 
     # -- construction -------------------------------------------------------
 
@@ -174,9 +280,12 @@ class TiptoeIndex:
 
         # 3. Ranking matrix + URL layout.  A server-chosen gain
         # spreads the embedding entries over the fixed-precision range
-        # (published to clients with the metadata).
+        # (published to clients with the metadata).  Quantization runs
+        # per row-chunk through one bounded scratch buffer instead of
+        # materializing a gained float64 copy of the whole corpus next
+        # to the int64 result.
         gain = auto_gain(embeddings)
-        quantized = quantize(embeddings * gain, config.quantization())
+        quantized = quantize_gained(embeddings, gain, config.quantization())
         layout = cls._build_layout(quantized, clusters)
         batcher = UrlBatcher(batch_size=config.url_batch_size)
         layout_urls = [
@@ -199,26 +308,16 @@ class TiptoeIndex:
             url_position_map = perm
         url_batches = batcher.build_positional_batches(layout_urls)
 
-        # 4. Cryptographic preprocessing.
-        p_rank = config.ranking_plaintext_modulus()
-        config.quantization().check_modulus(p_rank, layout.dim)
-        rank_cfg = select_params(
-            64, layout.matrix.shape[1], config.security, p=p_rank
+        # 4. Cryptographic preprocessing.  Both A-seeds derive from the
+        # build RNG (ranking first, then URL), so a seeded build is
+        # fully deterministic end to end -- which is also what lets a
+        # delta rebuild reuse per-cluster hint contributions.
+        ranking_scheme = ranking_scheme_for(
+            config, layout.matrix.shape[1], a_seed=rng.bytes(32)
         )
-        ranking_scheme = DoubleLheScheme(
-            DoubleLheParams(
-                inner=LweParams(
-                    n=rank_cfg.n,
-                    q_bits=64,
-                    p=p_rank,
-                    sigma=rank_cfg.sigma,
-                    m=layout.matrix.shape[1],
-                ),
-                outer_n=_OUTER_N[config.security],
-            ),
-            a_seed=sampling.random_seed(),
+        url_db, url_scheme = url_side_for(
+            url_batches, config, a_seed=rng.bytes(32)
         )
-        url_db, url_scheme = cls._build_url_side(url_batches, config)
         ranking_prep = ranking_scheme.preprocess(layout.matrix)
         url_prep = url_scheme.preprocess(url_db.matrix)
         ledger.add(
@@ -271,27 +370,11 @@ class TiptoeIndex:
 
     @staticmethod
     def _build_url_side(
-        url_batches: list[UrlBatch], config: TiptoeConfig
+        url_batches: list[UrlBatch],
+        config: TiptoeConfig,
+        a_seed: bytes | None = None,
     ) -> tuple[PackedDatabase, DoubleLheScheme]:
-        records = [b.payload for b in url_batches]
-        width = max(2, len(records))
-        budget = select_params(32, width, config.security)
-        p_url = max(16, min(budget.p, 1 << 16))
-        db = PackedDatabase.from_records(records, p_url)
-        scheme = DoubleLheScheme(
-            DoubleLheParams(
-                inner=LweParams(
-                    n=budget.n,
-                    q_bits=32,
-                    p=p_url,
-                    sigma=budget.sigma,
-                    m=db.num_cols,
-                ),
-                outer_n=_OUTER_N[config.security],
-            ),
-            a_seed=sampling.random_seed(),
-        )
-        return db, scheme
+        return url_side_for(url_batches, config, a_seed=a_seed)
 
     # -- persistence ---------------------------------------------------------
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.core.indexer import TiptoeIndex
 from repro.corpus.urls import UrlBatcher
-from repro.embeddings.quantize import quantize
+from repro.embeddings.quantize import quantize_gained
 from repro.homenc.token import TokenFactory
 from repro.lwe import sampling
 
@@ -127,8 +127,8 @@ def apply_update(
 
     # 3. Rebuild layout, URL batches, and crypto over the merged corpus.
     embeddings = np.vstack([index.embeddings, new_embeddings])
-    quantized = quantize(
-        embeddings * index.quantization_gain, config.quantization()
+    quantized = quantize_gained(
+        embeddings, index.quantization_gain, config.quantization()
     )
     layout = TiptoeIndex._build_layout(quantized, clusters)
     merged_urls = list(all_urls) + list(new_urls)
@@ -139,7 +139,13 @@ def apply_update(
         for doc in members
     ]
     url_batches = batcher.build_positional_batches(layout_urls)
-    url_db, url_scheme = TiptoeIndex._build_url_side(url_batches, config)
+    # Seeds are drawn ranking-then-url from the caller's rng, mirroring
+    # build() so a seeded update is reproducible end to end.
+    ranking_a_seed = rng.bytes(32)
+    url_a_seed = rng.bytes(32)
+    url_db, url_scheme = TiptoeIndex._build_url_side(
+        url_batches, config, a_seed=url_a_seed
+    )
 
     from repro.homenc.double import DoubleLheParams, DoubleLheScheme
     from repro.lwe.params import LweParams
@@ -156,7 +162,7 @@ def apply_update(
             ),
             outer_n=index.ranking_scheme.params.outer_n,
         ),
-        a_seed=sampling.random_seed(),
+        a_seed=ranking_a_seed,
     )
     ranking_prep = ranking_scheme.preprocess(layout.matrix)
     url_prep = url_scheme.preprocess(url_db.matrix)
@@ -189,3 +195,80 @@ def apply_update(
         metadata_refresh_bytes=metadata_refresh_bytes(updated),
     )
     return updated, report
+
+
+@dataclass(frozen=True)
+class ReindexReport:
+    """What one delta (or forced-full) reindex produced and recomputed."""
+
+    generation_tag: str
+    out_dir: Path
+    full: bool
+    num_docs: int
+    num_clusters: int
+    docs_embedded: int
+    docs_reused: int
+    clusters_encrypted: int
+    clusters_reused: int
+
+
+def reindex(
+    prev_artifacts: str | Path,
+    source,
+    out_dir: str | Path,
+    *,
+    spool_dir: str | Path,
+    ingest=None,
+    full: bool = False,
+    precompute: bool = True,
+) -> ReindexReport:
+    """Rebuild an index against a new corpus snapshot, incrementally.
+
+    Loads the previous ``repro.index/v2`` artifact, pins its embedding
+    model, centroids, boundary threshold, and A-seeds, and streams the
+    new snapshot through the ingestion plane.  With ``full=False`` the
+    previous snapshot's per-document digests and embeddings seed the
+    delta path: unchanged documents skip re-embedding and clusters whose
+    quantized content is unchanged reuse their cached hint contribution,
+    so only affected clusters are re-encrypted.  ``full=True`` rebuilds
+    from scratch under the same pinned models (in a sibling spool, so no
+    cache crosses over) -- the delta and full artifacts of the same
+    snapshot are bit-identical, which is how the delta path is verified.
+
+    The delta run must share the *base build's* spool directory: that is
+    where the content-addressed hint cache lives.
+    """
+    from repro.core import artifacts
+    from repro.ingest import IngestConfig, PinnedModels, PrevSnapshot, run_ingest
+
+    prev_index = artifacts.load_index(prev_artifacts)
+    pinned = PinnedModels.from_index(prev_index)
+    spool_dir = Path(spool_dir)
+    if full:
+        spool_dir = spool_dir / "full"
+        prev = None
+    else:
+        prev = PrevSnapshot.from_index(prev_index)
+    report = run_ingest(
+        source,
+        prev_index.config,
+        out_dir,
+        spool_dir=spool_dir,
+        ingest=ingest if ingest is not None else IngestConfig(),
+        pinned=pinned,
+        prev=prev,
+        precompute=precompute,
+    )
+    embed = report.counters("embed")
+    encrypt = report.counters("encrypt")
+    return ReindexReport(
+        generation_tag=report.generation_tag,
+        out_dir=Path(out_dir),
+        full=full,
+        num_docs=report.num_docs,
+        num_clusters=report.num_clusters,
+        docs_embedded=int(embed.get("docs_embedded", 0)),
+        docs_reused=int(embed.get("docs_reused", 0)),
+        clusters_encrypted=int(encrypt.get("clusters_encrypted", 0)),
+        clusters_reused=int(encrypt.get("clusters_reused", 0)),
+    )

@@ -10,21 +10,41 @@ generates synthetic stand-ins that exercise the same code paths:
   (conceptual, lexical, exact-string), mirroring the query mix the
   paper discusses in SS1 and SS8.2;
 * :mod:`urls` -- URL batching, content grouping, zlib compression (SS5);
-* :mod:`images` -- a caption/image corpus for text-to-image search.
+* :mod:`images` -- a caption/image corpus for text-to-image search;
+* :mod:`source` -- the :class:`DocumentSource` streaming protocol the
+  ingestion plane (:mod:`repro.ingest`) pulls corpora through.
 """
 
 from repro.corpus.benchmark import Query, QueryBenchmark
 from repro.corpus.images import ImageCorpus
+from repro.corpus.source import (
+    DocumentBatch,
+    DocumentSource,
+    ImageDocumentSource,
+    ListDocumentSource,
+    MutatedDocumentSource,
+    SyntheticDocumentSource,
+    TrecDocumentSource,
+    doc_digest,
+)
 from repro.corpus.synthetic import Document, SyntheticCorpus, SyntheticCorpusConfig
 from repro.corpus.urls import UrlBatcher, UrlBatch
 
 __all__ = [
     "Document",
+    "DocumentBatch",
+    "DocumentSource",
     "ImageCorpus",
+    "ImageDocumentSource",
+    "ListDocumentSource",
+    "MutatedDocumentSource",
     "Query",
     "QueryBenchmark",
     "SyntheticCorpus",
     "SyntheticCorpusConfig",
+    "SyntheticDocumentSource",
+    "TrecDocumentSource",
     "UrlBatch",
     "UrlBatcher",
+    "doc_digest",
 ]

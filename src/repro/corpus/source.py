@@ -1,0 +1,358 @@
+"""Streaming document sources for the ingestion plane.
+
+The one-shot build path (:meth:`TiptoeIndex.build`) takes ``texts`` and
+``urls`` as in-memory lists, which caps the corpus at whatever fits in
+RAM.  The ingestion plane (:mod:`repro.ingest`) instead pulls documents
+through the :class:`DocumentSource` iterator protocol: a source yields
+bounded :class:`DocumentBatch` objects in a deterministic order, so a
+multi-million-document corpus streams through the staged pipeline
+without ever being materialized.
+
+Three adapters cover the corpora this repo models:
+
+* :class:`SyntheticDocumentSource` -- the topic-model web corpus,
+  generated *incrementally*: the documents streamed are bit-identical
+  to ``SyntheticCorpus.generate(config).documents``, for any batch
+  size, because generation consumes one sequential seeded RNG exactly
+  as the list-building path does;
+* :class:`TrecDocumentSource` -- streams a ``docs.tsv`` export
+  (:mod:`repro.corpus.trec`) line by line;
+* :class:`ImageDocumentSource` -- the caption side of an
+  :class:`~repro.corpus.images.ImageCorpus` (text-to-image search
+  indexes captions; the latents ride along separately).
+
+:class:`ListDocumentSource` wraps in-memory lists (tests, small
+updates), and :class:`MutatedDocumentSource` applies a deterministic
+per-document mutation to a base source -- the seeded "corpus snapshot
+changed" generator the delta-reindex tests and benchmarks diff against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig, make_vocabulary
+
+#: Default number of documents per streamed batch.
+DEFAULT_BATCH_SIZE = 512
+
+
+@dataclass(frozen=True)
+class DocumentBatch:
+    """A bounded, contiguous slice of the document stream.
+
+    ``start_id`` is the id of the first document; ids are dense, so
+    document ``start_id + i`` is ``(texts[i], urls[i])``.
+    """
+
+    start_id: int
+    texts: tuple[str, ...]
+    urls: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.texts) != len(self.urls):
+            raise ValueError("need exactly one URL per document")
+
+    def __len__(self) -> int:
+        return len(self.texts)
+
+
+def doc_digest(text: str, url: str) -> bytes:
+    """The 32-byte content identity of one document.
+
+    The delta reindex diffs snapshots positionally by this digest: a
+    document whose digest is unchanged keeps its embedding and cluster
+    membership without being recomputed.
+    """
+    h = hashlib.sha256()
+    h.update(text.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(url.encode("utf-8"))
+    return h.digest()
+
+
+@runtime_checkable
+class DocumentSource(Protocol):
+    """Anything that can stream a corpus in bounded batches."""
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        """Yield the corpus as dense, ordered, bounded batches."""
+        ...
+
+    def fingerprint(self) -> dict:
+        """A cheap JSON-able identity used to key pipeline checkpoints.
+
+        Two sources with equal fingerprints must stream equal corpora;
+        the pipeline additionally keys downstream stages on the actual
+        content digest it observes, so a fingerprint collision is
+        caught rather than silently reusing stale artifacts.
+        """
+        ...
+
+
+class ListDocumentSource:
+    """Stream in-memory ``texts``/``urls`` lists (tests, small corpora)."""
+
+    def __init__(
+        self,
+        texts: list[str],
+        urls: list[str],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if len(texts) != len(urls):
+            raise ValueError("need exactly one URL per document")
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self._texts = list(texts)
+        self._urls = list(urls)
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        for start in range(0, len(self._texts), self.batch_size):
+            stop = start + self.batch_size
+            yield DocumentBatch(
+                start_id=start,
+                texts=tuple(self._texts[start:stop]),
+                urls=tuple(self._urls[start:stop]),
+            )
+
+    def fingerprint(self) -> dict:
+        h = hashlib.sha256()
+        for text, url in zip(self._texts, self._urls):
+            h.update(doc_digest(text, url))
+        return {"kind": "list", "content": h.hexdigest()}
+
+
+class SyntheticDocumentSource:
+    """Stream the synthetic topic-model corpus without materializing it.
+
+    Bit-compatible with :meth:`SyntheticCorpus.generate`: the vocabulary
+    and topic distributions are drawn first, then each document draws
+    from the same sequential RNG -- so document ``i`` is identical to
+    ``SyntheticCorpus.generate(config).documents[i]`` regardless of the
+    batch size this source streams with.
+    """
+
+    def __init__(
+        self,
+        config: SyntheticCorpusConfig,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.config = config
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        vocab = make_vocabulary(config.vocab_size, rng)
+        topic_dists = SyntheticCorpus._make_topics(config, rng)
+        texts: list[str] = []
+        urls: list[str] = []
+        start = 0
+        for i in range(config.num_docs):
+            doc = SyntheticCorpus._make_document(
+                i, config, vocab, topic_dists, rng
+            )
+            texts.append(doc.text)
+            urls.append(doc.url)
+            if len(texts) == self.batch_size:
+                yield DocumentBatch(
+                    start_id=start, texts=tuple(texts), urls=tuple(urls)
+                )
+                start += len(texts)
+                texts, urls = [], []
+        if texts:
+            yield DocumentBatch(
+                start_id=start, texts=tuple(texts), urls=tuple(urls)
+            )
+
+    def fingerprint(self) -> dict:
+        cfg = self.config
+        return {
+            "kind": "synthetic",
+            "num_docs": cfg.num_docs,
+            "num_topics": cfg.num_topics,
+            "vocab_size": cfg.vocab_size,
+            "words_per_doc": list(cfg.words_per_doc),
+            "topics_per_doc": list(cfg.topics_per_doc),
+            "topic_concentration": cfg.topic_concentration,
+            "entity_fraction": cfg.entity_fraction,
+            "seed": cfg.seed,
+        }
+
+
+class TrecDocumentSource:
+    """Stream a ``docs.tsv`` export (:mod:`repro.corpus.trec`) from disk.
+
+    Rows must be dense and zero-based, exactly as
+    :func:`repro.corpus.trec.export_documents` writes them; out-of-order
+    ids are rejected rather than buffered (buffering the whole file is
+    what this class exists to avoid).
+    """
+
+    def __init__(self, path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.path = Path(path)
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        texts: list[str] = []
+        urls: list[str] = []
+        start = 0
+        expected = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                doc_id, url, text = line.rstrip("\n").split("\t", 2)
+                if int(doc_id) != expected:
+                    raise ValueError(
+                        f"{self.path}: doc ids must be dense and ordered;"
+                        f" saw {doc_id}, expected {expected}"
+                    )
+                expected += 1
+                texts.append(text)
+                urls.append(url)
+                if len(texts) == self.batch_size:
+                    yield DocumentBatch(
+                        start_id=start, texts=tuple(texts), urls=tuple(urls)
+                    )
+                    start += len(texts)
+                    texts, urls = [], []
+        if texts:
+            yield DocumentBatch(
+                start_id=start, texts=tuple(texts), urls=tuple(urls)
+            )
+
+    def fingerprint(self) -> dict:
+        stat = self.path.stat()
+        return {
+            "kind": "trec",
+            "path": str(self.path.resolve()),
+            "size": stat.st_size,
+            "mtime_ns": stat.st_mtime_ns,
+        }
+
+
+class ImageDocumentSource:
+    """Stream the caption/URL side of a generated image corpus.
+
+    Captions are what the text-to-image index embeds (SS8.3); the
+    corpus is generated once up front (the latent image vectors are a
+    by-product other code paths consume) and streamed in batches so the
+    ingestion pipeline sees the same protocol for every modality.
+    """
+
+    def __init__(
+        self,
+        num_images: int,
+        seed: int = 0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        latent_dim: int = 32,
+    ):
+        from repro.corpus.images import ImageCorpus
+
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.batch_size = batch_size
+        self._params = {
+            "num_images": num_images,
+            "seed": seed,
+            "latent_dim": latent_dim,
+        }
+        self._corpus = ImageCorpus.generate(
+            num_images, latent_dim=latent_dim, seed=seed
+        )
+
+    @property
+    def corpus(self):
+        return self._corpus
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        captions = self._corpus.captions()
+        urls = self._corpus.urls()
+        for start in range(0, len(captions), self.batch_size):
+            stop = start + self.batch_size
+            yield DocumentBatch(
+                start_id=start,
+                texts=tuple(captions[start:stop]),
+                urls=tuple(urls[start:stop]),
+            )
+
+    def fingerprint(self) -> dict:
+        return {"kind": "images", **self._params}
+
+
+class MutatedDocumentSource:
+    """A base source with a deterministic seeded fraction of edits.
+
+    Each document decides *independently* (from ``(mutate_seed,
+    doc_id)``) whether it is mutated, so the mutated stream is
+    identical for any batch size -- which is what lets a delta reindex
+    and a from-scratch rebuild of the same mutated snapshot be compared
+    bit-for-bit.  A mutated document gets one of its own words
+    duplicated (changing its term frequencies, and therefore its
+    embedding under a *pinned* model whose vocabulary predates the
+    edit); its URL is unchanged.
+    """
+
+    def __init__(
+        self,
+        base: DocumentSource,
+        fraction: float,
+        mutate_seed: int = 0,
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("mutation fraction must be in [0, 1]")
+        self.base = base
+        self.fraction = fraction
+        self.mutate_seed = mutate_seed
+
+    def _is_mutated(self, doc_id: int) -> bool:
+        draw = np.random.default_rng([self.mutate_seed, doc_id]).random()
+        return bool(draw < self.fraction)
+
+    def _mutate(self, doc_id: int, text: str) -> str:
+        words = text.split()
+        if not words:
+            return f"{text} upd{doc_id}"
+        # Duplicate ~a quarter of the document's words: enough term-
+        # frequency shift to move the embedding past the fixed-precision
+        # quantization grid, so the edit is visible to the delta build.
+        rng = np.random.default_rng([self.mutate_seed, doc_id, 1])
+        picks = rng.integers(len(words), size=max(1, len(words) // 4))
+        extra = " ".join(words[int(p)] for p in picks)
+        return f"{text} {extra}"
+
+    def mutated_ids(self, num_docs: int) -> list[int]:
+        """The mutated document ids in ``[0, num_docs)`` (test oracle)."""
+        return [i for i in range(num_docs) if self._is_mutated(i)]
+
+    def batches(self) -> Iterator[DocumentBatch]:
+        for batch in self.base.batches():
+            texts = list(batch.texts)
+            for offset in range(len(texts)):
+                doc_id = batch.start_id + offset
+                if self._is_mutated(doc_id):
+                    texts[offset] = self._mutate(doc_id, texts[offset])
+            yield DocumentBatch(
+                start_id=batch.start_id,
+                texts=tuple(texts),
+                urls=batch.urls,
+            )
+
+    def fingerprint(self) -> dict:
+        return {
+            "kind": "mutated",
+            "fraction": self.fraction,
+            "mutate_seed": self.mutate_seed,
+            "base": self.base.fingerprint(),
+        }

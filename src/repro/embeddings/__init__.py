@@ -18,24 +18,40 @@ from repro.embeddings.bm25 import Bm25Retriever
 from repro.embeddings.hashing import HashingEmbedder
 from repro.embeddings.lsa import LsaEmbedder
 from repro.embeddings.pca import PcaReducer
-from repro.embeddings.quantize import QuantizationConfig, dequantize, quantize
+from repro.embeddings.quantize import (
+    QuantizationConfig,
+    dequantize,
+    quantize,
+    quantize_gained,
+)
 from repro.embeddings.stemmer import porter_stem
+from repro.embeddings.streaming import (
+    FittedModels,
+    ReservoirSampler,
+    fit_streaming_models,
+    transform_texts,
+)
 from repro.embeddings.tfidf import TfidfModel, TfidfRetriever
 from repro.embeddings.tokenizer import analyze, tokenize
 from repro.embeddings.vocab import Vocabulary
 
 __all__ = [
     "Bm25Retriever",
+    "FittedModels",
     "HashingEmbedder",
     "LsaEmbedder",
     "PcaReducer",
     "QuantizationConfig",
+    "ReservoirSampler",
     "TfidfModel",
     "TfidfRetriever",
     "Vocabulary",
     "analyze",
     "dequantize",
+    "fit_streaming_models",
     "porter_stem",
     "quantize",
+    "quantize_gained",
     "tokenize",
+    "transform_texts",
 ]

@@ -62,6 +62,45 @@ def quantize(
     return np.rint(clipped * config.scale).astype(np.int64)
 
 
+def quantize_gained(
+    vectors: np.ndarray,
+    gain: float,
+    config: QuantizationConfig = QuantizationConfig(),
+    batch_rows: int = 4096,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """``quantize(vectors * gain)`` without the whole-matrix float copy.
+
+    The one-shot form materializes ``vectors * gain`` (a second full
+    float64 matrix) and then the int64 result -- three corpus-sized
+    arrays live at once.  Here the int64 output is allocated up front
+    and filled per row-chunk through one bounded float scratch buffer,
+    so peak memory is the output plus ``batch_rows`` rows.  Each chunk
+    applies the same elementwise ops in the same order as
+    :func:`quantize`, so the result is bit-identical.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError("expected a (docs, dim) matrix")
+    if out is None:
+        out = np.empty(vectors.shape, dtype=np.int64)
+    elif out.shape != vectors.shape or out.dtype != np.int64:
+        raise ValueError("out must be an int64 array of the input shape")
+    scratch = np.empty(
+        (min(batch_rows, vectors.shape[0]), vectors.shape[1]),
+        dtype=np.float64,
+    )
+    for start in range(0, vectors.shape[0], batch_rows):
+        stop = min(start + batch_rows, vectors.shape[0])
+        chunk = scratch[: stop - start]
+        np.multiply(vectors[start:stop], gain, out=chunk)
+        np.clip(chunk, -1.0, 1.0, out=chunk)
+        np.multiply(chunk, config.scale, out=chunk)
+        np.rint(chunk, out=chunk)
+        out[start:stop] = chunk
+    return out
+
+
 def dequantize(
     values: np.ndarray, config: QuantizationConfig = QuantizationConfig()
 ) -> np.ndarray:

@@ -1,0 +1,125 @@
+"""Fit-on-a-sample / apply-streaming split for the embedding models.
+
+The one-shot build fits LSA and PCA on the *whole* corpus matrix,
+which is exactly the materialization the ingestion plane removes.  The
+paper's own procedure is sample-based anyway (SS7 trains k-means on a
+~10M-document sample; the embedding model is pretrained), so here:
+
+* a :class:`ReservoirSampler` draws a uniform fixed-size sample from
+  the document stream in one pass (Vitter's algorithm R, seeded);
+* :func:`fit_streaming_models` fits the LSA vocabulary/projection, the
+  PCA map, and the quantization gain on that sample only;
+* :func:`transform_texts` then applies the fitted models batch by
+  batch.
+
+Bit-stability contract: ``transform_texts`` returns rows that are
+bit-identical for any batching of the same documents (verified by the
+ingest test suite).  LSA fold-in is per-document arithmetic, and the
+PCA projection is a BLAS matmul whose rows are bit-stable for operand
+batches of two or more rows; singleton batches take a different BLAS
+path (matrix-vector), so a lone row is padded with a duplicate and
+sliced back.  This is what makes "re-embed only the changed documents"
+produce the same bytes as "re-embed everything".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.lsa import LsaEmbedder
+from repro.embeddings.pca import PcaReducer
+from repro.embeddings.quantize import auto_gain
+
+
+class ReservoirSampler:
+    """Uniform fixed-capacity sample of a stream (algorithm R, seeded)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng
+        self._items: list = []
+        self.offered = 0
+
+    def offer(self, item) -> None:
+        self.offered += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = int(self._rng.integers(self.offered))
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def offer_many(self, items) -> None:
+        for item in items:
+            self.offer(item)
+
+    @property
+    def items(self) -> list:
+        return list(self._items)
+
+
+@dataclass(frozen=True)
+class FittedModels:
+    """Everything the embed stage needs, fitted on a reservoir sample."""
+
+    embedder: LsaEmbedder
+    pca: PcaReducer | None
+    gain: float
+
+
+def fit_streaming_models(
+    sample_texts: list[str],
+    embedding_dim: int,
+    pca_dim: int | None,
+    seed: int = 0,
+) -> FittedModels:
+    """Fit LSA + PCA + quantization gain on a corpus sample.
+
+    Mirrors the model-fitting half of ``TiptoeIndex.build`` but over a
+    sample instead of the whole corpus; the gain (a server-chosen
+    scalar published with the client metadata) is likewise estimated
+    from the sample.
+    """
+    if not sample_texts:
+        raise ValueError("cannot fit models on an empty sample")
+    embedder = LsaEmbedder.fit(sample_texts, dim=embedding_dim, seed=seed)
+    sample = embedder.embed_batch(sample_texts)
+    pca = None
+    if pca_dim is not None and pca_dim < embedding_dim:
+        pca = PcaReducer.fit(sample, pca_dim)
+        sample = np.atleast_2d(pca.transform(sample))
+    return FittedModels(
+        embedder=embedder, pca=pca, gain=auto_gain(sample)
+    )
+
+
+def transform_texts(
+    embedder: LsaEmbedder,
+    pca: PcaReducer | None,
+    texts: list[str],
+) -> np.ndarray:
+    """Embed a batch through LSA (+ PCA), batch-size bit-stable.
+
+    Always returns a 2-D ``(len(texts), dim)`` array whose rows equal
+    what any other batching of the same texts would produce.
+    """
+    dim = pca.dim if pca is not None else embedder.dim
+    if not texts:
+        return np.zeros((0, dim), dtype=np.float64)
+    raw = embedder.embed_batch(texts)
+    if pca is None:
+        return raw
+    if raw.shape[0] == 1:
+        # Pad to two rows: the (2, d) @ (d, k) product takes the same
+        # BLAS path as any larger batch, so row 0 matches the rows a
+        # full-corpus transform would produce; a (1, d) product does
+        # not (matrix-vector kernel, different accumulation order).
+        padded = np.zeros((2, raw.shape[1]), dtype=np.float64)
+        padded[0] = raw[0]
+        padded[1] = raw[0]
+        return np.atleast_2d(pca.transform(padded))[:1]
+    return np.atleast_2d(pca.transform(raw))

@@ -1,0 +1,28 @@
+"""The streaming ingestion plane (staged, resumable corpus builds).
+
+See :mod:`repro.ingest.pipeline` for the stage DAG and
+:mod:`repro.ingest.stage` for the ``repro.stage/v1`` checkpoint format.
+"""
+
+from repro.ingest.pipeline import (
+    IngestConfig,
+    IngestReport,
+    PinnedModels,
+    PrevSnapshot,
+    StageResult,
+    run_ingest,
+)
+from repro.ingest.stage import SCHEMA, StageError, StageHandle, StageStore
+
+__all__ = [
+    "IngestConfig",
+    "IngestReport",
+    "PinnedModels",
+    "PrevSnapshot",
+    "StageResult",
+    "run_ingest",
+    "SCHEMA",
+    "StageError",
+    "StageHandle",
+    "StageStore",
+]

@@ -1,0 +1,93 @@
+"""The embed stage's per-batch worker (multiprocessing-safe).
+
+One task embeds one spooled document batch into one ``.npy`` file.
+The pipeline either calls :func:`embed_batch_file` inline or maps the
+tasks over a fork-based :mod:`multiprocessing` pool whose workers each
+load the fitted models once (:func:`init_worker`).  Output files are
+independent -- a batch's embedding rows depend only on that batch's
+texts and the models -- so worker scheduling order cannot change the
+result.
+
+Delta-reuse rides in the task itself: the parent diffs document
+digests against the previous snapshot and sends each batch the rows it
+may copy (``prev_rows``) plus the mask saying where they go, so a
+worker never needs the previous index.  Only the changed documents are
+run through the models; the bit-stability contract of
+:func:`~repro.embeddings.streaming.transform_texts` guarantees the
+recomputed rows match what a full re-embed would produce.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.streaming import FittedModels, transform_texts
+from repro.ingest.models import load_models
+
+#: Per-process model cache for pool workers (set by :func:`init_worker`).
+_WORKER_MODELS: FittedModels | None = None
+
+
+@dataclass(frozen=True)
+class EmbedTask:
+    """Everything needed to embed one spooled batch."""
+
+    batch_path: str
+    out_path: str
+    #: Boolean mask over the batch: True = copy the matching row of
+    #: ``prev_rows`` instead of re-embedding.  None = embed everything.
+    reuse_mask: np.ndarray | None = None
+    #: The reused embedding rows, in batch order (``reuse_mask.sum()``
+    #: rows), gathered from the previous snapshot by the parent.
+    prev_rows: np.ndarray | None = None
+
+
+def init_worker(model_dir: str) -> None:
+    """Pool initializer: load the fitted models once per process."""
+    global _WORKER_MODELS
+    _WORKER_MODELS = load_models(model_dir)
+
+
+def read_batch(batch_path: str | Path) -> dict:
+    """Load one spooled document batch (texts, urls, start_id)."""
+    return json.loads(Path(batch_path).read_text(encoding="utf-8"))
+
+
+def embed_batch_file(
+    task: EmbedTask, models: FittedModels | None = None
+) -> tuple[int, int]:
+    """Embed (or copy) one batch; returns (docs_embedded, docs_reused)."""
+    if models is None:
+        models = _WORKER_MODELS
+    if models is None:
+        raise RuntimeError("embed worker has no models loaded")
+    batch = read_batch(task.batch_path)
+    texts = batch["texts"]
+    dim = models.pca.dim if models.pca is not None else models.embedder.dim
+    out = np.zeros((len(texts), dim), dtype=np.float64)
+    if task.reuse_mask is None:
+        changed = [True] * len(texts)
+        reused = 0
+    else:
+        changed = [not bool(keep) for keep in task.reuse_mask]
+        reused = int(np.count_nonzero(task.reuse_mask))
+        if reused:
+            out[np.asarray(task.reuse_mask, dtype=bool)] = task.prev_rows
+    changed_texts = [t for t, c in zip(texts, changed) if c]
+    if changed_texts:
+        rows = transform_texts(models.embedder, models.pca, changed_texts)
+        out[np.asarray(changed, dtype=bool)] = rows
+    tmp = Path(task.out_path).with_suffix(".npy.tmp")
+    with tmp.open("wb") as fh:
+        np.lib.format.write_array(fh, out)
+    tmp.replace(task.out_path)
+    return len(changed_texts), reused
+
+
+def run_task(task: EmbedTask) -> tuple[int, int]:
+    """Pool entry point (models come from :func:`init_worker`)."""
+    return embed_batch_file(task)

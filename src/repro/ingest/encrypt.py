@@ -1,0 +1,183 @@
+"""The encrypt stage: per-cluster incremental hint assembly.
+
+The ranking hint is ``H = M A`` where ``M`` is the Fig. 3 layout
+matrix.  Cluster ``c`` owns column block ``c*dim:(c+1)*dim`` of ``M``,
+and block columns only ever multiply rows ``c*dim:(c+1)*dim`` of
+``A`` -- so the hint decomposes into per-cluster contributions::
+
+    H = sum_c  M[:, c*dim:(c+1)*dim] @ A[c*dim:(c+1)*dim, :]   (mod 2^64)
+
+Ring addition is exact and commutative, so accumulating the per-cluster
+products reproduces ``scheme.preprocess(M)`` bit-for-bit while touching
+one cluster's quantized block at a time.  Each contribution is keyed by
+the SHA-256 of everything it depends on (the A-seed and LWE shape, the
+cluster's column position, and the digest of its quantized rows) and
+cached under the spool's content-addressed cache -- the delta reindex
+then recomputes contributions only for clusters whose membership or
+content actually changed, which is the "re-encrypt only affected
+clusters" guarantee.  Rows of a contribution beyond the cluster's real
+size are zero, so only the occupied ``(cluster_size, n)`` rows are
+stored and a cached entry stays valid even when the global
+``max_cluster_size`` changes between snapshots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.corpus.urls import MAX_URL_CHARS, UrlBatch
+from repro.homenc.double import DoubleLheScheme, PreprocessedMatrix
+from repro.lwe import modular
+
+
+def _scheme_tag(scheme: DoubleLheScheme) -> bytes:
+    inner = scheme.params.inner
+    return (
+        f"{scheme.inner.a_seed.hex()}/{inner.n}/{inner.q_bits}/{inner.m}"
+    ).encode("ascii")
+
+
+def cluster_hint_key(
+    scheme: DoubleLheScheme, dim: int, cluster: int, content_digest: str
+) -> str:
+    """Cache key of one cluster's hint contribution."""
+    h = hashlib.sha256()
+    h.update(b"repro.hint/v1")
+    h.update(_scheme_tag(scheme))
+    h.update(f"/{dim}/{cluster}/".encode("ascii"))
+    h.update(content_digest.encode("ascii"))
+    return h.hexdigest()
+
+
+def accumulate_ranking_hint(
+    scheme: DoubleLheScheme,
+    cluster_blocks: Iterable[tuple[int, np.ndarray, str]],
+    max_size: int,
+    dim: int,
+    cache_dir: Path | None,
+) -> tuple[np.ndarray, dict]:
+    """Assemble the full hint from per-cluster (reused or fresh) blocks.
+
+    ``cluster_blocks`` yields ``(cluster, quantized_rows, content_digest)``
+    in any order; ``quantized_rows`` is the ``(cluster_size, dim)`` int64
+    block.  Returns the ``(max_size, n)`` hint (mod 2^64) plus counters
+    ``{"clusters_encrypted", "clusters_reused"}``.
+    """
+    q_bits = scheme.params.inner.q_bits
+    n = scheme.params.inner.n
+    hint = np.zeros((max_size, n), dtype=np.uint64)
+    a = scheme.inner.a
+    encrypted = 0
+    reused = 0
+    for cluster, rows, digest in cluster_blocks:
+        contrib = None
+        entry = None
+        if cache_dir is not None:
+            entry = cache_dir / f"{cluster_hint_key(scheme, dim, cluster, digest)}.npy"
+            if entry.is_file():
+                contrib = np.load(entry)
+                reused += 1
+        if contrib is None:
+            block = modular.to_ring(rows, q_bits)
+            contrib = modular.matmul(
+                block, a[cluster * dim : (cluster + 1) * dim], q_bits
+            )
+            encrypted += 1
+            if entry is not None:
+                tmp = entry.with_suffix(".npy.tmp")
+                with tmp.open("wb") as fh:
+                    np.lib.format.write_array(fh, contrib)
+                tmp.replace(entry)
+        if contrib.shape != (rows.shape[0], n):
+            raise ValueError(
+                f"cluster {cluster}: cached contribution has shape"
+                f" {contrib.shape}, expected ({rows.shape[0]}, {n})"
+            )
+        hint[: contrib.shape[0]] += contrib
+    return hint, {"clusters_encrypted": encrypted, "clusters_reused": reused}
+
+
+def finish_prep(
+    scheme: DoubleLheScheme, hint: np.ndarray
+) -> PreprocessedMatrix:
+    """Wrap an assembled hint exactly as ``scheme.preprocess`` would.
+
+    The modulus switch is elementwise (cheap) and recomputed from the
+    assembled hint, so a hint built from cached contributions yields a
+    byte-identical :class:`PreprocessedMatrix`.
+    """
+    switched = modular.mod_switch(
+        hint, scheme.params.inner.q_bits, scheme.params.switch_modulus
+    )
+    return PreprocessedMatrix(
+        hint=hint, switched_hint=switched, rows=hint.shape[0]
+    )
+
+
+def preprocess_cached(
+    scheme: DoubleLheScheme,
+    matrix: np.ndarray,
+    cache_dir: Path | None,
+    label: str,
+) -> tuple[PreprocessedMatrix, bool]:
+    """``scheme.preprocess(matrix)`` with a whole-matrix hint cache.
+
+    Used for the URL side, whose packed database is one matrix (no
+    per-cluster structure).  The cache key covers the matrix bytes, the
+    A-seed, and the LWE shape; returns ``(prep, was_cached)``.
+    """
+    entry = None
+    if cache_dir is not None:
+        h = hashlib.sha256()
+        h.update(b"repro.prep/v1/")
+        h.update(label.encode("ascii"))
+        h.update(b"/")
+        h.update(_scheme_tag(scheme))
+        h.update(np.ascontiguousarray(matrix).tobytes())
+        entry = cache_dir / f"{h.hexdigest()}.npy"
+        if entry.is_file():
+            return finish_prep(scheme, np.load(entry)), True
+    prep = scheme.preprocess(matrix)
+    if entry is not None:
+        tmp = entry.with_suffix(".npy.tmp")
+        with tmp.open("wb") as fh:
+            np.lib.format.write_array(fh, np.asarray(prep.hint))
+        tmp.replace(entry)
+    return prep, False
+
+
+def iter_positional_batches(
+    urls: Iterator[str], batch_size: int
+) -> Iterator[UrlBatch]:
+    """Streaming twin of ``UrlBatcher.build_positional_batches``.
+
+    Consumes URLs in layout order and emits byte-identical batches
+    (same position numbering, blanking rule, and zlib level) without
+    ever holding the full layout-ordered URL list.
+    """
+    chunk: list[str] = []
+    start = 0
+    for url in urls:
+        chunk.append(url)
+        if len(chunk) == batch_size:
+            yield _positional_batch(chunk, start)
+            start += len(chunk)
+            chunk = []
+    if chunk:
+        yield _positional_batch(chunk, start)
+
+
+def _positional_batch(chunk: list[str], start: int) -> UrlBatch:
+    lines = "\n".join(
+        f"{start + i} {url if len(url) <= MAX_URL_CHARS else ''}"
+        for i, url in enumerate(chunk)
+    )
+    return UrlBatch(
+        payload=zlib.compress(lines.encode(), level=9),
+        doc_ids=tuple(range(start, start + len(chunk))),
+    )

@@ -1,0 +1,113 @@
+"""Persisted embedding models for the model/embed stage boundary.
+
+The model stage fits (or pins) the LSA embedder, the PCA map, and the
+quantization gain, then serializes them into its stage directory; the
+embed stage's multiprocessing workers each load that directory once in
+their initializer.  :func:`models_digest` is the content identity the
+stage DAG keys on: two model directories with equal digests transform
+texts bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.lsa import LsaEmbedder
+from repro.embeddings.pca import PcaReducer
+from repro.embeddings.streaming import FittedModels
+from repro.embeddings.vocab import Vocabulary
+
+_ARRAYS = "model_arrays.npz"
+_VOCAB = "model_vocab.json"
+_META = "model_meta.json"
+
+
+def models_digest(models: FittedModels) -> str:
+    """SHA-256 content identity of a fitted model triple."""
+    h = hashlib.sha256()
+    h.update(b"repro.models/v1")
+    embedder = models.embedder
+    h.update(np.int64(embedder.dim).tobytes())
+    h.update(
+        json.dumps(
+            {
+                "term_to_id": embedder.vocab.term_to_id,
+                "doc_freq": embedder.vocab.doc_freq,
+                "num_docs": embedder.vocab.num_docs,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    )
+    h.update(np.ascontiguousarray(embedder.projection).tobytes())
+    if models.pca is not None:
+        h.update(np.ascontiguousarray(models.pca.mean).tobytes())
+        h.update(np.ascontiguousarray(models.pca.components).tobytes())
+    h.update(repr(float(models.gain)).encode("ascii"))
+    return h.hexdigest()
+
+
+def save_models(models: FittedModels, path: str | Path) -> None:
+    """Write the fitted models into a directory (same formats as the
+    index artifact: vocab as JSON, projections as npz members)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    arrays = {"lsa_projection": models.embedder.projection}
+    if models.pca is not None:
+        arrays["pca_mean"] = models.pca.mean
+        arrays["pca_components"] = models.pca.components
+        arrays["pca_evr"] = models.pca.explained_variance_ratio
+    with (path / _ARRAYS).open("wb") as fh:
+        np.savez(fh, **arrays)
+    vocab = models.embedder.vocab
+    (path / _VOCAB).write_text(
+        json.dumps(
+            {
+                "term_to_id": vocab.term_to_id,
+                "doc_freq": vocab.doc_freq,
+                "num_docs": vocab.num_docs,
+            }
+        ),
+        encoding="utf-8",
+    )
+    (path / _META).write_text(
+        json.dumps(
+            {
+                "dim": models.embedder.dim,
+                "has_pca": models.pca is not None,
+                "gain": models.gain,
+            },
+            sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+
+
+def load_models(path: str | Path) -> FittedModels:
+    """Load models previously written by :func:`save_models`."""
+    path = Path(path)
+    meta = json.loads((path / _META).read_text(encoding="utf-8"))
+    vocab_meta = json.loads((path / _VOCAB).read_text(encoding="utf-8"))
+    with np.load(path / _ARRAYS) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    embedder = LsaEmbedder(
+        dim=int(meta["dim"]),
+        vocab=Vocabulary(
+            term_to_id=vocab_meta["term_to_id"],
+            doc_freq=vocab_meta["doc_freq"],
+            num_docs=vocab_meta["num_docs"],
+        ),
+        projection=arrays["lsa_projection"],
+    )
+    pca = None
+    if meta["has_pca"]:
+        pca = PcaReducer(
+            mean=arrays["pca_mean"],
+            components=arrays["pca_components"],
+            explained_variance_ratio=arrays["pca_evr"],
+        )
+    return FittedModels(embedder=embedder, pca=pca, gain=float(meta["gain"]))

@@ -1,0 +1,821 @@
+"""The streaming ingestion pipeline: staged, resumable, bounded-memory.
+
+``run_ingest`` replaces the one-shot ``TiptoeIndex.build`` for large
+corpora.  Documents flow through checkpointed stages --
+
+    source -> filter -> model -> embed -> cluster -> pack -> encrypt
+
+-- in bounded batches, each stage spilling its outputs into the spool
+directory under a ``repro.stage/v1`` marker (:mod:`repro.ingest.stage`).
+A killed build resumes from the last completed stage; a finished build
+re-run with identical inputs is a no-op.  The embed stage optionally
+fans batches out over fork-based multiprocessing workers.
+
+Two optional inputs turn a build into a *delta* build
+(:mod:`repro.core.updates` drives this):
+
+* ``pinned`` -- models, centroids, boundary threshold, and A-seeds
+  from a previous snapshot.  With these pinned, every derived quantity
+  is a deterministic function of the document stream, which is what
+  makes a delta rebuild bit-identical to a from-scratch rebuild of the
+  same snapshot.
+* ``prev`` -- the previous snapshot's per-document digests and
+  embeddings.  Documents whose digest is unchanged copy their embedding
+  row instead of re-running the models, and unchanged clusters' hint
+  contributions come out of the content-addressed cache instead of
+  being re-encrypted.
+
+The resulting artifact directory is a normal ``repro.index/v2``
+snapshot (with precompute sidecar by default), ready for the fleet's
+warm -> cut-over -> retire rolling swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.cluster import ClusterIndex
+from repro.cluster.minibatch import (
+    MiniBatchSphericalKMeans,
+    batch_margins,
+    boundary_threshold,
+)
+from repro.core import artifacts
+from repro.core.config import TiptoeConfig
+from repro.core.costs import CostLedger
+from repro.core.indexer import (
+    TiptoeIndex,
+    layout_from_cluster_streams,
+    ranking_scheme_for,
+    url_side_for,
+)
+from repro.corpus.source import DocumentSource, doc_digest
+from repro.embeddings.quantize import quantize_gained
+from repro.embeddings.streaming import (
+    FittedModels,
+    ReservoirSampler,
+    fit_streaming_models,
+)
+from repro.homenc.token import TokenFactory
+from repro.ingest import embedwork
+from repro.ingest import encrypt as enc
+from repro.ingest.models import load_models, models_digest, save_models
+from repro.ingest.stage import StageHandle, StageStore
+
+#: Test hook: called with the stage name after each stage completes.
+#: The kill/resume tests install ``os._exit`` here to simulate a crash
+#: at an exact checkpoint boundary.
+_STAGE_HOOK: Callable[[str], None] | None = None
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Knobs of the pipeline itself (not of the index it builds)."""
+
+    #: Documents per re-batched spool file (bounds every stage's
+    #: working set).
+    batch_size: int = 512
+    #: Minimum stripped text length; shorter documents are filtered.
+    min_chars: int = 1
+    #: Reservoir size for model fitting (LSA/PCA/gain see this many
+    #: uniformly sampled documents, not the whole corpus).
+    sample_size: int = 2048
+    #: Passes of minibatch k-means over the embedding stream.
+    kmeans_epochs: int = 2
+    #: Rows per k-means/margins chunk.  The cluster stage re-chunks the
+    #: embedding stream at this fixed size so its arithmetic -- and
+    #: therefore the centroids and the final artifact -- do not depend
+    #: on how the spool files happened to be batched.
+    kmeans_batch: int = 1024
+    #: Embed-stage multiprocessing workers; 0 runs inline.
+    workers: int = 0
+    #: Seed of every pipeline RNG stream (sampling, k-means init,
+    #: derived A-seeds).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if self.sample_size < 2:
+            raise ValueError("model sample must hold at least 2 documents")
+        if self.kmeans_epochs < 1:
+            raise ValueError("need at least one k-means epoch")
+        if self.kmeans_batch < 2:
+            raise ValueError("k-means chunk must hold at least 2 rows")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+
+
+@dataclass(frozen=True)
+class PinnedModels:
+    """Frozen model-side state carried over from a previous snapshot."""
+
+    models: FittedModels
+    centroids: np.ndarray
+    boundary_threshold: float
+    ranking_a_seed: bytes
+    url_a_seed: bytes
+
+    @classmethod
+    def from_index(cls, index: TiptoeIndex) -> "PinnedModels":
+        if index.boundary_threshold is None:
+            raise ValueError(
+                "index has no boundary threshold; only ingest-built"
+                " snapshots can pin a delta rebuild"
+            )
+        return cls(
+            models=FittedModels(
+                embedder=index.embedder,
+                pca=index.pca,
+                gain=float(index.quantization_gain),
+            ),
+            centroids=np.ascontiguousarray(
+                index.clusters.centroids, dtype=np.float64
+            ),
+            boundary_threshold=float(index.boundary_threshold),
+            ranking_a_seed=index.ranking_scheme.inner.a_seed,
+            url_a_seed=index.url_scheme.inner.a_seed,
+        )
+
+
+@dataclass(frozen=True)
+class PrevSnapshot:
+    """The previous snapshot's content identities and embeddings."""
+
+    doc_digests: np.ndarray  # (n, 32) uint8
+    embeddings: np.ndarray  # (n, dim) float64
+
+    @classmethod
+    def from_index(cls, index: TiptoeIndex) -> "PrevSnapshot":
+        if index.doc_digests is None:
+            raise ValueError(
+                "index has no per-document digests; only ingest-built"
+                " snapshots support delta reuse"
+            )
+        return cls(
+            doc_digests=np.asarray(index.doc_digests),
+            embeddings=np.asarray(index.embeddings, dtype=np.float64),
+        )
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """How one stage resolved during a ``run_ingest`` call."""
+
+    name: str
+    status: str  # "computed" | "cached"
+    counters: dict
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one pipeline run did, stage by stage."""
+
+    stages: tuple[StageResult, ...]
+    num_docs: int
+    num_clusters: int
+    artifact_digest: str
+    generation_tag: str
+    out_dir: str
+
+    def stage(self, name: str) -> StageResult:
+        for result in self.stages:
+            if result.name == name:
+                return result
+        raise KeyError(f"no stage named {name!r}")
+
+    def counters(self, name: str) -> dict:
+        return self.stage(name).counters
+
+
+def _run_stage(
+    handle: StageHandle,
+    fn: Callable[[StageHandle], tuple[dict, dict]],
+    validate: Callable[[StageHandle], bool] | None = None,
+) -> StageResult:
+    """Run a stage unless its checkpoint already covers this invocation."""
+    if handle.is_complete() and (validate is None or validate(handle)):
+        return StageResult(handle.name, "cached", handle.counters())
+    handle.reset()
+    counters, outputs = fn(handle)
+    handle.finish(counters=counters, outputs=outputs)
+    if _STAGE_HOOK is not None:
+        _STAGE_HOOK(handle.name)
+    return StageResult(handle.name, "computed", counters)
+
+
+def _hash_file(h: "hashlib._Hash", path: Path) -> None:
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+
+
+def run_ingest(
+    source: DocumentSource,
+    config: TiptoeConfig,
+    out_dir: str | Path,
+    *,
+    spool_dir: str | Path,
+    ingest: IngestConfig = IngestConfig(),
+    pinned: PinnedModels | None = None,
+    prev: PrevSnapshot | None = None,
+    precompute: bool = True,
+) -> IngestReport:
+    """Build (or delta-rebuild) an index artifact from a document stream."""
+    if not config.group_urls_by_content:
+        raise ValueError(
+            "the ingestion plane builds content-grouped URL layouts only;"
+            " use TiptoeIndex.build for the scatter ablation"
+        )
+    out_dir = Path(out_dir)
+    store = StageStore(spool_dir)
+    results: list[StageResult] = []
+
+    # -- stage 1: source -- spool the raw stream + content digests ----------
+    def _source(handle: StageHandle) -> tuple[dict, dict]:
+        h = hashlib.sha256()
+        docs = 0
+        num_batches = 0
+        for batch in source.batches():
+            digests = bytearray()
+            for text, url in zip(batch.texts, batch.urls):
+                d = doc_digest(text, url)
+                digests += d
+                h.update(d)
+            payload = {
+                "start_id": batch.start_id,
+                "texts": batch.texts,
+                "urls": batch.urls,
+            }
+            (handle.path / f"docs_{num_batches:06d}.json").write_text(
+                json.dumps(payload), encoding="utf-8"
+            )
+            (handle.path / f"dig_{num_batches:06d}.bin").write_bytes(
+                bytes(digests)
+            )
+            docs += len(batch.texts)
+            num_batches += 1
+        if docs == 0:
+            raise ValueError("document source streamed no documents")
+        outputs = {
+            "content_key": h.hexdigest(),
+            "num_docs": docs,
+            "num_batches": num_batches,
+        }
+        return {"docs_out": docs, "batches": num_batches}, outputs
+
+    src = store.stage("source", {"fingerprint": source.fingerprint()})
+    results.append(_run_stage(src, _source))
+    src_out = src.outputs()
+
+    # -- stage 2: filter -- drop empties/dups, re-batch, spool URLs --------
+    def _filter(handle: StageHandle) -> tuple[dict, dict]:
+        h = hashlib.sha256()
+        seen: set[bytes] = set()
+        digests = bytearray()
+        url_offsets = [0]
+        texts: list[str] = []
+        urls: list[str] = []
+        kept = 0
+        out_batches = 0
+        docs_in = 0
+        dropped_empty = 0
+        dropped_dup = 0
+
+        def flush() -> None:
+            nonlocal out_batches, texts, urls
+            if not texts:
+                return
+            payload = {
+                "start_id": kept - len(texts),
+                "texts": texts,
+                "urls": urls,
+            }
+            (handle.path / f"docs_{out_batches:06d}.json").write_text(
+                json.dumps(payload), encoding="utf-8"
+            )
+            out_batches += 1
+            texts, urls = [], []
+
+        with (handle.path / "urls.tsv").open("wb") as url_fh:
+            offset = 0
+            for i in range(int(src_out["num_batches"])):
+                payload = json.loads(
+                    (src.path / f"docs_{i:06d}.json").read_text(
+                        encoding="utf-8"
+                    )
+                )
+                batch_digests = (src.path / f"dig_{i:06d}.bin").read_bytes()
+                for j, (text, url) in enumerate(
+                    zip(payload["texts"], payload["urls"])
+                ):
+                    docs_in += 1
+                    d = batch_digests[j * 32 : (j + 1) * 32]
+                    if len(text.strip()) < ingest.min_chars:
+                        dropped_empty += 1
+                        continue
+                    if d in seen:
+                        dropped_dup += 1
+                        continue
+                    seen.add(d)
+                    digests += d
+                    h.update(d)
+                    texts.append(text)
+                    urls.append(url)
+                    line = (url + "\n").encode("utf-8")
+                    url_fh.write(line)
+                    offset += len(line)
+                    url_offsets.append(offset)
+                    kept += 1
+                    if len(texts) == ingest.batch_size:
+                        flush()
+            flush()
+        if kept == 0:
+            raise ValueError("no documents survived filtering")
+        np.save(
+            handle.path / "digests.npy",
+            np.frombuffer(bytes(digests), dtype=np.uint8).reshape(kept, 32),
+        )
+        np.save(
+            handle.path / "url_offsets.npy",
+            np.array(url_offsets, dtype=np.int64),
+        )
+        outputs = {
+            "content_key": h.hexdigest(),
+            "num_docs": kept,
+            "num_batches": out_batches,
+        }
+        counters = {
+            "docs_in": docs_in,
+            "dropped_empty": dropped_empty,
+            "dropped_dup": dropped_dup,
+            "docs_out": kept,
+        }
+        return counters, outputs
+
+    filt = store.stage(
+        "filter",
+        {"min_chars": ingest.min_chars, "batch_size": ingest.batch_size},
+        [src_out["content_key"]],
+    )
+    results.append(_run_stage(filt, _filter))
+    filt_out = filt.outputs()
+    num_docs = int(filt_out["num_docs"])
+    num_filter_batches = int(filt_out["num_batches"])
+
+    # -- stage 3: model -- fit on a reservoir sample, or pin ---------------
+    def _model(handle: StageHandle) -> tuple[dict, dict]:
+        if pinned is not None:
+            models = pinned.models
+            sampled = 0
+        else:
+            sampler = ReservoirSampler(
+                ingest.sample_size, np.random.default_rng([ingest.seed, 0])
+            )
+            for i in range(num_filter_batches):
+                payload = json.loads(
+                    (filt.path / f"docs_{i:06d}.json").read_text(
+                        encoding="utf-8"
+                    )
+                )
+                sampler.offer_many(payload["texts"])
+            models = fit_streaming_models(
+                sampler.items,
+                config.embedding_dim,
+                config.pca_dim,
+                seed=ingest.seed,
+            )
+            sampled = min(sampler.offered, sampler.capacity)
+        save_models(models, handle.path)
+        return {"sample_docs": sampled}, {"model_digest": models_digest(models)}
+
+    if pinned is not None:
+        model_params = {"pinned": models_digest(pinned.models)}
+    else:
+        model_params = {
+            "embedding_dim": config.embedding_dim,
+            "pca_dim": config.pca_dim,
+            "sample_size": ingest.sample_size,
+            "seed": ingest.seed,
+        }
+    model = store.stage("model", model_params, [filt_out["content_key"]])
+    results.append(_run_stage(model, _model))
+    model_out = model.outputs()
+    models = load_models(model.path)
+    dim = models.pca.dim if models.pca is not None else models.embedder.dim
+    if dim != config.effective_dim:
+        raise ValueError(
+            f"fitted models produce {dim}-dim embeddings, config expects"
+            f" {config.effective_dim}"
+        )
+
+    # -- stage 4: embed -- per-batch, reusing unchanged rows ---------------
+    def _embed(handle: StageHandle) -> tuple[dict, dict]:
+        filter_digests = np.load(filt.path / "digests.npy")
+        reuse = prev
+        if reuse is not None and reuse.embeddings.shape[1] != dim:
+            reuse = None  # model dimension changed; nothing is reusable
+        tasks = []
+        for i in range(num_filter_batches):
+            start = i * ingest.batch_size
+            stop = min(num_docs, start + ingest.batch_size)
+            mask = None
+            prev_rows = None
+            if reuse is not None:
+                n_prev = reuse.doc_digests.shape[0]
+                overlap = max(0, min(stop, n_prev) - start)
+                mask = np.zeros(stop - start, dtype=bool)
+                if overlap > 0:
+                    mask[:overlap] = np.all(
+                        filter_digests[start : start + overlap]
+                        == reuse.doc_digests[start : start + overlap],
+                        axis=1,
+                    )
+                    prev_rows = np.ascontiguousarray(
+                        reuse.embeddings[start : start + overlap][
+                            mask[:overlap]
+                        ]
+                    )
+            tasks.append(
+                embedwork.EmbedTask(
+                    batch_path=str(filt.path / f"docs_{i:06d}.json"),
+                    out_path=str(handle.path / f"emb_{i:06d}.npy"),
+                    reuse_mask=mask,
+                    prev_rows=prev_rows,
+                )
+            )
+        embedded = 0
+        reused = 0
+        if ingest.workers > 0:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(
+                ingest.workers,
+                initializer=embedwork.init_worker,
+                initargs=(str(model.path),),
+            ) as pool:
+                for did, got in pool.imap(embedwork.run_task, tasks):
+                    embedded += did
+                    reused += got
+        else:
+            for task in tasks:
+                did, got = embedwork.embed_batch_file(task, models)
+                embedded += did
+                reused += got
+        h = hashlib.sha256()
+        for i in range(num_filter_batches):
+            _hash_file(h, handle.path / f"emb_{i:06d}.npy")
+        counters = {
+            "docs_embedded": embedded,
+            "docs_reused": reused,
+            "batches": num_filter_batches,
+        }
+        return counters, {"content_key": h.hexdigest()}
+
+    embed = store.stage(
+        "embed", {}, [filt_out["content_key"], model_out["model_digest"]]
+    )
+    results.append(_run_stage(embed, _embed))
+    embed_out = embed.outputs()
+
+    def _emb_batches() -> Iterator[np.ndarray]:
+        for i in range(num_filter_batches):
+            yield np.load(embed.path / f"emb_{i:06d}.npy")
+
+    def _emb_chunks() -> Iterator[np.ndarray]:
+        """The embedding stream re-chunked at a fixed row count.
+
+        Chunk boundaries depend only on ``kmeans_batch`` and the total
+        document count -- never on how the spool files were batched --
+        so every consumer of this iterator computes the same floats for
+        any spool batching of the same corpus.
+        """
+        size = ingest.kmeans_batch
+        buf = np.empty((size, dim), dtype=np.float64)
+        fill = 0
+        for emb in _emb_batches():
+            cursor = 0
+            while cursor < emb.shape[0]:
+                take = min(size - fill, emb.shape[0] - cursor)
+                buf[fill : fill + take] = emb[cursor : cursor + take]
+                fill += take
+                cursor += take
+                if fill == size:
+                    yield buf.copy()
+                    fill = 0
+        if fill:
+            yield buf[:fill].copy()
+
+    # -- stage 5: cluster -- centroids, margins, threshold, membership ----
+    def _cluster(handle: StageHandle) -> tuple[dict, dict]:
+        if pinned is not None:
+            centroids = pinned.centroids
+            threshold = pinned.boundary_threshold
+        else:
+            target = config.cluster_size_for(num_docs)
+            k_fit = max(1, -(-num_docs // target))
+            km = MiniBatchSphericalKMeans(
+                k_fit, np.random.default_rng([ingest.seed, 1])
+            )
+            for _ in range(ingest.kmeans_epochs):
+                for emb in _emb_chunks():
+                    km.partial_fit(emb)
+            centroids = km.finalize()
+            threshold = None  # from the margins below
+        k = centroids.shape[0]
+        primary = np.empty(num_docs, dtype=np.int64)
+        second = np.empty(num_docs, dtype=np.int64)
+        margin = np.empty(num_docs, dtype=np.float64)
+        cursor = 0
+        for emb in _emb_chunks():
+            p, s, m = batch_margins(emb, centroids)
+            primary[cursor : cursor + len(p)] = p
+            second[cursor : cursor + len(p)] = s
+            margin[cursor : cursor + len(p)] = m
+            cursor += len(p)
+        if threshold is None:
+            threshold = boundary_threshold(margin, config.boundary_fraction)
+        dual = (margin <= threshold) & (primary != second)
+
+        # Per-cluster membership: primaries in doc-id order, then
+        # boundary members in doc-id order (stable sorts preserve the
+        # doc ordering inside each cluster group).
+        order_p = np.argsort(primary, kind="stable")
+        dual_ids = np.nonzero(dual)[0]
+        order_b = dual_ids[np.argsort(second[dual_ids], kind="stable")]
+        p_counts = np.bincount(primary, minlength=k)
+        b_counts = np.bincount(second[dual_ids], minlength=k)
+        p_off = np.zeros(k + 1, dtype=np.int64)
+        p_off[1:] = np.cumsum(p_counts)
+        b_off = np.zeros(k + 1, dtype=np.int64)
+        b_off[1:] = np.cumsum(b_counts)
+        sizes = p_counts + b_counts
+        offsets = np.zeros(k + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum(sizes)
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        for c in range(k):
+            o = int(offsets[c])
+            np_c = int(p_counts[c])
+            flat[o : o + np_c] = order_p[p_off[c] : p_off[c + 1]]
+            flat[o + np_c : o + np_c + int(b_counts[c])] = order_b[
+                b_off[c] : b_off[c + 1]
+            ]
+
+        dt_counts = np.ones(num_docs, dtype=np.int64)
+        dt_counts[dual] = 2
+        dt_off = np.zeros(num_docs + 1, dtype=np.int64)
+        dt_off[1:] = np.cumsum(dt_counts)
+        dt_flat = np.empty(int(dt_off[-1]), dtype=np.int64)
+        dt_flat[dt_off[:-1]] = primary
+        dt_flat[dt_off[:-1][dual] + 1] = second[dual]
+
+        np.save(handle.path / "centroids.npy", centroids)
+        np.save(handle.path / "assign_flat.npy", flat)
+        np.save(handle.path / "assign_offsets.npy", offsets)
+        np.save(handle.path / "doc2c_flat.npy", dt_flat)
+        np.save(handle.path / "doc2c_offsets.npy", dt_off)
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(centroids).tobytes())
+        h.update(repr(float(threshold)).encode("ascii"))
+        h.update(flat.tobytes())
+        h.update(offsets.tobytes())
+        outputs = {
+            "content_key": h.hexdigest(),
+            "threshold": float(threshold),
+            "num_clusters": int(k),
+            "max_size": int(sizes.max()),
+        }
+        counters = {
+            "num_clusters": int(k),
+            "dual_assigned": int(dual.sum()),
+            "docs": num_docs,
+        }
+        return counters, outputs
+
+    if pinned is not None:
+        cluster_params = {
+            "centroids": hashlib.sha256(
+                np.ascontiguousarray(pinned.centroids).tobytes()
+            ).hexdigest(),
+            "threshold": repr(float(pinned.boundary_threshold)),
+            "boundary_fraction": config.boundary_fraction,
+            "chunk": ingest.kmeans_batch,
+        }
+    else:
+        cluster_params = {
+            "target_cluster_size": config.cluster_size_for(num_docs),
+            "boundary_fraction": config.boundary_fraction,
+            "seed": ingest.seed,
+            "epochs": ingest.kmeans_epochs,
+            "chunk": ingest.kmeans_batch,
+        }
+    cluster = store.stage("cluster", cluster_params, [embed_out["content_key"]])
+    results.append(_run_stage(cluster, _cluster))
+    cluster_out = cluster.outputs()
+    num_clusters = int(cluster_out["num_clusters"])
+    threshold = float(cluster_out["threshold"])
+    max_size = int(cluster_out["max_size"])
+
+    # -- stage 6: pack -- consolidated embeddings + quantized columns ------
+    def _pack(handle: StageHandle) -> tuple[dict, dict]:
+        embs = np.lib.format.open_memmap(
+            handle.path / "embeddings.npy",
+            mode="w+",
+            dtype=np.float64,
+            shape=(num_docs, dim),
+        )
+        quant = np.lib.format.open_memmap(
+            handle.path / "quantized.npy",
+            mode="w+",
+            dtype=np.int64,
+            shape=(num_docs, dim),
+        )
+        cursor = 0
+        for emb in _emb_batches():
+            stop = cursor + emb.shape[0]
+            embs[cursor:stop] = emb
+            quantize_gained(
+                emb, models.gain, config.quantization(), out=quant[cursor:stop]
+            )
+            cursor = stop
+        embs.flush()
+        quant.flush()
+        flat = np.load(cluster.path / "assign_flat.npy")
+        offsets = np.load(cluster.path / "assign_offsets.npy")
+        digests = []
+        for c in range(num_clusters):
+            members = flat[offsets[c] : offsets[c + 1]]
+            block = np.ascontiguousarray(quant[members])
+            digests.append(hashlib.sha256(block.tobytes()).hexdigest())
+        (handle.path / "cluster_digests.json").write_text(
+            json.dumps(digests), encoding="utf-8"
+        )
+        h = hashlib.sha256()
+        h.update(repr(float(models.gain)).encode("ascii"))
+        for digest in digests:
+            h.update(digest.encode("ascii"))
+        return {"docs_packed": num_docs}, {"content_key": h.hexdigest()}
+
+    pack = store.stage(
+        "pack",
+        {
+            "gain": repr(float(models.gain)),
+            "precision_bits": config.precision_bits,
+        },
+        [embed_out["content_key"], cluster_out["content_key"]],
+    )
+    results.append(_run_stage(pack, _pack))
+    pack_out = pack.outputs()
+
+    # -- stage 7: encrypt -- hints (cached per cluster), layout, artifact --
+    if pinned is not None:
+        ranking_a_seed = pinned.ranking_a_seed
+        url_a_seed = pinned.url_a_seed
+    else:
+        seed_rng = np.random.default_rng([ingest.seed, 2])
+        ranking_a_seed = seed_rng.bytes(32)
+        url_a_seed = seed_rng.bytes(32)
+
+    def _encrypt(handle: StageHandle) -> tuple[dict, dict]:
+        flat = np.load(cluster.path / "assign_flat.npy")
+        offsets = np.load(cluster.path / "assign_offsets.npy")
+        dt_flat = np.load(cluster.path / "doc2c_flat.npy")
+        dt_off = np.load(cluster.path / "doc2c_offsets.npy")
+        centroids = np.load(cluster.path / "centroids.npy")
+        sizes = np.diff(offsets)
+        quant = np.load(pack.path / "quantized.npy", mmap_mode="r")
+        embs = np.load(pack.path / "embeddings.npy", mmap_mode="r")
+        digests = json.loads(
+            (pack.path / "cluster_digests.json").read_text(encoding="utf-8")
+        )
+
+        scheme = ranking_scheme_for(
+            config, dim * num_clusters, a_seed=ranking_a_seed
+        )
+
+        def blocks():
+            for c in range(num_clusters):
+                members = flat[offsets[c] : offsets[c + 1]]
+                yield c, np.ascontiguousarray(quant[members]), digests[c]
+
+        hint, hint_counters = enc.accumulate_ranking_hint(
+            scheme, blocks(), max_size, dim, store.cache_dir("hint")
+        )
+        ranking_prep = enc.finish_prep(scheme, hint)
+
+        def streams():
+            for c in range(num_clusters):
+                members = flat[offsets[c] : offsets[c + 1]]
+                yield members, np.ascontiguousarray(quant[members])
+
+        layout = layout_from_cluster_streams(streams(), dim, sizes)
+
+        url_offsets = np.load(filt.path / "url_offsets.npy")
+
+        def layout_urls():
+            with (filt.path / "urls.tsv").open("rb") as fh:
+                for c in range(num_clusters):
+                    for d in flat[offsets[c] : offsets[c + 1]]:
+                        fh.seek(int(url_offsets[d]))
+                        raw = fh.read(
+                            int(url_offsets[d + 1] - url_offsets[d]) - 1
+                        )
+                        yield raw.decode("utf-8")
+
+        url_batches = []
+        for batch in enc.iter_positional_batches(
+            layout_urls(), config.url_batch_size
+        ):
+            url_batches.append(batch)
+        url_db, url_scheme = url_side_for(
+            url_batches, config, a_seed=url_a_seed
+        )
+        url_prep, url_cached = enc.preprocess_cached(
+            url_scheme, url_db.matrix, store.cache_dir("prep"), "url"
+        )
+
+        # The build ledger is derived from shapes alone, so a delta
+        # rebuild and a full rebuild of the same snapshot agree on it.
+        ledger = CostLedger()
+        ledger.add("embed", num_docs * config.embedding_dim)
+        if models.pca is not None:
+            ledger.add("pca", num_docs * dim * config.embedding_dim)
+        ledger.add("cluster", num_docs * num_clusters * dim)
+        ledger.add(
+            "crypto",
+            scheme.inner.preprocess_word_ops(layout.rows)
+            + url_scheme.inner.preprocess_word_ops(url_db.num_rows),
+        )
+
+        token_factory = TokenFactory()
+        token_factory.register("ranking", scheme, ranking_prep)
+        token_factory.register("url", url_scheme, url_prep)
+        clusters = ClusterIndex(
+            centroids=centroids,
+            assignments=artifacts._unflatten(flat, offsets),
+            doc_to_clusters=artifacts._unflatten(dt_flat, dt_off),
+        )
+        index = TiptoeIndex(
+            config=config,
+            embedder=models.embedder,
+            pca=models.pca,
+            clusters=clusters,
+            layout=layout,
+            url_batches=url_batches,
+            url_db=url_db,
+            ranking_scheme=scheme,
+            url_scheme=url_scheme,
+            ranking_prep=ranking_prep,
+            url_prep=url_prep,
+            token_factory=token_factory,
+            build_ledger=ledger,
+            embeddings=embs,
+            url_position_map=None,
+            quantization_gain=models.gain,
+            boundary_threshold=threshold,
+            doc_digests=np.load(filt.path / "digests.npy"),
+        )
+        artifacts.save_index(index, out_dir, precompute=precompute)
+        digest = artifacts.artifact_digest(out_dir)
+        counters = dict(hint_counters)
+        counters["url_prep_cached"] = int(url_cached)
+        outputs = {
+            "artifact_digest": digest,
+            "generation_tag": digest[: artifacts.GENERATION_TAG_LEN],
+        }
+        return counters, outputs
+
+    def _artifact_matches(handle: StageHandle) -> bool:
+        expected = handle.outputs().get("artifact_digest")
+        try:
+            return artifacts.artifact_digest(out_dir) == expected
+        except artifacts.ArtifactError:
+            return False
+
+    encrypt = store.stage(
+        "encrypt",
+        {
+            "config": artifacts._config_manifest(config),
+            "ranking_a_seed": ranking_a_seed.hex(),
+            "url_a_seed": url_a_seed.hex(),
+            "precompute": precompute,
+        },
+        [pack_out["content_key"], cluster_out["content_key"]],
+    )
+    results.append(_run_stage(encrypt, _encrypt, validate=_artifact_matches))
+    encrypt_out = encrypt.outputs()
+
+    return IngestReport(
+        stages=tuple(results),
+        num_docs=num_docs,
+        num_clusters=num_clusters,
+        artifact_digest=encrypt_out["artifact_digest"],
+        generation_tag=encrypt_out["generation_tag"],
+        out_dir=str(out_dir),
+    )

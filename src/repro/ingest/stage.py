@@ -1,0 +1,159 @@
+"""Checkpointed stage artifacts for the ingestion plane.
+
+Every pipeline stage spills its outputs into a stage directory under
+the spool root and marks completion with an atomically-written
+``stage.json`` marker (schema ``repro.stage/v1``)::
+
+    {
+      "schema":   "repro.stage/v1",
+      "stage":    "embed",
+      "key":      "<sha256 over (schema, stage, params, input keys)>",
+      "complete": true,
+      "counters": {"docs_embedded": 4096, ...},
+      "outputs":  {"content_key": "..."}
+    }
+
+The ``key`` is the stage's identity: a digest over its parameters and
+the *output content keys* of its input stages, so a change anywhere
+upstream (different corpus, different model, different config) changes
+every downstream key and forces recomputation, while an unchanged
+prefix of the DAG is reused as-is.  A stage whose marker is missing,
+incomplete, or keyed differently is reset and recomputed -- which is
+exactly the resume-after-kill story: a ``SIGKILL`` mid-stage leaves no
+marker (or ``complete: false`` never written), so the rerun recomputes
+only that stage and everything after it.
+
+:meth:`StageStore.cache_dir` returns a content-addressed cache
+directory that deliberately lives *outside* any stage directory: the
+per-cluster hint contributions of the encrypt stage are keyed by the
+SHA-256 of their inputs and survive stage resets, which is what makes
+the delta reindex skip re-encrypting unchanged clusters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Sequence
+
+SCHEMA = "repro.stage/v1"
+
+_MARKER = "stage.json"
+
+
+class StageError(RuntimeError):
+    """A stage directory is unusable (corrupt marker, bad schema)."""
+
+
+def stage_key(stage: str, params: dict, inputs: Sequence[str]) -> str:
+    """The digest identifying one stage invocation."""
+    payload = json.dumps(
+        {
+            "schema": SCHEMA,
+            "stage": stage,
+            "params": params,
+            "inputs": list(inputs),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class StageHandle:
+    """One stage's directory, marker, and completion state."""
+
+    def __init__(self, name: str, path: Path, key: str):
+        self.name = name
+        self.path = path
+        self.key = key
+
+    @property
+    def marker_path(self) -> Path:
+        return self.path / _MARKER
+
+    def _read_marker(self) -> dict | None:
+        try:
+            marker = json.loads(self.marker_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise StageError(
+                f"stage {self.name}: unreadable marker ({exc})"
+            ) from exc
+        if marker.get("schema") != SCHEMA:
+            raise StageError(
+                f"stage {self.name}: marker schema is"
+                f" {marker.get('schema')!r}, this build reads {SCHEMA!r}"
+            )
+        return marker
+
+    def is_complete(self) -> bool:
+        """True iff this exact invocation already ran to completion."""
+        marker = self._read_marker()
+        return (
+            marker is not None
+            and marker.get("complete") is True
+            and marker.get("key") == self.key
+        )
+
+    def counters(self) -> dict:
+        marker = self._read_marker()
+        if marker is None:
+            return {}
+        return dict(marker.get("counters", {}))
+
+    def outputs(self) -> dict:
+        marker = self._read_marker()
+        if marker is None:
+            return {}
+        return dict(marker.get("outputs", {}))
+
+    def reset(self) -> None:
+        """Clear the stage directory for a fresh run."""
+        if self.path.exists():
+            shutil.rmtree(self.path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def finish(self, counters: dict | None = None, outputs: dict | None = None) -> None:
+        """Mark the stage complete (atomic: write-then-rename)."""
+        marker = {
+            "schema": SCHEMA,
+            "stage": self.name,
+            "key": self.key,
+            "complete": True,
+            "counters": counters or {},
+            "outputs": outputs or {},
+        }
+        tmp = self.marker_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(marker, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, self.marker_path)
+
+
+class StageStore:
+    """The spool directory holding every stage's checkpointed artifacts."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def stage(
+        self, name: str, params: dict, inputs: Sequence[str] = ()
+    ) -> StageHandle:
+        return StageHandle(
+            name=name,
+            path=self.root / name,
+            key=stage_key(name, params, inputs),
+        )
+
+    def cache_dir(self, name: str) -> Path:
+        """A content-addressed cache surviving stage resets."""
+        path = self.root / "cache" / name
+        path.mkdir(parents=True, exist_ok=True)
+        return path

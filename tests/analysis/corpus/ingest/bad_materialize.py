@@ -1,0 +1,31 @@
+"""Known-bad ingest snippets: whole-corpus materialization."""
+
+import numpy as np
+
+
+def stacks_the_corpus(source):
+    rows = []
+    for batch in source.batches():
+        rows.append(batch.embeddings)
+    return np.vstack(rows)  # BAD: one array spanning every batch
+
+
+def concatenates_ids(source):
+    parts = [b.doc_ids for b in source.batches()]
+    return np.concatenate(parts)  # BAD: same shape, different spelling
+
+
+def drains_the_stream(source):
+    return list(source.batches())  # BAD: every batch resident at once
+
+
+def drains_a_generator(source):
+    return sorted(doc for batch in source.batches() for doc in batch)  # BAD
+
+
+def tuples_read_batches(path):
+    return tuple(read_batches(path))  # BAD: drains a batch reader
+
+
+def read_batches(path):
+    yield path

@@ -1,0 +1,28 @@
+"""Known-good ingest snippets: bounded, per-batch work."""
+
+import numpy as np
+
+
+def preallocates_and_fills(source, num_docs, dim):
+    out = np.zeros((num_docs, dim))  # GOOD: one fixed allocation
+    cursor = 0
+    for batch in source.batches():
+        stop = cursor + len(batch)
+        out[cursor:stop] = batch.embeddings  # GOOD: per-batch slice fill
+        cursor = stop
+    return out
+
+
+def bounded_per_batch_copy(batch):
+    return list(batch.texts)  # GOOD: one batch, bounded by batch_size
+
+
+def fixed_size_list(num_clusters):
+    return list(range(num_clusters))  # GOOD: scales with k, not corpus
+
+
+def streams_through(source):
+    total = 0
+    for batch in source.batches():  # GOOD: iterate, never drain
+        total += len(batch)
+    return total

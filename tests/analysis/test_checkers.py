@@ -162,6 +162,35 @@ class TestHotPathChecker:
             ]
 
 
+class TestIngestChecker:
+    def test_bad_file_trips_every_materialize_shape(self):
+        rules = active_rules(CORPUS / "ingest" / "bad_materialize.py")
+        # vstack, concatenate, list(batches()), sorted(genexp),
+        # tuple(read_batches()).
+        assert rules["ingest-materialize"] == 5
+
+    def test_good_file_is_clean(self):
+        assert not active_rules(CORPUS / "ingest" / "good_materialize.py")
+
+    def test_rule_is_scoped_to_the_ingest_dir(self, tmp_path):
+        """The same code outside src/repro/ingest/ is not flagged."""
+        outside = tmp_path / "elsewhere.py"
+        outside.write_text(
+            (CORPUS / "ingest" / "bad_materialize.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        assert not active_rules(outside)["ingest-materialize"]
+
+    def test_shipped_ingest_plane_is_clean(self):
+        import repro.ingest.pipeline as pipeline
+
+        src_dir = Path(pipeline.__file__).parent
+        for path in sorted(src_dir.glob("*.py")):
+            assert not active_rules(path)["ingest-materialize"], path
+
+
 class TestFramework:
     def test_parse_error_becomes_a_finding(self, tmp_path):
         broken = tmp_path / "broken.py"

@@ -8,6 +8,8 @@ from repro.core.updates import (
     apply_update,
     assign_new_documents,
     metadata_refresh_bytes,
+    publish_snapshot,
+    reindex,
 )
 
 
@@ -113,3 +115,107 @@ class TestAssignment:
         centroids = engine.index.clusters.centroids
         got = assign_new_documents(engine.index, centroids[:3])
         assert got == [0, 1, 2]
+
+
+class TestPublishSnapshot:
+    def test_apply_update_round_trips_through_artifacts(
+        self, updated, tmp_path
+    ):
+        """The updated index survives publish -> load and still serves."""
+        from repro.core import artifacts
+
+        index, _, new_urls = updated
+        tag = publish_snapshot(index, tmp_path / "snap")
+        loaded = artifacts.load_index(tmp_path / "snap")
+        assert loaded.num_docs == index.num_docs
+        assert np.array_equal(
+            loaded.ranking_prep.hint, index.ranking_prep.hint
+        )
+        engine = TiptoeEngine(index=loaded)
+        result = engine.search("fresh update", np.random.default_rng(3))
+        assert result.results
+        assert len(tag) == 8
+
+    def test_generation_tag_stable_across_save_load(self, updated, tmp_path):
+        """Save -> load -> save again reproduces the same generation tag."""
+        from repro.core import artifacts
+
+        index, _, _ = updated
+        first = publish_snapshot(index, tmp_path / "a")
+        loaded = artifacts.load_index(tmp_path / "a")
+        second = publish_snapshot(loaded, tmp_path / "b")
+        assert first == second
+        assert artifacts.artifact_digest(
+            tmp_path / "a"
+        ) == artifacts.artifact_digest(tmp_path / "b")
+
+
+class TestReindex:
+    @pytest.fixture(scope="class")
+    def snapshots(self, tmp_path_factory):
+        """A base streaming build plus delta and full rebuilds of a
+        ~4%-mutated snapshot of the same corpus."""
+        from repro.core.config import TiptoeConfig
+        from repro.corpus.source import (
+            MutatedDocumentSource,
+            SyntheticDocumentSource,
+        )
+        from repro.corpus.synthetic import SyntheticCorpusConfig
+        from repro.ingest import IngestConfig, run_ingest
+
+        root = tmp_path_factory.mktemp("reindex")
+        config = TiptoeConfig(target_cluster_size=16)
+        ingest = IngestConfig(batch_size=64, sample_size=256)
+        base = SyntheticDocumentSource(
+            SyntheticCorpusConfig(num_docs=240, seed=7), batch_size=64
+        )
+        run_ingest(
+            base, config, root / "base", spool_dir=root / "spool",
+            ingest=ingest,
+        )
+        mutated = MutatedDocumentSource(base, 0.04, mutate_seed=3)
+        delta = reindex(
+            root / "base", mutated, root / "delta",
+            spool_dir=root / "spool", ingest=ingest,
+        )
+        full = reindex(
+            root / "base", mutated, root / "full",
+            spool_dir=root / "spool", ingest=ingest, full=True,
+        )
+        return root, mutated, delta, full
+
+    def test_delta_matches_full_bit_for_bit(self, snapshots):
+        from repro.core import artifacts
+
+        root, _, delta, full = snapshots
+        assert delta.generation_tag == full.generation_tag
+        assert artifacts.artifact_digest(
+            root / "delta"
+        ) == artifacts.artifact_digest(root / "full")
+
+    def test_delta_reembeds_only_mutated_documents(self, snapshots):
+        _, mutated, delta, full = snapshots
+        changed = len(mutated.mutated_ids(delta.num_docs))
+        assert delta.docs_embedded == changed
+        assert delta.docs_reused == delta.num_docs - changed
+        assert full.docs_embedded == full.num_docs
+
+    def test_delta_reencrypts_only_affected_clusters(self, snapshots):
+        _, _, delta, full = snapshots
+        assert 0 < delta.clusters_encrypted < delta.num_clusters
+        assert (
+            delta.clusters_encrypted + delta.clusters_reused
+            == delta.num_clusters
+        )
+        assert full.clusters_encrypted == full.num_clusters
+
+    def test_new_generation_is_swap_ready(self, snapshots):
+        from repro.core import artifacts
+
+        root, _, delta, _ = snapshots
+        assert delta.generation_tag == artifacts.generation_tag(
+            root / "delta"
+        )
+        assert delta.generation_tag != artifacts.generation_tag(
+            root / "base"
+        )

@@ -1,0 +1,131 @@
+"""Tests for the streaming DocumentSource protocol (repro.corpus.source)."""
+
+import pytest
+
+from repro.corpus.source import (
+    DocumentBatch,
+    DocumentSource,
+    ImageDocumentSource,
+    ListDocumentSource,
+    MutatedDocumentSource,
+    SyntheticDocumentSource,
+    TrecDocumentSource,
+    doc_digest,
+)
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.trec import export_documents
+
+CFG = SyntheticCorpusConfig(num_docs=83, num_topics=5, vocab_size=300, seed=4)
+
+
+def drain(source):
+    texts, urls = [], []
+    for batch in source.batches():
+        assert batch.start_id == len(texts)
+        texts.extend(batch.texts)
+        urls.extend(batch.urls)
+    return texts, urls
+
+
+class TestSyntheticSource:
+    def test_matches_materialized_corpus_for_any_batch_size(self):
+        corpus = SyntheticCorpus.generate(CFG)
+        for batch_size in (1, 7, 64, 200):
+            texts, urls = drain(SyntheticDocumentSource(CFG, batch_size))
+            assert texts == corpus.texts()
+            assert urls == corpus.urls()
+
+    def test_batches_are_bounded(self):
+        for batch in SyntheticDocumentSource(CFG, batch_size=16).batches():
+            assert len(batch) <= 16
+
+    def test_fingerprint_tracks_config(self):
+        a = SyntheticDocumentSource(CFG).fingerprint()
+        other = SyntheticCorpusConfig(num_docs=83, seed=5)
+        assert a != SyntheticDocumentSource(other).fingerprint()
+        assert a == SyntheticDocumentSource(CFG, batch_size=9).fingerprint()
+
+
+class TestListAndTrecSources:
+    def test_list_source_round_trip(self):
+        texts = [f"doc number {i}" for i in range(11)]
+        urls = [f"https://e.com/{i}" for i in range(11)]
+        src = ListDocumentSource(texts, urls, batch_size=4)
+        assert drain(src) == (texts, urls)
+        assert isinstance(src, DocumentSource)
+
+    def test_trec_source_streams_export(self, tmp_path):
+        corpus = SyntheticCorpus.generate(CFG)
+        path = tmp_path / "docs.tsv"
+        export_documents(path, corpus.texts(), corpus.urls())
+        texts, urls = drain(TrecDocumentSource(path, batch_size=10))
+        assert urls == corpus.urls()
+        assert len(texts) == corpus.num_docs
+
+    def test_trec_source_rejects_sparse_ids(self, tmp_path):
+        path = tmp_path / "docs.tsv"
+        path.write_text("0\tu0\tt0\n2\tu2\tt2\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="dense"):
+            drain(TrecDocumentSource(path))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ListDocumentSource(["a"], [])
+        with pytest.raises(ValueError):
+            ListDocumentSource(["a"], ["u"], batch_size=0)
+        with pytest.raises(ValueError):
+            DocumentBatch(start_id=0, texts=("a",), urls=())
+
+
+class TestImageSource:
+    def test_streams_the_caption_side(self):
+        src = ImageDocumentSource(30, seed=2, batch_size=8)
+        texts, urls = drain(src)
+        assert texts == src.corpus.captions()
+        assert urls == src.corpus.urls()
+
+
+class TestMutatedSource:
+    def test_deterministic_for_any_batch_size(self):
+        base = SyntheticDocumentSource(CFG, batch_size=64)
+        src = MutatedDocumentSource(base, 0.1, mutate_seed=9)
+        first = drain(src)
+        again = drain(
+            MutatedDocumentSource(
+                SyntheticDocumentSource(CFG, batch_size=5), 0.1, mutate_seed=9
+            )
+        )
+        assert first == again
+
+    def test_mutated_ids_oracle_matches_stream(self):
+        base = SyntheticDocumentSource(CFG, batch_size=32)
+        src = MutatedDocumentSource(base, 0.15, mutate_seed=1)
+        base_texts, base_urls = drain(base)
+        texts, urls = drain(src)
+        assert urls == base_urls
+        changed = [i for i in range(len(texts)) if texts[i] != base_texts[i]]
+        assert changed == src.mutated_ids(len(texts))
+        assert 0 < len(changed) < len(texts)
+
+    def test_zero_fraction_is_identity(self):
+        base = SyntheticDocumentSource(CFG, batch_size=32)
+        src = MutatedDocumentSource(base, 0.0)
+        assert drain(src) == drain(base)
+        assert src.mutated_ids(CFG.num_docs) == []
+
+    def test_validation(self):
+        base = SyntheticDocumentSource(CFG)
+        with pytest.raises(ValueError):
+            MutatedDocumentSource(base, 1.5)
+
+
+class TestDocDigest:
+    def test_digest_separates_text_and_url(self):
+        assert doc_digest("ab", "c") != doc_digest("a", "bc")
+        assert doc_digest("a", "b") != doc_digest("a", "c")
+        assert len(doc_digest("a", "b")) == 32
+
+    def test_digest_is_stable(self):
+        assert doc_digest("hello", "https://x.com") == doc_digest(
+            "hello", "https://x.com"
+        )

@@ -1,0 +1,217 @@
+"""End-to-end tests for the streaming ingestion pipeline."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import artifacts
+from repro.core.config import TiptoeConfig
+from repro.corpus.source import ListDocumentSource, SyntheticDocumentSource
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.ingest import IngestConfig, run_ingest
+
+CORPUS_CFG = SyntheticCorpusConfig(
+    num_docs=220, num_topics=6, vocab_size=350, seed=13
+)
+CONFIG = TiptoeConfig(target_cluster_size=16)
+INGEST = IngestConfig(batch_size=48, sample_size=256)
+
+STAGES = ("source", "filter", "model", "embed", "cluster", "pack", "encrypt")
+
+
+def source(batch_size=48):
+    return SyntheticDocumentSource(CORPUS_CFG, batch_size=batch_size)
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    root = tmp_path_factory.mktemp("ingest")
+    report = run_ingest(
+        source(), CONFIG, root / "out", spool_dir=root / "spool",
+        ingest=INGEST,
+    )
+    return root, report
+
+
+class TestStreamingBuild:
+    def test_all_stages_run_in_order(self, built):
+        _, report = built
+        assert tuple(s.name for s in report.stages) == STAGES
+        assert all(s.status == "computed" for s in report.stages)
+
+    def test_artifact_loads_and_matches_the_corpus(self, built):
+        root, report = built
+        index = artifacts.load_index(root / "out")
+        corpus = SyntheticCorpus.generate(CORPUS_CFG)
+        assert index.num_docs == corpus.num_docs == report.num_docs
+        assert report.generation_tag == artifacts.generation_tag(root / "out")
+        assert index.boundary_threshold is not None
+        assert index.doc_digests.shape == (corpus.num_docs, 32)
+
+    def test_crypto_matches_monolithic_preprocess(self, built):
+        """The per-cluster accumulated hint IS scheme.preprocess(M)."""
+        root, _ = built
+        index = artifacts.load_index(root / "out")
+        direct = index.ranking_scheme.preprocess(index.layout.matrix)
+        assert np.array_equal(index.ranking_prep.hint, direct.hint)
+        assert np.array_equal(
+            index.ranking_prep.switched_hint, direct.switched_hint
+        )
+
+    def test_rerun_is_fully_cached_and_identical(self, built):
+        root, report = built
+        again = run_ingest(
+            source(), CONFIG, root / "out", spool_dir=root / "spool",
+            ingest=INGEST,
+        )
+        assert all(s.status == "cached" for s in again.stages)
+        assert again.artifact_digest == report.artifact_digest
+
+    def test_changing_config_invalidates_downstream(self, built):
+        root, _ = built
+        report = run_ingest(
+            source(), CONFIG, root / "out2", spool_dir=root / "spool",
+            ingest=IngestConfig(batch_size=48, sample_size=256, seed=1),
+        )
+        # Same corpus -> source stage is reusable; a different pipeline
+        # seed changes the model stage and everything after it.
+        assert report.stage("source").status == "cached"
+        assert report.stage("model").status == "computed"
+        assert report.stage("encrypt").status == "computed"
+
+
+class TestBatchSizeInvariance:
+    def test_artifact_digest_is_independent_of_batch_size(self, tmp_path):
+        digests = set()
+        for batch_size in (32, 96):
+            report = run_ingest(
+                source(batch_size),
+                CONFIG,
+                tmp_path / f"out{batch_size}",
+                spool_dir=tmp_path / f"spool{batch_size}",
+                ingest=IngestConfig(
+                    batch_size=batch_size, sample_size=256
+                ),
+            )
+            digests.add(report.artifact_digest)
+        assert len(digests) == 1
+
+
+class TestWorkerParity:
+    def test_multiprocess_embed_matches_inline(self, tmp_path, built):
+        _, inline = built
+        report = run_ingest(
+            source(), CONFIG, tmp_path / "out", spool_dir=tmp_path / "spool",
+            ingest=IngestConfig(batch_size=48, sample_size=256, workers=2),
+        )
+        assert report.artifact_digest == inline.artifact_digest
+
+
+class TestFilterStage:
+    def test_drops_empty_and_duplicate_documents(self, tmp_path):
+        texts = ["alpha beta gamma delta"] * 3 + [
+            "   ",
+            "epsilon zeta eta theta",
+        ] * 2 + [f"word{i} things stuff more" for i in range(20)]
+        urls = [f"https://e.com/{i}" for i in range(len(texts))]
+        # Duplicate URLs too, so the dup rule (digest over text+url)
+        # actually fires for the repeated documents.
+        urls[1] = urls[2] = urls[0]
+        urls[5] = urls[3]
+        report = run_ingest(
+            ListDocumentSource(texts, urls, batch_size=4),
+            TiptoeConfig(embedding_dim=6, pca_dim=3, target_cluster_size=8),
+            tmp_path / "out",
+            spool_dir=tmp_path / "spool",
+            ingest=IngestConfig(batch_size=4, sample_size=8),
+        )
+        counters = report.counters("filter")
+        assert counters["dropped_empty"] == 2
+        assert counters["dropped_dup"] == 2
+        assert counters["docs_out"] == len(texts) - 4
+        assert report.num_docs == len(texts) - 4
+
+
+class TestKillResume:
+    def test_resumes_from_last_checkpoint_after_kill(self, tmp_path):
+        """SIGKILL-equivalent mid-pipeline, then rerun: the completed
+        prefix is reused, the rest recomputed, result bit-identical."""
+        script = textwrap.dedent(
+            """
+            import os
+            import repro.ingest.pipeline as pipeline
+            from repro.core.config import TiptoeConfig
+            from repro.corpus.source import SyntheticDocumentSource
+            from repro.corpus.synthetic import SyntheticCorpusConfig
+            from repro.ingest import IngestConfig, run_ingest
+
+            def die_after_embed(stage):
+                if stage == "embed":
+                    os._exit(7)
+
+            pipeline._STAGE_HOOK = die_after_embed
+            run_ingest(
+                SyntheticDocumentSource(
+                    SyntheticCorpusConfig(
+                        num_docs=220, num_topics=6, vocab_size=350, seed=13
+                    ),
+                    batch_size=48,
+                ),
+                TiptoeConfig(target_cluster_size=16),
+                %r,
+                spool_dir=%r,
+                ingest=IngestConfig(batch_size=48, sample_size=256),
+            )
+            raise SystemExit("pipeline was supposed to die mid-run")
+            """
+        ) % (str(tmp_path / "out"), str(tmp_path / "spool"))
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == 7, proc.stderr.decode()
+
+        resumed = run_ingest(
+            source(), CONFIG, tmp_path / "out",
+            spool_dir=tmp_path / "spool", ingest=INGEST,
+        )
+        for name in ("source", "filter", "model", "embed"):
+            assert resumed.stage(name).status == "cached", name
+        for name in ("cluster", "pack", "encrypt"):
+            assert resumed.stage(name).status == "computed", name
+
+        clean = run_ingest(
+            source(), CONFIG, tmp_path / "clean",
+            spool_dir=tmp_path / "spool2", ingest=INGEST,
+        )
+        assert resumed.artifact_digest == clean.artifact_digest
+
+
+class TestValidation:
+    def test_rejects_positional_url_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="content-grouped"):
+            run_ingest(
+                source(),
+                TiptoeConfig(group_urls_by_content=False),
+                tmp_path / "out",
+                spool_dir=tmp_path / "spool",
+            )
+
+    def test_ingest_config_validation(self):
+        with pytest.raises(ValueError):
+            IngestConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            IngestConfig(sample_size=1)
+        with pytest.raises(ValueError):
+            IngestConfig(kmeans_epochs=0)
+        with pytest.raises(ValueError):
+            IngestConfig(kmeans_batch=1)
+        with pytest.raises(ValueError):
+            IngestConfig(workers=-1)

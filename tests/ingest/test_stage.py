@@ -1,0 +1,114 @@
+"""Tests for the repro.stage/v1 checkpoint format."""
+
+import json
+
+import pytest
+
+from repro.ingest import SCHEMA, StageError, StageStore
+from repro.ingest.stage import stage_key
+
+
+class TestStageKey:
+    def test_deterministic(self):
+        a = stage_key("embed", {"dim": 12}, ["abc"])
+        assert a == stage_key("embed", {"dim": 12}, ["abc"])
+
+    def test_sensitive_to_every_component(self):
+        base = stage_key("embed", {"dim": 12}, ["abc"])
+        assert base != stage_key("pack", {"dim": 12}, ["abc"])
+        assert base != stage_key("embed", {"dim": 13}, ["abc"])
+        assert base != stage_key("embed", {"dim": 12}, ["abd"])
+        assert base != stage_key("embed", {"dim": 12}, ["abc", "x"])
+
+    def test_param_order_does_not_matter(self):
+        assert stage_key("s", {"a": 1, "b": 2}, []) == stage_key(
+            "s", {"b": 2, "a": 1}, []
+        )
+
+
+class TestStageHandle:
+    def test_lifecycle(self, tmp_path):
+        store = StageStore(tmp_path)
+        handle = store.stage("embed", {"dim": 12}, ["abc"])
+        assert not handle.is_complete()
+        handle.reset()
+        (handle.path / "out.bin").write_bytes(b"payload")
+        handle.finish({"docs": 7}, {"content_key": "deadbeef"})
+        assert handle.is_complete()
+        assert handle.counters() == {"docs": 7}
+        assert handle.outputs() == {"content_key": "deadbeef"}
+        # A fresh handle over the same spool sees the same state.
+        again = StageStore(tmp_path).stage("embed", {"dim": 12}, ["abc"])
+        assert again.is_complete()
+
+    def test_changed_key_invalidates(self, tmp_path):
+        store = StageStore(tmp_path)
+        store.stage("embed", {"dim": 12}).reset()
+        store.stage("embed", {"dim": 12}).finish()
+        # Same stage directory, different params: stale.
+        assert not store.stage("embed", {"dim": 16}).is_complete()
+        # Different upstream content key: also stale.
+        assert not store.stage("embed", {"dim": 12}, ["x"]).is_complete()
+
+    def test_reset_clears_previous_outputs(self, tmp_path):
+        handle = StageStore(tmp_path).stage("pack", {})
+        handle.reset()
+        stale = handle.path / "stale.npy"
+        stale.write_bytes(b"old")
+        handle.reset()
+        assert not stale.exists()
+        assert handle.path.is_dir()
+
+    def test_interrupted_stage_is_not_complete(self, tmp_path):
+        """A kill before finish() leaves no marker -> recompute."""
+        handle = StageStore(tmp_path).stage("cluster", {})
+        handle.reset()
+        (handle.path / "partial.npy").write_bytes(b"half")
+        assert not handle.is_complete()
+
+    def test_foreign_schema_is_rejected(self, tmp_path):
+        handle = StageStore(tmp_path).stage("embed", {})
+        handle.reset()
+        handle.marker_path.write_text(
+            json.dumps({"schema": "repro.stage/v999", "complete": True}),
+            encoding="utf-8",
+        )
+        with pytest.raises(StageError, match="schema"):
+            handle.is_complete()
+
+    def test_corrupt_marker_is_an_error(self, tmp_path):
+        handle = StageStore(tmp_path).stage("embed", {})
+        handle.reset()
+        handle.marker_path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StageError, match="unreadable"):
+            handle.is_complete()
+
+    def test_marker_schema_round_trips(self, tmp_path):
+        handle = StageStore(tmp_path).stage("source", {"s": 1}, ["k"])
+        handle.reset()
+        handle.finish({"n": 3}, {"content_key": "c"})
+        marker = json.loads(handle.marker_path.read_text(encoding="utf-8"))
+        assert marker["schema"] == SCHEMA
+        assert marker["stage"] == "source"
+        assert marker["key"] == handle.key
+        assert marker["complete"] is True
+
+
+class TestStageStore:
+    def test_cache_dir_survives_stage_reset(self, tmp_path):
+        store = StageStore(tmp_path)
+        cache = store.cache_dir("hint")
+        entry = cache / "abc.npy"
+        entry.write_bytes(b"contribution")
+        for name in ("encrypt", "hint"):
+            handle = store.stage(name, {})
+            handle.reset()
+            handle.reset()
+        assert entry.read_bytes() == b"contribution"
+
+    def test_stage_dirs_are_namespaced_by_name(self, tmp_path):
+        store = StageStore(tmp_path)
+        a = store.stage("embed", {})
+        b = store.stage("pack", {})
+        assert a.path != b.path
+        assert a.path.parent == b.path.parent == store.root
