@@ -1,0 +1,163 @@
+"""Kernel backends: stacked-GEMM throughput, reference vs multiprocess.
+
+The ranking scan is one exact mod-2^32 GEMM per batch; the kernel
+refactor makes its execution strategy pluggable (repro.lwe.backends).
+This bench answers the two questions that refactor exists for:
+
+* does the shared-memory multiprocessing backend actually escape the
+  GIL -- queries/sec at batch sizes 1, 4, 16 on a paper-shaped
+  ranking matrix (4-bit quantized entries, BLAS-limb regime), reference
+  vs multiprocess; and
+* does the build-time autotuner pick a plan at least as fast as the
+  untuned default on this machine.
+
+Bit-identity is asserted before any timing: a backend that is fast but
+wrong is not a backend.  The emitted ``BENCH_kernels.json``
+(``repro.obs.bench/v1``) records throughput per (backend, batch).
+
+The >= 2x batch-16 acceptance bar only applies on machines with >= 4
+cores; a single-core CI runner still runs everything (exactness,
+tuner, JSON) but skips the speedup assert -- row-partitioned workers
+cannot beat BLAS on one core.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.lwe import modular
+from repro.lwe.backends import get_backend, tune_matrix
+from repro.lwe.sampling import seeded_rng
+from repro.obs.export import write_bench_json
+
+#: Ranking-scan geometry: ~1/8 of the paper's per-shard slice, 4-bit
+#: quantized embedding entries (the BLAS-limb regime serve runs in).
+ROWS = 1536
+COLS = 4096
+Q_BITS = 32
+BATCH_SIZES = (1, 4, 16)
+BACKENDS = ("reference", "multiprocess")
+REPEATS = 3
+
+
+def _build_case():
+    rng = seeded_rng(7)
+    matrix = rng.integers(-8, 8, size=(ROWS, COLS))
+    stacks = {
+        batch: modular.to_ring(
+            rng.integers(0, 1 << 31, size=(COLS, batch)), Q_BITS
+        )
+        for batch in BATCH_SIZES
+    }
+    return matrix, stacks
+
+
+def _time_plan(plan, stacked) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        plan.matmul(stacked)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_backend_throughput():
+    matrix, stacks = _build_case()
+    ring = modular.to_ring(matrix, Q_BITS)
+    expected = {
+        batch: modular.matmul(ring, stacked, Q_BITS)
+        for batch, stacked in stacks.items()
+    }
+
+    results = {name: {} for name in BACKENDS}
+    for name in BACKENDS:
+        plan = get_backend(name).plan(matrix, Q_BITS)
+        try:
+            for batch in BATCH_SIZES:
+                # Exactness gate doubles as warm-up: the timed region
+                # below measures a long-lived server's steady state.
+                assert np.array_equal(
+                    plan.matmul(stacks[batch]), expected[batch]
+                ), f"{name} is not bit-identical at batch {batch}"
+                seconds = _time_plan(plan, stacks[batch])
+                results[name][batch] = {
+                    "batch_size": batch,
+                    "seconds": seconds,
+                    "queries_per_second": batch / seconds,
+                }
+        finally:
+            plan.close()
+
+    # The autotuner's pick vs the untuned default (reference, derived
+    # limbs) at its tuning batch size.
+    tuned = tune_matrix(matrix, Q_BITS, batch_size=16, repeats=REPEATS)
+    default_qps = results["reference"][16]["queries_per_second"]
+    tuned_plan = get_backend(tuned.backend).plan(
+        matrix, Q_BITS, **tuned.plan_kwargs()
+    )
+    try:
+        assert np.array_equal(
+            tuned_plan.matmul(stacks[16]), expected[16]
+        ), "tuned plan is not bit-identical"
+        tuned_qps = 16 / _time_plan(tuned_plan, stacks[16])
+    finally:
+        tuned_plan.close()
+
+    lines = [f"{'backend':>12s} {'batch':>6s} {'queries/s':>12s}"]
+    for name in BACKENDS:
+        for batch in BATCH_SIZES:
+            qps = results[name][batch]["queries_per_second"]
+            lines.append(f"{name:>12s} {batch:6d} {qps:12.1f}")
+    lines.append(
+        f"{'tuned(' + tuned.backend + ')':>12s} {16:6d} {tuned_qps:12.1f}"
+    )
+
+    cores = os.cpu_count() or 1
+    speedup_16 = (
+        results["multiprocess"][16]["queries_per_second"] / default_qps
+    )
+    if cores < 4:
+        lines.append(
+            f"({cores} core(s): skipping the >=2x speedup assert)"
+        )
+    emit("kernel_backends", lines)
+    OUT_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        OUT_DIR / "BENCH_kernels.json",
+        "kernels",
+        {
+            "rows": ROWS,
+            "columns": COLS,
+            "q_bits": Q_BITS,
+            "cores": cores,
+            "by_backend": {
+                name: {str(b): results[name][b] for b in BATCH_SIZES}
+                for name in BACKENDS
+            },
+            "multiprocess_speedup_at_16": speedup_16,
+            "autotune": {
+                "picked": tuned.to_dict(),
+                "tuned_queries_per_second": tuned_qps,
+                "default_queries_per_second": default_qps,
+                "tuned_over_default": tuned_qps / default_qps,
+            },
+        },
+    )
+
+    # The tuner may only pick plans it verified bit-identical, and its
+    # pick must not lose to the default it was tuned against (10%
+    # timing-jitter slack).
+    assert tuned_qps >= 0.9 * default_qps, (
+        f"tuned plan slower than default: {tuned_qps:.1f} vs"
+        f" {default_qps:.1f} q/s"
+    )
+
+    # The acceptance bar: >= 2x batch-16 throughput over reference --
+    # only meaningful when there are cores to partition rows across.
+    if cores >= 4:
+        assert speedup_16 >= 2.0, (
+            f"multiprocess batch-16 speedup only {speedup_16:.2f}x"
+            f" on {cores} cores"
+        )

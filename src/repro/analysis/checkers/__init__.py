@@ -9,6 +9,7 @@ from repro.analysis.checkers.dtype import DtypeDisciplineChecker
 from repro.analysis.checkers.hotpath import HotPathPrecomputeChecker
 from repro.analysis.checkers.ingest import IngestMaterializeChecker
 from repro.analysis.checkers.itaint import InterproceduralTaintChecker
+from repro.analysis.checkers.kernelseam import KernelSeamChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.net import TransportSeamChecker
 from repro.analysis.checkers.rng import RngHygieneChecker
@@ -26,6 +27,7 @@ def build_checkers(rules: set[str] | None = None) -> list[Checker]:
         BatchPlaneChecker(),
         HotPathPrecomputeChecker(),
         IngestMaterializeChecker(),
+        KernelSeamChecker(),
     ]
     return _filter(checkers, rules)
 
@@ -67,6 +69,7 @@ __all__ = [
     "DtypeDisciplineChecker",
     "HotPathPrecomputeChecker",
     "IngestMaterializeChecker",
+    "KernelSeamChecker",
     "InterproceduralTaintChecker",
     "LockDisciplineChecker",
     "RngHygieneChecker",

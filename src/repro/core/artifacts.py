@@ -66,7 +66,6 @@ from repro.homenc.double import (
     PreprocessedMatrix,
 )
 from repro.homenc.token import TokenFactory
-from repro.lwe import modular
 from repro.lwe.params import LweParams, SecurityLevel
 from repro.obs import runtime as obs
 from repro.pir.database import PackedDatabase
@@ -207,28 +206,40 @@ def generation_tag(path: str | Path) -> str:
     return artifact_digest(path)[:GENERATION_TAG_LEN]
 
 
-def write_precompute_sidecar(index, path: str | Path) -> Path:
+def write_precompute_sidecar(
+    index, path: str | Path, *, kernel_plan: dict | None = None
+) -> Path:
     """Write ``precompute.npz`` next to an already-saved artifact.
 
     The sidecar holds each service's plaintext-side hint NTT table
-    (shape ``(n_chunks, k, n_inner, n_outer)``) and the serialized
-    :class:`~repro.lwe.modular.StackedPlan` metadata for the ranking
-    and URL matrices, all keyed to the exact ``arrays.npz`` it was
-    derived from by SHA-256 digest.  Everything in it is derived data:
-    a ``serve`` without the sidecar computes the same values lazily.
+    (shape ``(n_chunks, k, n_inner, n_outer)``), the serialized
+    stacked-plan metadata for the ranking and URL matrices, and
+    (optionally) the autotuned ``kernel_plan`` record -- all keyed to
+    the exact ``arrays.npz`` it was derived from by SHA-256 digest.
+    Everything in it is derived data: a ``serve`` without the sidecar
+    computes the same values lazily (and untuned).
+
+    ``kernel_plan`` is a ``{"ranking": ..., "url": ...}`` record from
+    :func:`repro.lwe.backends.tune_index`; when None and the index
+    config sets ``kernel_autotune``, the tuner runs here.
     """
+    from repro.lwe import backends as kernel_backends
+
     path = Path(path)
     arrays_path = path / _ARRAYS
     if not arrays_path.is_file():
         raise ArtifactError(
             f"no {_ARRAYS} in {path}; save the index before its sidecar"
         )
-    ranking_plan = modular.StackedPlan(
+    reference = kernel_backends.get_backend("reference")
+    ranking_plan = reference.plan(
         index.layout.matrix, index.ranking_scheme.params.inner.q_bits
     )
-    url_plan = modular.StackedPlan(
+    url_plan = reference.plan(
         index.url_db.matrix, index.url_scheme.params.inner.q_bits
     )
+    if kernel_plan is None and getattr(index.config, "kernel_autotune", False):
+        kernel_plan = kernel_backends.tune_index(index)
     meta = {
         "schema": PRECOMPUTE_SCHEMA,
         "arrays_digest": _file_digest(arrays_path),
@@ -237,6 +248,8 @@ def write_precompute_sidecar(index, path: str | Path) -> Path:
             "url": url_plan.metadata(),
         },
     }
+    if kernel_plan is not None:
+        meta["kernel_plan"] = kernel_plan
     arrays = {
         "ranking_hint_ntt": index.ranking_scheme.hint_ntt_table(
             index.ranking_prep

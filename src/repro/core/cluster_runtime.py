@@ -52,23 +52,34 @@ class RankingWorker:
     #: (from the index sidecar); skips the plan's full-shard scan.  The
     #: full-matrix bound is exact-safe for any column slice of it.
     entry_bound: int | None = None
-    _plan: modular.StackedPlan | None = field(default=None, repr=False)
+    #: Kernel backend executing this shard's products (None ->
+    #: reference) plus tuned plan options; see repro.lwe.backends.
+    kernel_backend: str | None = None
+    kernel_opts: dict = field(default_factory=dict)
+    _plan: object = field(default=None, repr=False)
 
-    def batch_plan(self) -> modular.StackedPlan:
-        """The shard's stacked-GEMM plan, built once and reused.
+    def batch_plan(self):
+        """The shard's kernel-backend plan, built once and reused.
 
         Like the SimplePIR hint, the plan is message-independent: it
         depends only on the shard contents, never on any query.
         """
         if self._plan is None:
-            self._plan = modular.StackedPlan(
-                self.matrix_slice, self.q_bits, entry_bound=self.entry_bound
+            from repro.lwe import backends as kernel_backends
+
+            self._plan = kernel_backends.get_backend(self.kernel_backend).plan(
+                self.matrix_slice,
+                self.q_bits,
+                entry_bound=self.entry_bound,
+                **self.kernel_opts,
             )
         return self._plan
 
     def drop_plan(self) -> None:
-        """Release the plan's float staging copy of the shard."""
-        self._plan = None
+        """Release the plan (float staging, worker pools, segments)."""
+        plan, self._plan = self._plan, None
+        if plan is not None:
+            plan.close()
 
     def answer_chunk(self, ct_chunk: np.ndarray) -> np.ndarray:
         if not self.alive:
@@ -78,7 +89,7 @@ class RankingWorker:
         self.ledger.add(
             "ranking", 2 * self.matrix_slice.shape[0] * self.matrix_slice.shape[1]
         )
-        return modular.matmul(self.matrix_slice, ct_chunk, self.q_bits)
+        return self.batch_plan().matvec(ct_chunk)
 
     def answer_stacked(self, chunk: np.ndarray) -> np.ndarray:
         """Answer a (width, Q) stacked chunk with one GEMM.
@@ -125,6 +136,8 @@ class ShardedRankingService(Service):
     #: fleet router folds together.  None for the full-matrix service.
     shard: int | None = None
     num_shards: int | None = None
+    #: Kernel backend the shard workers execute on (None -> reference).
+    kernel_backend: str | None = None
     _pool: object = field(default=None, repr=False)
     _scheduler: object = field(default=None, repr=False)
 
@@ -172,6 +185,7 @@ class ShardedRankingService(Service):
             "status": "ok" if alive == len(self.workers) else "degraded",
             "workers": len(self.workers),
             "alive": alive,
+            "kernel_backend": self.kernel_backend or "reference",
         }
         if self.shard is not None:
             report["shard"] = self.shard
@@ -188,12 +202,16 @@ class ShardedRankingService(Service):
         dim: int,
         num_workers: int,
         entry_bound: int | None = None,
+        kernel_backend: str | None = None,
+        kernel_opts: dict | None = None,
     ) -> "ShardedRankingService":
         """Partition the matrix by cluster across workers.
 
         ``entry_bound`` (from the precompute sidecar) is a bound on the
         full matrix's centered entries; each shard inherits it so its
-        batch plan skips the entry scan.
+        batch plan skips the entry scan.  ``kernel_backend`` /
+        ``kernel_opts`` select and parameterize the kernel backend every
+        shard executes on (see :mod:`repro.lwe.backends`).
         """
         num_clusters = matrix.shape[1] // dim
         num_workers = min(num_workers, num_clusters)
@@ -214,9 +232,13 @@ class ShardedRankingService(Service):
                     col_start=col_start,
                     q_bits=q_bits,
                     entry_bound=entry_bound,
+                    kernel_backend=kernel_backend,
+                    kernel_opts=dict(kernel_opts or {}),
                 )
             )
-        return cls(workers=workers, scheme=scheme)
+        return cls(
+            workers=workers, scheme=scheme, kernel_backend=kernel_backend
+        )
 
     @classmethod
     def build_shard(
@@ -228,6 +250,8 @@ class ShardedRankingService(Service):
         num_shards: int,
         num_workers: int = 1,
         entry_bound: int | None = None,
+        kernel_backend: str | None = None,
+        kernel_opts: dict | None = None,
     ) -> "ShardedRankingService":
         """One fleet shard: the cluster-column slice ``shard`` of
         ``num_shards``, itself worker-partitioned via :meth:`build`.
@@ -256,6 +280,8 @@ class ShardedRankingService(Service):
             dim,
             num_workers,
             entry_bound=entry_bound,
+            kernel_backend=kernel_backend,
+            kernel_opts=kernel_opts,
         )
         for worker in service.workers:
             worker.col_start += lo
@@ -291,6 +317,8 @@ class ShardedRankingService(Service):
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        for worker in self.workers:
+            worker.drop_plan()
 
     def __enter__(self) -> "ShardedRankingService":
         return self

@@ -68,6 +68,13 @@ class TiptoeConfig:
     #: Target depth of the client-side async token prefetcher; 0
     #: disables it (``search`` mints inline when out of tokens).
     token_prefetch_depth: int = 0
+    #: Kernel backend executing the hot GEMMs: "auto" (tuned sidecar
+    #: plan if present, else reference), "reference", "multiprocess",
+    #: or "numba" (see repro.lwe.backends).
+    kernel_backend: str = "auto"
+    #: Run the kernel autotuner when writing the precompute sidecar,
+    #: persisting the winning KernelPlan for cold-start use.
+    kernel_autotune: bool = False
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 1:
@@ -94,6 +101,10 @@ class TiptoeConfig:
             raise ValueError("token pool batch must be at least 1")
         if self.token_prefetch_depth < 0:
             raise ValueError("token prefetch depth must be non-negative")
+        if not self.kernel_backend:
+            raise ValueError(
+                'kernel_backend must name a backend (or "auto")'
+            )
 
     @property
     def effective_dim(self) -> int:

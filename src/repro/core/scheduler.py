@@ -189,6 +189,10 @@ class BatchScheduler:
             "queries": self.stats.queries,
             "failed_queries": self.stats.failed_queries,
             "mean_batch_size": self.stats.mean_batch_size,
+            # Which kernel backend the batches it dispatches execute on
+            # (the coordinator owns the plans; reference when unset).
+            "kernel_backend": getattr(self.service, "kernel_backend", None)
+            or "reference",
         }
 
     # -- the dispatcher ------------------------------------------------------

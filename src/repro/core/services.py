@@ -115,6 +115,38 @@ class HintService(Service):
         )
 
 
+def resolve_kernel_selection(
+    config, precompute: dict | None, which: str
+) -> tuple[str | None, dict]:
+    """Pick the kernel backend and plan options for one service matrix.
+
+    ``which`` is ``"ranking"`` or ``"url"``.  Precedence:
+
+    1. An explicit ``config.kernel_backend`` (anything but ``"auto"``)
+       wins; the sidecar's tuned options apply only when its record was
+       tuned for that same backend.
+    2. ``"auto"`` with a tuned ``kernel_plan`` sidecar record uses the
+       record's backend and options -- ``serve`` cold-starts tuned.
+    3. Otherwise the reference backend with defaults (returned as
+       ``(None, {})``).
+
+    Selection reads configuration and build-time artifacts only --
+    never query data (SECURITY.md).
+    """
+    from repro.lwe.backends import KernelPlan
+
+    record = ((precompute or {}).get("kernel_plan") or {}).get(which)
+    configured = getattr(config, "kernel_backend", "auto") or "auto"
+    if configured != "auto":
+        if record is not None and record.get("backend") == configured:
+            return configured, KernelPlan.from_dict(record).plan_kwargs()
+        return configured, {}
+    if record is not None:
+        tuned = KernelPlan.from_dict(record)
+        return tuned.backend, tuned.plan_kwargs()
+    return None, {}
+
+
 def build_services(
     index, *, shard: int | None = None, num_shards: int = 1
 ) -> dict[str, Service]:
@@ -141,6 +173,12 @@ def build_services(
     entry_bound = (
         int(ranking_meta["entry_bound"]) if ranking_meta is not None else None
     )
+    ranking_backend, ranking_opts = resolve_kernel_selection(
+        index.config, index.precompute, "ranking"
+    )
+    url_backend, url_opts = resolve_kernel_selection(
+        index.config, index.precompute, "url"
+    )
     if shard is not None:
         ranking = ShardedRankingService.build_shard(
             index.ranking_scheme,
@@ -150,6 +188,8 @@ def build_services(
             num_shards=num_shards,
             num_workers=index.config.num_workers,
             entry_bound=entry_bound,
+            kernel_backend=ranking_backend,
+            kernel_opts=ranking_opts,
         )
     else:
         ranking = ShardedRankingService.build(
@@ -158,6 +198,8 @@ def build_services(
             dim=index.layout.dim,
             num_workers=index.config.num_workers,
             entry_bound=entry_bound,
+            kernel_backend=ranking_backend,
+            kernel_opts=ranking_opts,
         )
     if index.config.max_batch_size > 1:
         from repro.core.scheduler import BatchScheduler
@@ -171,7 +213,13 @@ def build_services(
         )
     services: list[Service] = [
         ranking,
-        UrlService(index.url_db, index.url_scheme, plan_meta=plans.get("url")),
+        UrlService(
+            index.url_db,
+            index.url_scheme,
+            plan_meta=plans.get("url"),
+            kernel_backend=url_backend,
+            kernel_opts=url_opts,
+        ),
         TokenMintService(index.token_factory),
         HintService(index),
     ]

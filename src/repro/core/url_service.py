@@ -37,14 +37,21 @@ class UrlService(Service):
         db: PackedDatabase,
         scheme: DoubleLheScheme,
         plan_meta: dict | None = None,
+        *,
+        kernel_backend: str | None = None,
+        kernel_opts: dict | None = None,
     ):
         self.db = db
         self.scheme = scheme
         self.ledger = CostLedger()
-        self._plan = None  # lazy StackedPlan for batched answers
+        self._plan = None  # lazy kernel-backend plan for batched answers
         #: Sidecar-provided plan parameters; skips the entry scan when
         #: the lazy plan is first built.
         self._plan_meta = plan_meta
+        #: Kernel-backend name (None -> reference) and tuned plan
+        #: options for the batched scan; see repro.lwe.backends.
+        self.kernel_backend = kernel_backend
+        self.kernel_opts = dict(kernel_opts or {})
 
     def register_endpoint(self, endpoint: ServiceEndpoint) -> None:
         endpoint.register("answer", self._handle_answer)
@@ -61,7 +68,14 @@ class UrlService(Service):
             "service": self.service_name,
             "status": "ok",
             "rows": self.db.num_rows,
+            "kernel_backend": self.kernel_backend or "reference",
         }
+
+    def close(self) -> None:
+        """Release the batch plan (worker pools, shared segments)."""
+        if self._plan is not None:
+            self._plan.close()
+            self._plan = None
 
     def answer(self, query: PirQuery) -> PirAnswer:
         with obs.span("url.answer", rows=self.db.num_rows):
@@ -83,14 +97,12 @@ class UrlService(Service):
         from repro.lwe.regev import stack_ciphertexts
 
         if self._plan is None:
-            if self._plan_meta is not None:
-                from repro.lwe.modular import StackedPlan
-
-                self._plan = StackedPlan.from_metadata(
-                    self.db.matrix, self._plan_meta
-                )
-            else:
-                self._plan = self.scheme.batch_plan(self.db.matrix)
+            self._plan = self.scheme.batch_plan(
+                self.db.matrix,
+                backend=self.kernel_backend,
+                metadata=self._plan_meta,
+                **self.kernel_opts,
+            )
         with obs.span(
             "url.answer_batch", rows=self.db.num_rows, batch=len(queries)
         ):

@@ -356,15 +356,21 @@ class DoubleLheScheme:
         """Inner homomorphic evaluation (the online server hot loop)."""
         return self.inner.apply(matrix, ct)
 
-    def batch_plan(self, matrix: np.ndarray) -> modular.StackedPlan:
-        """Message-independent preprocessing for batched Apply calls."""
-        return self.inner.batch_plan(matrix)
+    def batch_plan(
+        self, matrix: np.ndarray, *, backend: str | None = None, **plan_kwargs
+    ):
+        """Message-independent preprocessing for batched Apply calls.
+
+        ``backend`` / ``plan_kwargs`` select and parameterize a kernel
+        backend (see :mod:`repro.lwe.backends`).
+        """
+        return self.inner.batch_plan(matrix, backend=backend, **plan_kwargs)
 
     def apply_batch(
         self,
         matrix: np.ndarray | None,
         cts,
-        plan: modular.StackedPlan | None = None,
+        plan=None,
     ) -> np.ndarray:
         """Batched inner evaluation: Q stacked queries, one GEMM.
 

@@ -1,0 +1,148 @@
+"""Optional numba JIT backend; degrades to the reference path.
+
+When numba is importable, the stacked product runs through a
+``@njit(parallel=True)`` unsigned wraparound kernel -- the same exact
+ring arithmetic as :func:`~repro.lwe.modular.matmul`, with the GIL
+released and rows split across threads by ``prange``.  When numba is
+absent (the common case in minimal environments; nothing is installed
+at import time), the backend stays registered but *delegates to the
+reference backend*, so ``--kernel-backend numba`` is always safe: same
+bits, just no speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lwe import modular
+from repro.lwe.backends.base import PlanContextMixin
+from repro.lwe.backends.reference import ReferenceBackend
+from repro.obs import runtime as _obs
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:
+    _numba = None
+
+_JIT_CACHE: dict = {}
+
+
+def _jit_kernel(dtype):  # pragma: no cover - requires numba
+    """Build (once per dtype) the nopython wraparound matmul."""
+    kernel = _JIT_CACHE.get(dtype)
+    if kernel is not None:
+        return kernel
+
+    @_numba.njit(parallel=True, cache=False)
+    def _matmul(matrix, stacked, out):
+        for i in _numba.prange(matrix.shape[0]):
+            for j in range(stacked.shape[1]):
+                acc = dtype(0)
+                for k in range(matrix.shape[1]):
+                    acc += matrix[i, k] * stacked[k, j]
+                out[i, j] = acc
+
+    _JIT_CACHE[dtype] = _matmul
+    return _matmul
+
+
+class NumbaPlan(PlanContextMixin):  # pragma: no cover - requires numba
+    """Ring matrix + JIT kernel; exact by unsigned wraparound."""
+
+    backend_name = "numba"
+
+    def __init__(self, inner: modular.StackedPlan, timer_label: str):
+        self.q_bits = inner.q_bits
+        self.entry_bound = inner.entry_bound
+        self.limb_bits = inner.limb_bits
+        self.timer_label = timer_label
+        self._ring = inner.ring
+        self._dtype = modular.dtype_for(self.q_bits)
+        self._kernel = _jit_kernel(self._dtype)
+
+    @property
+    def rows(self) -> int:
+        return self._ring.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._ring.shape[1]
+
+    def matmul(self, stacked: np.ndarray) -> np.ndarray:
+        stacked = np.asarray(stacked, dtype=self._dtype)
+        if stacked.ndim != 2 or stacked.shape[0] != self.cols:
+            raise ValueError(
+                f"stacked ciphertexts must form a ({self.cols}, Q) matrix;"
+                f" got shape {stacked.shape}"
+            )
+        out = np.empty((self.rows, stacked.shape[1]), dtype=self._dtype)
+        with _obs.kernel_timer(self.timer_label):
+            self._kernel(self._ring, stacked, out)
+        return out
+
+    def matvec(self, vec: np.ndarray) -> np.ndarray:
+        return modular.matmul(
+            self._ring, np.asarray(vec).reshape(-1), self.q_bits
+        )
+
+    def metadata(self) -> dict:
+        return {
+            "q_bits": self.q_bits,
+            "entry_bound": self.entry_bound,
+            "limb_bits": self.limb_bits,
+        }
+
+    def close(self) -> None:
+        pass
+
+
+class NumbaBackend:
+    """JIT wraparound kernel when numba exists; reference otherwise."""
+
+    name = "numba"
+
+    timer_label = "lwe.matmul_batch.numba"
+
+    def __init__(self):
+        self._fallback = ReferenceBackend()
+
+    @property
+    def available(self) -> bool:
+        """Always schedulable -- without numba it is the reference path."""
+        return True
+
+    @property
+    def jit_enabled(self) -> bool:
+        """True only when numba is actually importable."""
+        return _numba is not None
+
+    def plan(
+        self,
+        matrix: np.ndarray,
+        q_bits: int,
+        *,
+        entry_bound: int | None = None,
+        metadata: dict | None = None,
+        limb_bits: int | None = None,
+        chunk_rows: int = 0,
+        workers: int = 0,
+    ):
+        if _numba is None:
+            return self._fallback.plan(
+                matrix,
+                q_bits,
+                entry_bound=entry_bound,
+                metadata=metadata,
+                limb_bits=limb_bits,
+                chunk_rows=chunk_rows,
+                workers=workers,
+            )
+        if metadata is not None and limb_bits is None:  # pragma: no cover
+            inner = modular.StackedPlan.from_metadata(matrix, metadata)
+        else:  # pragma: no cover - requires numba
+            if metadata is not None and entry_bound is None:
+                entry_bound = int(metadata["entry_bound"])
+            inner = modular.StackedPlan(
+                matrix, q_bits, entry_bound=entry_bound, limb_bits=limb_bits
+            )
+        return NumbaPlan(inner, self.timer_label)  # pragma: no cover

@@ -14,6 +14,10 @@ modulus; they never silently up-cast.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.obs import runtime as _obs
@@ -162,6 +166,69 @@ MIN_LIMB_BITS = 16
 _FLOAT_EXACT_BITS = 53
 
 
+def exact_limb_bits(bound: int, cols: int, q_bits: int) -> int:
+    """Widest limb for which the float64 partial sums stay exact.
+
+    Every partial sum of ``M_centered @ limb`` is bounded by
+    ``bound * (2^limb_bits - 1) * cols``; the returned width is the
+    largest one keeping that strictly below 2^53, clamped to
+    ``q_bits``.  Returns 0 when no positive width is exact-safe.  Any
+    *smaller* positive width is also exact (the bound only shrinks), so
+    tuned plans may narrow limbs freely without losing bit-identity.
+    """
+    bound = int(bound)
+    cols = int(cols)
+    limb_bits = min(
+        q_bits,
+        _FLOAT_EXACT_BITS - 1 - bound.bit_length() - max(cols, 1).bit_length(),
+    )
+    while limb_bits > 0 and (
+        bound * ((1 << limb_bits) - 1) * cols >= 1 << _FLOAT_EXACT_BITS
+    ):
+        limb_bits -= 1
+    return max(limb_bits, 0)
+
+
+def limb_product(
+    float_matrix: np.ndarray,
+    stacked: np.ndarray,
+    limb_bits: int,
+    q_bits: int,
+    *,
+    chunk_rows: int = 0,
+) -> np.ndarray:
+    """The exact limb-decomposed product ``M @ B`` over Z_{2^q_bits}.
+
+    ``float_matrix`` is the centered float64 copy of ``M`` (every entry
+    within the bound that derived ``limb_bits``); ``stacked`` is the
+    (cols, Q) ciphertext stack.  This is the one shared hot kernel:
+    :meth:`StackedPlan.matmul` and every out-of-process backend worker
+    call it on their row slice, so bit-identity across backends holds
+    by construction -- all intermediate sums are exactly representable
+    integers, making the result independent of summation order and of
+    any row partition (``chunk_rows`` only tiles the dgemm).
+    """
+    num_limbs = -(-q_bits // limb_bits)
+    rows = float_matrix.shape[0]
+    wide = stacked.astype(np.uint64)  # lossless widening for uint32
+    mask = np.uint64((1 << limb_bits) - 1)
+    shifts = [np.uint64(limb_bits * j) for j in range(num_limbs)]
+    limbs = [((wide >> shift) & mask).astype(np.float64) for shift in shifts]
+    acc = np.zeros((rows, stacked.shape[1]), dtype=np.uint64)
+    step = chunk_rows if 0 < chunk_rows < rows else rows
+    with np.errstate(over="ignore"):
+        for lo in range(0, rows, step):
+            block = float_matrix[lo : lo + step]
+            out = acc[lo : lo + step]
+            for shift, limb in zip(shifts, limbs):
+                exact = block @ limb  # every partial sum < 2^53
+                # tiptoe-lint: disable=dtype-signed-cast -- exact holds signed integers below 2^53; int64 view then uint64 is the value mod 2^64
+                part = exact.astype(np.int64).view(np.uint64)
+                out += part << shift
+    # Truncation to uint32 is reduction mod 2^32 (2^32 | 2^64).
+    return acc if q_bits == 64 else acc.astype(dtype_for(q_bits))
+
+
 class StackedPlan:
     """Preprocessed state for exact stacked products ``M @ B`` over Z_{2^k}.
 
@@ -194,14 +261,17 @@ class StackedPlan:
         q_bits: int,
         *,
         entry_bound: int | None = None,
+        limb_bits: int | None = None,
+        chunk_rows: int = 0,
+        timer_label: str = "lwe.matmul_batch",
     ):
         self.q_bits = q_bits
         self.ring = to_ring(np.asarray(matrix), q_bits)
         if self.ring.ndim != 2:
             raise ValueError("a stacked plan needs a 2-D matrix")
-        rows, cols = self.ring.shape
-        signed = centered(self.ring, q_bits)
+        _, cols = self.ring.shape
         if entry_bound is None:
+            signed = centered(self.ring, q_bits)
             if signed.size:
                 # Python-int bound: abs() of the most negative int64 would
                 # overflow inside numpy, so take both extremes exactly.
@@ -217,29 +287,39 @@ class StackedPlan:
             if bound < 0:
                 raise ValueError("entry_bound must be non-negative")
         self.entry_bound = bound
-        limb_bits = min(
-            q_bits,
-            _FLOAT_EXACT_BITS
-            - 1
-            - bound.bit_length()
-            - max(cols, 1).bit_length(),
-        )
-        while limb_bits > 0 and (
-            bound * ((1 << limb_bits) - 1) * cols >= 1 << _FLOAT_EXACT_BITS
-        ):
-            limb_bits -= 1
-        if limb_bits >= MIN_LIMB_BITS:
-            self.limb_bits = limb_bits
-            # tiptoe-lint: disable=dtype-signed-cast -- the BLAS fast path runs on the centered representatives; exactness is guaranteed by the limb-width bound above
-            self._float = signed.astype(np.float64)
+        derived = exact_limb_bits(bound, cols, q_bits)
+        if derived >= MIN_LIMB_BITS:
+            self.limb_bits = derived
+            if limb_bits is not None:
+                # A tuned override may only *narrow* the limbs -- any
+                # width at or below the derived maximum stays exact.
+                self.limb_bits = max(MIN_LIMB_BITS, min(int(limb_bits), derived))
         else:
             self.limb_bits = 0
-            self._float = None
+        if chunk_rows < 0:
+            raise ValueError("chunk_rows must be non-negative")
+        self.chunk_rows = int(chunk_rows)
+        self.timer_label = timer_label
+        # The float64 limb copy is staged lazily on the first stacked
+        # product, so plans serving only matrix-vector traffic never pay
+        # the extra 8-byte word per entry.
+        self._float = None
 
     @property
     def uses_blas(self) -> bool:
         """True when the exact float64 limb path is active."""
-        return self._float is not None
+        return self.limb_bits > 0
+
+    def _staged_float(self) -> np.ndarray:
+        """The centered float64 copy, built on first use and cached.
+
+        Benign race under concurrent first calls: both threads compute
+        the same array and either assignment is correct.
+        """
+        if self._float is None:
+            # tiptoe-lint: disable=dtype-signed-cast -- the BLAS fast path runs on the centered representatives; exactness is guaranteed by the limb-width bound in __init__
+            self._float = centered(self.ring, self.q_bits).astype(np.float64)
+        return self._float
 
     def metadata(self) -> dict:
         """Serializable plan parameters (everything but the matrix).
@@ -255,16 +335,21 @@ class StackedPlan:
         }
 
     @classmethod
-    def from_metadata(cls, matrix: np.ndarray, meta: dict) -> "StackedPlan":
+    def from_metadata(
+        cls, matrix: np.ndarray, meta: dict, **kwargs
+    ) -> "StackedPlan":
         """Rebuild a plan from :meth:`metadata`, skipping the scan.
 
         The derived limb width must match the recorded one -- a
         mismatch means the metadata does not describe this matrix.
+        Extra keyword arguments (``chunk_rows``, ``timer_label``) pass
+        through to the constructor.
         """
         plan = cls(
             matrix,
             int(meta["q_bits"]),
             entry_bound=int(meta["entry_bound"]),
+            **kwargs,
         )
         if plan.limb_bits != int(meta["limb_bits"]):
             raise ValueError(
@@ -299,34 +384,100 @@ class StackedPlan:
                 f"stacked ciphertexts have {stacked.shape[0]} rows,"
                 f" expected {self.cols}"
             )
-        if self._float is None:
+        if self.limb_bits == 0:
             return matmul(self.ring, stacked, self.q_bits)
-        with _obs.kernel_timer("lwe.matmul_batch"):
-            limb_bits = self.limb_bits
-            num_limbs = -(-self.q_bits // limb_bits)
-            wide = stacked.astype(np.uint64)  # lossless widening for uint32
-            mask = np.uint64((1 << limb_bits) - 1)
-            acc = np.zeros((self.rows, stacked.shape[1]), dtype=np.uint64)
-            with np.errstate(over="ignore"):
-                for j in range(num_limbs):
-                    shift = np.uint64(limb_bits * j)
-                    limb = ((wide >> shift) & mask).astype(np.float64)
-                    exact = self._float @ limb  # every partial sum < 2^53
-                    # tiptoe-lint: disable=dtype-signed-cast -- exact holds signed integers below 2^53; int64 view then uint64 is the value mod 2^64
-                    part = exact.astype(np.int64).view(np.uint64)
-                    acc += part << shift
-            # Truncation to uint32 is reduction mod 2^32 (2^32 | 2^64).
-            return acc if self.q_bits == 64 else acc.astype(dtype)
+        with _obs.kernel_timer(self.timer_label):
+            return limb_product(
+                self._staged_float(),
+                stacked,
+                self.limb_bits,
+                self.q_bits,
+                chunk_rows=self.chunk_rows,
+            )
+
+    def matvec(self, vec: np.ndarray) -> np.ndarray:
+        """The exact single-query product ``M @ v`` in Z_{2^q_bits}.
+
+        Runs on the native integer path -- one matrix-vector product
+        needs no limb staging -- and never triggers the float64 copy,
+        so plans on the single-query path stay as cheap as the bare
+        ring matrix.
+        """
+        return matmul(self.ring, np.asarray(vec).reshape(-1), self.q_bits)
+
+    def close(self) -> None:
+        """Release the staged float copy.  Kernel-backend plans share
+        this interface; for the in-process plan there is nothing else
+        to tear down and the plan stays usable (staging is lazy)."""
+        self._float = None
+
+
+#: How many one-shot plans :func:`stacked_matmul` keeps warm.  Small on
+#: purpose: long-lived matrices belong in an explicit plan (or a kernel
+#: backend); the cache only de-duplicates repeated convenience calls.
+PLAN_CACHE_SIZE = 8
+
+_plan_cache_lock = threading.Lock()
+#: guarded-by: _plan_cache_lock
+_plan_cache: OrderedDict = OrderedDict()
+#: guarded-by: _plan_cache_lock
+_plan_cache_stats = {"hits": 0, "misses": 0}
+
+
+def _content_key(ring: np.ndarray, q_bits: int) -> tuple:
+    """Cache key: content digest + shape + modulus.
+
+    Keyed on bytes rather than ``id()`` so a caller mutating or
+    reallocating an equal matrix still hits, and a reused address with
+    different contents never aliases a stale plan.
+    """
+    digest = hashlib.sha256(np.ascontiguousarray(ring).tobytes()).digest()
+    return (digest, ring.shape, q_bits)
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss counters of the one-shot plan cache (for tests/bench)."""
+    with _plan_cache_lock:
+        return dict(_plan_cache_stats)
+
+
+def clear_plan_cache() -> None:
+    """Empty the one-shot plan cache and reset its counters."""
+    with _plan_cache_lock:
+        _plan_cache.clear()
+        _plan_cache_stats["hits"] = 0
+        _plan_cache_stats["misses"] = 0
 
 
 def stacked_matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
     """One-shot exact stacked product over Z_{2^q_bits}.
 
     Column i of the result is bit-identical to ``matvec(a, b[:, i],
-    q_bits)``.  Long-lived matrices should build a :class:`StackedPlan`
-    once instead (this convenience re-derives the plan every call).
+    q_bits)``.  Repeated calls on the same matrix hit a small LRU keyed
+    on the matrix's content digest, so the entry-bound scan and float64
+    staging are paid once, not per call.  Long-lived matrices should
+    still build a :class:`StackedPlan` (or a kernel-backend plan) once
+    explicitly -- the cache is a convenience, not a lifecycle.
     """
-    return StackedPlan(a, q_bits).matmul(b)
+    ring = to_ring(np.asarray(a), q_bits)
+    if ring.ndim != 2:
+        raise ValueError("a stacked plan needs a 2-D matrix")
+    key = _content_key(ring, q_bits)
+    with _plan_cache_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _plan_cache.move_to_end(key)
+            _plan_cache_stats["hits"] += 1
+    if plan is None:
+        # Build outside the lock: plan construction scans the matrix.
+        plan = StackedPlan(ring, q_bits)
+        with _plan_cache_lock:
+            _plan_cache_stats["misses"] += 1
+            _plan_cache[key] = plan
+            _plan_cache.move_to_end(key)
+            while len(_plan_cache) > PLAN_CACHE_SIZE:
+                _plan_cache.popitem(last=False)
+    return plan.matmul(b)
 
 
 def mod_switch(values: np.ndarray, q_bits: int, new_modulus: int) -> np.ndarray:

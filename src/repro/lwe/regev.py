@@ -160,19 +160,29 @@ class RegevScheme:
         with _obs.kernel_timer("lwe.apply"):
             return modular.matvec(matrix, ct.c, self.params.q_bits)
 
-    def batch_plan(self, matrix: np.ndarray) -> modular.StackedPlan:
+    def batch_plan(
+        self, matrix: np.ndarray, *, backend: str | None = None, **plan_kwargs
+    ):
         """Message-independent preprocessing for batched Apply calls.
 
         Like the hint, the plan depends only on ``M``; long-lived
         servers build it once and feed it to :meth:`apply_batch`.
+        ``backend`` names a registered kernel backend (``None`` /
+        ``"auto"`` resolve to the reference path); ``plan_kwargs``
+        (``metadata``, ``limb_bits``, ``chunk_rows``, ``workers``)
+        forward to :meth:`~repro.lwe.backends.KernelBackend.plan`.
         """
-        return modular.StackedPlan(self._check_matrix(matrix), self.params.q_bits)
+        from repro.lwe import backends as kernel_backends
+
+        return kernel_backends.get_backend(backend).plan(
+            self._check_matrix(matrix), self.params.q_bits, **plan_kwargs
+        )
 
     def apply_batch(
         self,
         matrix: np.ndarray | None,
         cts: Sequence[Ciphertext] | np.ndarray,
-        plan: modular.StackedPlan | None = None,
+        plan=None,
     ) -> np.ndarray:
         """Homomorphically evaluate ``M`` against Q stacked queries.
 

@@ -49,7 +49,14 @@ class PirAnswer:
 class SimplePirServer:
     """Holds the packed database and answers encrypted queries."""
 
-    def __init__(self, db: PackedDatabase, scheme: DoubleLheScheme):
+    def __init__(
+        self,
+        db: PackedDatabase,
+        scheme: DoubleLheScheme,
+        *,
+        kernel_backend: str | None = None,
+        kernel_opts: dict | None = None,
+    ):
         if scheme.params.inner.p != db.p:
             raise ValueError(
                 "database packing modulus must equal the scheme's plaintext"
@@ -62,7 +69,11 @@ class SimplePirServer:
         self.db = db
         self.scheme = scheme
         self.prep = scheme.preprocess(db.matrix)
-        self._plan: modular.StackedPlan | None = None
+        #: Kernel-backend selection for the batched scan; ``None``
+        #: resolves to the reference path (see repro.lwe.backends).
+        self.kernel_backend = kernel_backend
+        self.kernel_opts = dict(kernel_opts or {})
+        self._plan = None
 
     def answer(self, query: PirQuery) -> PirAnswer:
         """The online hot loop: one matrix-vector product over the DB."""
@@ -82,7 +93,11 @@ class SimplePirServer:
         if not queries:
             return []
         if self._plan is None:
-            self._plan = self.scheme.batch_plan(self.db.matrix)
+            self._plan = self.scheme.batch_plan(
+                self.db.matrix,
+                backend=self.kernel_backend,
+                **self.kernel_opts,
+            )
         stacked = stack_ciphertexts([q.ciphertext for q in queries])
         values = self.scheme.apply_batch(None, stacked, plan=self._plan)
         per_el = self.scheme.params.inner.bytes_per_element
@@ -90,6 +105,12 @@ class SimplePirServer:
             PirAnswer(values=values[:, i], bytes_per_element=per_el)
             for i in range(len(queries))
         ]
+
+    def close(self) -> None:
+        """Release the batch plan (worker pools, shared segments)."""
+        if self._plan is not None:
+            self._plan.close()
+            self._plan = None
 
     def hint(self) -> np.ndarray:
         """The raw hint, for classic (hint-download) mode."""

@@ -1,0 +1,41 @@
+"""Known-bad kernel-seam snippets (tiptoe-lint self-test corpus).
+
+Lives under a ``lwe/`` directory (but outside ``backends/``) so the
+seam exemption does not apply.  Each function executes the hot ring
+product without going through the backend registry; the expected
+findings are asserted in ``tests/analysis/test_checkers.py``.
+"""
+
+import numpy as np
+
+from repro.lwe import modular
+from repro.lwe.modular import StackedPlan
+
+
+def builds_plan_directly(matrix, q_bits):
+    plan = StackedPlan(matrix, q_bits)  # BAD: pins the reference kernel
+    return plan
+
+
+def builds_plan_via_module(matrix, q_bits):
+    # BAD: same construction, dotted spelling
+    return modular.StackedPlan(matrix, q_bits)
+
+
+def restores_plan_from_sidecar(matrix, meta):
+    # BAD: from_metadata is still direct construction
+    return modular.StackedPlan.from_metadata(matrix, meta)
+
+
+def multiplies_ring_with_numpy(ring_matrix, queries):
+    # BAD: np.matmul on ring data -- inexact past 2^53, untimed
+    return np.matmul(ring_matrix, queries)
+
+
+def multiplies_ring_with_operator(db, stacked_queries):
+    return db.ring @ stacked_queries  # BAD: `@` on ring data
+
+
+def float_geometry_is_fine(embeddings, centroids):
+    # OK: float similarity math is not ring data; never flagged.
+    return embeddings @ centroids.T

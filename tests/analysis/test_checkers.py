@@ -100,6 +100,46 @@ class TestNetChecker:
         assert not active_rules(inside)
 
 
+class TestKernelSeamChecker:
+    def test_bad_file_trips_the_seam_rule(self):
+        """Three direct constructions + two raw ring products; the
+        float-geometry product at the bottom stays legal."""
+        rules = active_rules(CORPUS / "lwe" / "bad_kernelseam.py")
+        assert rules["kernel-seam"] == 5
+
+    def test_backends_package_itself_is_exempt(self, tmp_path):
+        """The seam is the one legitimate home of the raw kernel."""
+        seam_dir = tmp_path / "repro" / "lwe" / "backends"
+        seam_dir.mkdir(parents=True)
+        inside = seam_dir / "reference.py"
+        inside.write_text(
+            (CORPUS / "lwe" / "bad_kernelseam.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        assert not active_rules(inside)
+
+    def test_modular_module_is_exempt(self, tmp_path):
+        lwe_dir = tmp_path / "repro" / "lwe"
+        lwe_dir.mkdir(parents=True)
+        inside = lwe_dir / "modular.py"
+        inside.write_text(
+            (CORPUS / "lwe" / "bad_kernelseam.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        assert not active_rules(inside)
+
+    def test_serving_corpus_stays_clean(self):
+        """The refactored hot modules go through the registry."""
+        assert not active_rules(CORPUS / "core" / "ranking.py")
+        assert not active_rules(CORPUS / "core" / "cluster_runtime.py")[
+            "kernel-seam"
+        ]
+
+
 class TestBatchChecker:
     def test_bad_file_trips_the_batch_loop_rule(self):
         rules = active_rules(CORPUS / "core" / "cluster_runtime.py")

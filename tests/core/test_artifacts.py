@@ -253,3 +253,73 @@ class TestPrecomputeSidecar:
         index = dataclasses.replace(engine.index, config=config)
         index.save(tmp_path / "auto")
         assert (tmp_path / "auto" / "precompute.npz").is_file()
+
+
+class TestKernelPlanSidecar:
+    """The autotuned KernelPlan record rides the precompute sidecar:
+    tuned at build time, applied at serve time without re-tuning."""
+
+    RECORD = {
+        "ranking": {
+            "backend": "reference",
+            "limb_bits": 0,
+            "chunk_rows": 0,
+            "workers": 0,
+        },
+        "url": {
+            "backend": "multiprocess",
+            "limb_bits": 0,
+            "chunk_rows": 0,
+            "workers": 2,
+        },
+    }
+
+    def test_explicit_record_round_trips(self, engine, tmp_path):
+        save_index(engine.index, tmp_path)
+        write_precompute_sidecar(engine.index, tmp_path,
+                                 kernel_plan=self.RECORD)
+        meta, _ = load_precompute_sidecar(tmp_path)
+        assert meta["kernel_plan"] == self.RECORD
+        assert load_index(tmp_path).precompute["kernel_plan"] == self.RECORD
+
+    def test_plain_sidecar_has_no_kernel_plan(self, saved_warm):
+        meta, _ = load_precompute_sidecar(saved_warm)
+        assert "kernel_plan" not in meta
+
+    def test_autotune_config_tunes_at_save_time(self, engine, tmp_path):
+        import dataclasses
+
+        from repro.lwe.backends import backend_names
+
+        config = dataclasses.replace(
+            engine.index.config,
+            precompute_sidecar=True,
+            kernel_autotune=True,
+        )
+        index = dataclasses.replace(engine.index, config=config)
+        index.save(tmp_path)
+        meta, _ = load_precompute_sidecar(tmp_path)
+        record = meta["kernel_plan"]
+        assert set(record) == {"ranking", "url"}
+        for entry in record.values():
+            assert entry["backend"] in backend_names()
+            assert entry["throughput"] > 0
+
+    def test_serve_cold_starts_on_the_tuned_plan(self, engine, tmp_path):
+        """build_services applies the sidecar record directly -- no
+        tuner run at load time -- and searches stay bit-identical."""
+        from repro.core.services import build_services
+
+        save_index(engine.index, tmp_path)
+        write_precompute_sidecar(engine.index, tmp_path,
+                                 kernel_plan=self.RECORD)
+        index = load_index(tmp_path)
+        services = build_services(index)
+        try:
+            assert services["ranking"].kernel_backend == "reference"
+            assert services["url"].kernel_backend == "multiprocess"
+            health = services["url"].health()
+            assert health["kernel_backend"] == "multiprocess"
+        finally:
+            for service in services.values():
+                service.close()

@@ -44,6 +44,33 @@ class TestEndToEndSearch:
         result = engine.search(corpus.documents[0].text, np.random.default_rng(4))
         assert len(result.results) == 5
 
+    def test_search_bit_identical_across_kernel_backends(
+        self, engine, corpus
+    ):
+        """The full search path -- embed, encrypt, ranking scan, URL
+        PIR, decrypt -- returns the same bits whichever kernel backend
+        the server GEMMs run on."""
+        import dataclasses
+
+        mp_engine = TiptoeEngine(
+            dataclasses.replace(
+                engine.index,
+                config=engine.index.config.with_(
+                    kernel_backend="multiprocess"
+                ),
+            )
+        )
+        try:
+            for text in ("alpha beta", "gamma delta"):
+                a = engine.search(text, rng=np.random.default_rng(17))
+                b = mp_engine.search(text, rng=np.random.default_rng(17))
+                assert b.cluster == a.cluster
+                assert [(r.position, r.score, r.url) for r in b.results] == [
+                    (r.position, r.score, r.url) for r in a.results
+                ]
+        finally:
+            mp_engine.close()
+
     def test_benchmark_queries_complete(self, engine, query_benchmark):
         rng = np.random.default_rng(5)
         client = engine.new_client(rng)

@@ -14,6 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lwe import LweParams, modular
+from repro.lwe import backends as kernel_backends
 from repro.lwe.regev import RegevScheme, stack_ciphertexts
 from repro.lwe.sampling import seeded_rng
 
@@ -96,6 +97,83 @@ class TestStackedPlan:
             plan.matmul(modular.to_ring(np.ones(4, dtype=np.int64), 32))
 
 
+class TestBackendBitIdentity:
+    """Every registered backend computes *the same bits* as
+    ``modular.matmul`` -- the seam contract that makes backend choice a
+    pure deployment knob (DESIGN.md, "Kernel plane")."""
+
+    @given(stacked_cases())
+    @settings(max_examples=8, deadline=None)
+    def test_all_backends_match_sequential(self, case):
+        q_bits, rows, cols, batch, bound, seed = case
+        rng = seeded_rng(seed)
+        matrix = modular.to_ring(
+            rng.integers(-bound, bound + 1, size=(rows, cols)), q_bits
+        )
+        stacked = modular.to_ring(
+            rng.integers(0, 1 << 31, size=(cols, batch)), q_bits
+        )
+        want = modular.matmul(matrix, stacked, q_bits)
+        for name in kernel_backends.backend_names():
+            plan = kernel_backends.get_backend(name).plan(
+                matrix, q_bits, workers=2
+            )
+            try:
+                got = plan.matmul(stacked)
+            finally:
+                plan.close()
+            assert got.dtype == want.dtype, name
+            assert np.array_equal(got, want), name
+
+    @pytest.mark.parametrize(
+        "name", ["reference", "multiprocess", "numba"]
+    )
+    def test_integer_fallback_regime(self, name):
+        """Entries ~2^45 defeat exact float limbs; every backend must
+        detect that and stay exact on the integer path."""
+        rng = seeded_rng(11)
+        matrix = rng.integers(0, 1 << 45, size=(6, 32), dtype=np.uint64)
+        stacked = rng.integers(0, 1 << 63, size=(32, 4), dtype=np.uint64)
+        want = modular.matmul(matrix, stacked, 64)
+        plan = kernel_backends.get_backend(name).plan(matrix, 64, workers=2)
+        try:
+            assert np.array_equal(plan.matmul(stacked), want)
+        finally:
+            plan.close()
+
+    @pytest.mark.parametrize("batch", [1, 3, 5])
+    def test_ragged_batches_through_multiprocess(self, batch):
+        rng = seeded_rng(12)
+        matrix = rng.integers(-8, 9, size=(33, 20))
+        ring = modular.to_ring(matrix, 32)
+        stacked = modular.to_ring(
+            rng.integers(0, 1 << 31, size=(20, batch)), 32
+        )
+        plan = kernel_backends.get_backend("multiprocess").plan(
+            matrix, 32, workers=2
+        )
+        try:
+            got = plan.matmul(stacked)
+        finally:
+            plan.close()
+        assert np.array_equal(got, modular.matmul(ring, stacked, 32))
+
+    def test_matvec_matches_matmul_column(self):
+        rng = seeded_rng(13)
+        matrix = rng.integers(-8, 9, size=(17, 23))
+        vec = modular.to_ring(rng.integers(0, 1 << 31, size=23), 32)
+        for name in kernel_backends.backend_names():
+            plan = kernel_backends.get_backend(name).plan(
+                matrix, 32, workers=2
+            )
+            try:
+                got = plan.matvec(vec)
+                col = plan.matmul(vec.reshape(-1, 1))[:, 0]
+            finally:
+                plan.close()
+            assert np.array_equal(got, col), name
+
+
 @pytest.fixture(scope="module")
 def regev():
     params = LweParams(n=16, q_bits=32, p=256, sigma=3.2, m=40)
@@ -136,6 +214,29 @@ class TestRegevApplyBatch:
             assert np.array_equal(
                 scheme.decrypt(sk, hint, got[:, i]), want
             )
+
+    @pytest.mark.parametrize(
+        "backend", ["reference", "multiprocess", "numba"]
+    )
+    def test_batch_answers_decrypt_through_every_backend(
+        self, regev, backend
+    ):
+        """End to end: encrypt, apply through a named backend plan,
+        decrypt -- the plaintexts must match the sequential path."""
+        scheme, sk, matrix, cts = regev
+        hint = scheme.preprocess(matrix)
+        plan = scheme.batch_plan(matrix, backend=backend, workers=2)
+        try:
+            got = scheme.apply_batch(
+                None, stack_ciphertexts(cts), plan=plan
+            )
+        finally:
+            plan.close()
+        for i, ct in enumerate(cts):
+            want = scheme.decrypt(sk, hint, scheme.apply(matrix, ct))
+            assert np.array_equal(
+                scheme.decrypt(sk, hint, got[:, i]), want
+            ), backend
 
     def test_requires_matrix_or_plan(self, regev):
         scheme, _, _, cts = regev
