@@ -197,7 +197,10 @@ def _cmd_tune_kernels(args: argparse.Namespace) -> int:
 
     index = TiptoeIndex.load(args.artifacts)
     record = kernel_backends.tune_index(
-        index, batch_size=args.batch, repeats=args.repeats
+        index,
+        batch_size=args.batch,
+        repeats=args.repeats,
+        max_seconds=args.max_seconds,
     )
     artifacts.write_precompute_sidecar(
         index, args.artifacts, kernel_plan=record
@@ -516,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3,
         help="timed repetitions per candidate (more = less noise)",
     )
+    tune_kernels.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="total tuning budget; once spent, remaining candidates are"
+        " skipped (a reference default always runs, so a plan is"
+        " always produced) -- keeps CI tuning bounded",
+    )
     tune_kernels.set_defaults(func=_cmd_tune_kernels)
 
     serve = sub.add_parser(
@@ -539,7 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--kernel-backend", type=str, default=None,
-        choices=("auto", "reference", "multiprocess", "numba"),
+        choices=("auto", "reference", "multiprocess", "numba", "cnative"),
         help="kernel backend for the hot GEMMs (default: the index"
         " config's knob -- 'auto' uses the sidecar's tuned plan)",
     )

@@ -75,6 +75,13 @@ class RankingWorker:
             )
         return self._plan
 
+    @property
+    def effective_backend(self) -> str | None:
+        """The backend actually executing -- after availability
+        fallback -- or None while the plan is still unbuilt."""
+        plan = self._plan
+        return getattr(plan, "backend_name", None) if plan is not None else None
+
     def drop_plan(self) -> None:
         """Release the plan (float staging, worker pools, segments)."""
         plan, self._plan = self._plan, None
@@ -187,6 +194,19 @@ class ShardedRankingService(Service):
             "alive": alive,
             "kernel_backend": self.kernel_backend or "reference",
         }
+        # What is *actually* running may differ from what was asked
+        # for: an unavailable backend (say cnative on a host with no C
+        # compiler) silently serves on reference.  Report it so
+        # operators can see the downgrade; None until a plan is built.
+        effective = next(
+            (
+                w.effective_backend
+                for w in self.workers
+                if w.effective_backend is not None
+            ),
+            None,
+        )
+        report["kernel_effective"] = effective
         if self.shard is not None:
             report["shard"] = self.shard
             report["num_shards"] = self.num_shards

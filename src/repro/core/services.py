@@ -22,11 +22,15 @@ a :class:`~repro.net.tcp.ServerRunner` listening on TCP.
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.cluster_runtime import ShardedRankingService
 from repro.core.url_service import UrlService
 from repro.net import wire
 from repro.net.rpc import ServiceEndpoint
 from repro.net.service import Service
+
+logger = logging.getLogger(__name__)
 
 
 class TokenMintService(Service):
@@ -130,19 +134,52 @@ def resolve_kernel_selection(
     3. Otherwise the reference backend with defaults (returned as
        ``(None, {})``).
 
+    Sidecars travel: an index tuned on a compiler-equipped build host
+    may be served somewhere the tuned backend cannot run (or by a newer
+    build that renamed it).  A record naming an unknown/unavailable
+    backend -- or one that fails to parse at all -- is *advice we
+    cannot take*: log a warning and serve on reference defaults rather
+    than refusing to cold-start.
+
     Selection reads configuration and build-time artifacts only --
     never query data (SECURITY.md).
     """
-    from repro.lwe.backends import KernelPlan
+    from repro.lwe.backends import KernelPlan, backend_available
 
     record = ((precompute or {}).get("kernel_plan") or {}).get(which)
     configured = getattr(config, "kernel_backend", "auto") or "auto"
     if configured != "auto":
         if record is not None and record.get("backend") == configured:
-            return configured, KernelPlan.from_dict(record).plan_kwargs()
+            try:
+                return configured, KernelPlan.from_dict(record).plan_kwargs()
+            except ValueError as exc:
+                logger.warning(
+                    "ignoring malformed %s kernel plan record (%s);"
+                    " using %s with default options",
+                    which,
+                    exc,
+                    configured,
+                )
         return configured, {}
     if record is not None:
-        tuned = KernelPlan.from_dict(record)
+        try:
+            tuned = KernelPlan.from_dict(record)
+        except ValueError as exc:
+            logger.warning(
+                "ignoring malformed %s kernel plan record (%s);"
+                " falling back to the reference backend",
+                which,
+                exc,
+            )
+            return None, {}
+        if not backend_available(tuned.backend):
+            logger.warning(
+                "tuned %s kernel backend %r is not available on this"
+                " host; falling back to the reference backend",
+                which,
+                tuned.backend,
+            )
+            return None, {}
         return tuned.backend, tuned.plan_kwargs()
     return None, {}
 

@@ -64,11 +64,14 @@ class UrlService(Service):
         )
 
     def health(self) -> dict:
+        # kernel_effective is the backend actually executing after any
+        # availability fallback; None until the lazy plan first builds.
         return {
             "service": self.service_name,
             "status": "ok",
             "rows": self.db.num_rows,
             "kernel_backend": self.kernel_backend or "reference",
+            "kernel_effective": getattr(self._plan, "backend_name", None),
         }
 
     def close(self) -> None:

@@ -9,6 +9,9 @@ Selection policy (see :func:`get_backend`):
   row partitions.
 * ``"numba"`` -- JIT wraparound kernel, silently the reference path
   when numba is not importable.
+* ``"cnative"`` -- cffi-compiled C GEMM releasing the GIL across
+  native row-partition threads; needs a C compiler once (content-
+  hashed build cache), degrades to reference without one.
 * ``"auto"`` -- the reference backend unless a tuned
   :class:`~repro.lwe.backends.autotune.KernelPlan` (from the precompute
   sidecar) says otherwise; resolution happens in the serving layer.
@@ -27,6 +30,7 @@ from repro.lwe.backends.base import (
     KernelUnavailable,
     PlanContextMixin,
 )
+from repro.lwe.backends.cnative import CNativeBackend
 from repro.lwe.backends.numba_backend import NumbaBackend
 from repro.lwe.backends.reference import ReferenceBackend
 from repro.lwe.backends.shm import SharedMemoryBackend
@@ -58,6 +62,18 @@ def available_backends() -> list[str]:
     return [b.name for b in backends if b.available]
 
 
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered *and* runnable on this host.
+
+    Unlike :func:`available_backends` this probes exactly one backend,
+    so asking about ``"reference"`` does not (say) trigger a cnative
+    build attempt.  Unknown names are simply unavailable.
+    """
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    return backend is not None and backend.available
+
+
 def get_backend(name: str | None = None) -> KernelBackend:
     """Resolve a backend by name.
 
@@ -85,6 +101,7 @@ def get_backend(name: str | None = None) -> KernelBackend:
 register_backend(ReferenceBackend())
 register_backend(SharedMemoryBackend())
 register_backend(NumbaBackend())
+register_backend(CNativeBackend())
 
 from repro.lwe.backends.autotune import (  # noqa: E402  (needs registry)
     KernelPlan,
@@ -95,6 +112,7 @@ from repro.lwe.backends.autotune import (  # noqa: E402  (needs registry)
 __all__ = [
     "AUTO",
     "BackendPlan",
+    "CNativeBackend",
     "KernelBackend",
     "KernelPlan",
     "KernelUnavailable",
@@ -103,6 +121,7 @@ __all__ = [
     "ReferenceBackend",
     "SharedMemoryBackend",
     "available_backends",
+    "backend_available",
     "backend_names",
     "get_backend",
     "register_backend",

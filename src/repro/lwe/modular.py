@@ -421,7 +421,7 @@ _plan_cache_lock = threading.Lock()
 #: guarded-by: _plan_cache_lock
 _plan_cache: OrderedDict = OrderedDict()
 #: guarded-by: _plan_cache_lock
-_plan_cache_stats = {"hits": 0, "misses": 0}
+_plan_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _content_key(ring: np.ndarray, q_bits: int) -> tuple:
@@ -442,11 +442,19 @@ def plan_cache_stats() -> dict:
 
 
 def clear_plan_cache() -> None:
-    """Empty the one-shot plan cache and reset its counters."""
+    """Empty the one-shot plan cache and reset its counters.
+
+    Cached plans are closed on the way out -- same discipline as LRU
+    eviction -- so backend plans holding real resources release them.
+    """
     with _plan_cache_lock:
+        dropped = list(_plan_cache.values())
         _plan_cache.clear()
         _plan_cache_stats["hits"] = 0
         _plan_cache_stats["misses"] = 0
+        _plan_cache_stats["evictions"] = 0
+    for plan in dropped:
+        plan.close()
 
 
 def stacked_matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
@@ -471,12 +479,19 @@ def stacked_matmul(a: np.ndarray, b: np.ndarray, q_bits: int) -> np.ndarray:
     if plan is None:
         # Build outside the lock: plan construction scans the matrix.
         plan = StackedPlan(ring, q_bits)
+        evicted = []
         with _plan_cache_lock:
             _plan_cache_stats["misses"] += 1
             _plan_cache[key] = plan
             _plan_cache.move_to_end(key)
             while len(_plan_cache) > PLAN_CACHE_SIZE:
-                _plan_cache.popitem(last=False)
+                evicted.append(_plan_cache.popitem(last=False)[1])
+                _plan_cache_stats["evictions"] += 1
+        # Close outside the lock: evicted backend plans may hold real
+        # resources (native buffers, worker pools) whose teardown must
+        # not serialize every cache access behind it.
+        for old in evicted:
+            old.close()
     return plan.matmul(b)
 
 

@@ -323,3 +323,41 @@ class TestKernelPlanSidecar:
         finally:
             for service in services.values():
                 service.close()
+
+    def test_cnative_record_round_trips_and_serves(self, engine, tmp_path):
+        """A sidecar tuned to the native backend: the record survives
+        the save/load cycle verbatim, build_services applies it, and --
+        on a compiler-less host -- the unavailable backend degrades to
+        reference at plan-build time without changing answers."""
+        from repro.core.services import build_services
+
+        record = {
+            "ranking": {
+                "backend": "cnative",
+                "limb_bits": 0,
+                "chunk_rows": 0,
+                "workers": 2,
+            },
+            "url": {
+                "backend": "cnative",
+                "limb_bits": 0,
+                "chunk_rows": 0,
+                "workers": 2,
+            },
+        }
+        save_index(engine.index, tmp_path)
+        write_precompute_sidecar(engine.index, tmp_path, kernel_plan=record)
+        meta, _ = load_precompute_sidecar(tmp_path)
+        assert meta["kernel_plan"] == record
+        index = load_index(tmp_path)
+        services = build_services(index)
+        try:
+            assert services["ranking"].kernel_backend == "cnative"
+            assert services["url"].kernel_backend == "cnative"
+            health = services["ranking"].health()
+            assert health["kernel_backend"] == "cnative"
+            # Plans build lazily; effective backend unknown until then.
+            assert health["kernel_effective"] is None
+        finally:
+            for service in services.values():
+                service.close()

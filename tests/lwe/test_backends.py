@@ -38,7 +38,7 @@ def small_matrix():
 class TestRegistry:
     def test_shipped_backends_are_registered(self):
         names = backend_names()
-        for expected in ("reference", "multiprocess", "numba"):
+        for expected in ("reference", "multiprocess", "numba", "cnative"):
             assert expected in names
 
     def test_default_and_auto_resolve_to_reference(self):
@@ -61,9 +61,14 @@ class TestRegistry:
         try:
             assert get_backend("test-unavailable").name == "reference"
             assert "test-unavailable" not in available_backends()
+            assert not kernel_backends.backend_available("test-unavailable")
         finally:
             with kernel_backends._REGISTRY_LOCK:
                 kernel_backends._REGISTRY.pop("test-unavailable")
+
+    def test_backend_available_probes_one_backend(self):
+        assert kernel_backends.backend_available("reference")
+        assert not kernel_backends.backend_available("no-such-backend")
 
 
 class TestNumbaFallback:
@@ -143,6 +148,18 @@ class TestKernelPlanRecord:
         assert plan.backend == "reference"
         assert plan.throughput == 0.0
 
+    def test_malformed_record_is_a_clean_value_error(self):
+        # A sidecar from a different schema era: missing keys and
+        # non-numeric fields must surface as ValueError, not
+        # KeyError/TypeError, so the serving layer can catch-and-warn.
+        with pytest.raises(ValueError, match="malformed"):
+            KernelPlan.from_dict({"backend": "reference"})
+        with pytest.raises(ValueError, match="malformed"):
+            KernelPlan.from_dict(
+                {"backend": "reference", "limb_bits": "wide",
+                 "chunk_rows": 0, "workers": 0}
+            )
+
     def test_plan_kwargs_drop_zero_limb(self):
         tuned = KernelPlan.from_dict(
             {"backend": "reference", "limb_bits": 0, "chunk_rows": 512,
@@ -168,6 +185,42 @@ class TestAutotuner:
             backends=["reference"],
         )
         assert best.backend == "reference"
+
+    def test_candidate_grid_is_deduped_and_core_bounded(self, monkeypatch):
+        from repro.lwe.backends import autotune
+
+        monkeypatch.setattr(autotune.os, "cpu_count", lambda: 2)
+        grid = autotune._candidates(
+            17, 2048, ["reference", "multiprocess", "cnative"]
+        )
+        assert len(grid) == len(set(grid)), "grid has duplicates"
+        cores = 2
+        for name, _limb, _chunk, workers in grid:
+            if name in ("multiprocess", "cnative"):
+                assert 1 <= workers <= cores, (name, workers)
+
+    def test_single_core_host_still_gets_parallel_candidates(
+        self, monkeypatch
+    ):
+        from repro.lwe.backends import autotune
+
+        monkeypatch.setattr(autotune.os, "cpu_count", lambda: 1)
+        grid = autotune._candidates(
+            17, 100, ["reference", "multiprocess", "cnative"]
+        )
+        # The hygiene filter must degrade parallel backends to one
+        # worker, not drop them from the race entirely.
+        assert ("multiprocess", 17, 0, 1) in grid
+        assert ("cnative", 17, 0, 1) in grid
+
+    def test_max_seconds_zero_still_produces_a_plan(self, small_matrix):
+        best = tune_matrix(
+            small_matrix, 32, batch_size=2, repeats=1, max_seconds=0.0
+        )
+        # The budget was spent before the sweep began; the guaranteed
+        # first candidate (a reference default) still ran and won.
+        assert best.backend == "reference"
+        assert best.throughput > 0
 
     def test_winner_options_rebuild_an_exact_plan(self, small_matrix):
         best = tune_matrix(small_matrix, 32, batch_size=4, repeats=1)
@@ -241,3 +294,44 @@ class TestResolveKernelSelection:
     def test_empty_backend_is_rejected_at_config_time(self):
         with pytest.raises(ValueError):
             TiptoeConfig(kernel_backend="")
+
+    def test_record_naming_unknown_backend_falls_back(self, caplog):
+        """Tuned-with-compiler, served-without: a sidecar whose backend
+        does not exist here must warn and serve reference defaults, not
+        refuse to cold-start."""
+        record = {
+            "kernel_plan": {
+                "ranking": {
+                    "backend": "cuda-h100",
+                    "limb_bits": 17,
+                    "chunk_rows": 0,
+                    "workers": 4,
+                }
+            }
+        }
+        with caplog.at_level("WARNING", logger="repro.core.services"):
+            got = resolve_kernel_selection(TiptoeConfig(), record, "ranking")
+        assert got == (None, {})
+        assert any("cuda-h100" in r.message for r in caplog.records)
+
+    def test_malformed_record_falls_back_under_auto(self, caplog):
+        record = {"kernel_plan": {"ranking": {"backend": "reference"}}}
+        with caplog.at_level("WARNING", logger="repro.core.services"):
+            got = resolve_kernel_selection(TiptoeConfig(), record, "ranking")
+        assert got == (None, {})
+        assert any("malformed" in r.message for r in caplog.records)
+
+    def test_malformed_record_keeps_explicit_backend(self, caplog):
+        """An explicit config choice survives a rotten record: the
+        backend is honored, only the tuned options are dropped."""
+        record = {
+            "kernel_plan": {"ranking": {"backend": "multiprocess"}}
+        }
+        config = TiptoeConfig(kernel_backend="multiprocess")
+        with caplog.at_level("WARNING", logger="repro.core.services"):
+            backend, opts = resolve_kernel_selection(
+                config, record, "ranking"
+            )
+        assert backend == "multiprocess"
+        assert opts == {}
+        assert any("malformed" in r.message for r in caplog.records)

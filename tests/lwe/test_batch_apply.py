@@ -126,7 +126,7 @@ class TestBackendBitIdentity:
             assert np.array_equal(got, want), name
 
     @pytest.mark.parametrize(
-        "name", ["reference", "multiprocess", "numba"]
+        "name", ["reference", "multiprocess", "numba", "cnative"]
     )
     def test_integer_fallback_regime(self, name):
         """Entries ~2^45 defeat exact float limbs; every backend must
@@ -151,6 +151,27 @@ class TestBackendBitIdentity:
         )
         plan = kernel_backends.get_backend("multiprocess").plan(
             matrix, 32, workers=2
+        )
+        try:
+            got = plan.matmul(stacked)
+        finally:
+            plan.close()
+        assert np.array_equal(got, modular.matmul(ring, stacked, 32))
+
+    @pytest.mark.parametrize("batch", [1, 3, 5])
+    def test_ragged_batches_through_cnative(self, batch):
+        """Batch widths that do not divide the thread count -- the C
+        kernel's row partition must stay exact on every shape.  On a
+        compiler-less host ``get_backend`` hands back reference, and
+        the assertion still holds (the seam contract)."""
+        rng = seeded_rng(14)
+        matrix = rng.integers(-8, 9, size=(33, 20))
+        ring = modular.to_ring(matrix, 32)
+        stacked = modular.to_ring(
+            rng.integers(0, 1 << 31, size=(20, batch)), 32
+        )
+        plan = kernel_backends.get_backend("cnative").plan(
+            matrix, 32, workers=3
         )
         try:
             got = plan.matmul(stacked)
@@ -216,7 +237,7 @@ class TestRegevApplyBatch:
             )
 
     @pytest.mark.parametrize(
-        "backend", ["reference", "multiprocess", "numba"]
+        "backend", ["reference", "multiprocess", "numba", "cnative"]
     )
     def test_batch_answers_decrypt_through_every_backend(
         self, regev, backend

@@ -102,3 +102,37 @@ def test_dtype_for_rejects_unsupported():
         modular.dtype_for(16)
     with pytest.raises(ValueError):
         modular.signed_dtype_for(48)
+
+
+class TestPlanCacheEviction:
+    def test_evicted_plans_are_closed_and_counted(self):
+        """LRU overflow must close() the evicted plan (backend plans
+        hold real resources) and show up in plan_cache_stats()."""
+        modular.clear_plan_cache()
+        closed = []
+        original_close = modular.StackedPlan.close
+
+        def recording_close(self):
+            closed.append(self)
+            original_close(self)
+
+        rng = np.random.default_rng(41)
+        b = modular.to_ring(rng.integers(0, 1 << 31, size=(6, 2)), 32)
+        try:
+            modular.StackedPlan.close = recording_close
+            for i in range(modular.PLAN_CACHE_SIZE + 3):
+                a = np.full((4, 6), i, dtype=np.int64)
+                modular.stacked_matmul(a, b, 32)
+        finally:
+            modular.StackedPlan.close = original_close
+        stats = modular.plan_cache_stats()
+        assert stats["evictions"] == 3
+        assert stats["misses"] == modular.PLAN_CACHE_SIZE + 3
+        assert len(closed) == 3
+        modular.clear_plan_cache()
+
+    def test_clear_resets_the_eviction_counter(self):
+        modular.clear_plan_cache()
+        assert modular.plan_cache_stats() == {
+            "hits": 0, "misses": 0, "evictions": 0,
+        }
